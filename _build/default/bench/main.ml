@@ -1,0 +1,192 @@
+(* The benchmark harness:
+
+   1. regenerates every reproduced table/figure of the paper (experiments
+      E1-E8; see DESIGN.md section 4 and EXPERIMENTS.md), printing the
+      tables and their pass/fail checks;
+   2. runs Bechamel microbenchmarks of the simulator's hot paths.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --skip-micro]
+          dune exec bench/main.exe -- --only E4 *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+let only =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let entries =
+    match only with
+    | None -> Experiments.Registry.all
+    | Some id -> (
+      match Experiments.Registry.find id with
+      | Some e -> [ e ]
+      | None ->
+        Format.eprintf "unknown experiment id %s@." id;
+        exit 2)
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      let result = e.run ~quick in
+      Format.printf "%a" Experiments.Common.pp_result result;
+      Format.printf "(%s mode, %.1fs)@.@."
+        (if quick then "quick" else "full")
+        (Unix.gettimeofday () -. t0);
+      if not (Experiments.Common.all_pass result) then incr failures)
+    entries;
+  !failures
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_pqueue =
+  Test.make ~name:"pqueue push+pop x100"
+    (Staged.stage (fun () ->
+         let q = Dsim.Pqueue.create () in
+         for i = 0 to 99 do
+           Dsim.Pqueue.push q ~time:(float_of_int ((i * 7919) mod 100)) i
+         done;
+         while not (Dsim.Pqueue.is_empty q) do
+           ignore (Dsim.Pqueue.pop q)
+         done))
+
+let bench_prng =
+  let g = Dsim.Prng.of_int 1 in
+  Test.make ~name:"prng float x100"
+    (Staged.stage (fun () ->
+         for _ = 1 to 100 do
+           ignore (Dsim.Prng.float g 1.)
+         done))
+
+let clock = Dsim.Hwclock.two_rate ~rho:0.05 ~period:10. ~horizon:1000. ~fast_first:true
+
+let bench_clock_value =
+  Test.make ~name:"hwclock value+inverse"
+    (Staged.stage (fun () ->
+         let h = Dsim.Hwclock.value clock 523.7 in
+         ignore (Dsim.Hwclock.inverse clock h)))
+
+let bench_params_b =
+  let p = Gcs.Params.make ~n:64 () in
+  Test.make ~name:"tolerance B(dt)"
+    (Staged.stage (fun () -> ignore (Gcs.Params.b p 137.5)))
+
+let skew_view =
+  let clocks = Array.init 64 (fun i -> float_of_int (i * i mod 97)) in
+  {
+    Gcs.Metrics.n = 64;
+    clock_of = (fun i -> clocks.(i));
+    lmax_of = (fun i -> clocks.(i) +. 1.);
+    edges = (fun () -> Topology.Static.path 64);
+  }
+
+let bench_global_skew =
+  Test.make ~name:"global skew over 64 nodes"
+    (Staged.stage (fun () -> ignore (Gcs.Metrics.global_skew skew_view)))
+
+let bench_local_skew =
+  Test.make ~name:"local skew over 63 edges"
+    (Staged.stage (fun () -> ignore (Gcs.Metrics.local_skew skew_view)))
+
+let small_sim_config () =
+  let n = 16 in
+  let params = Gcs.Params.make ~n () in
+  Gcs.Sim.config ~params
+    ~clocks:(Gcs.Drift.assign params ~horizon:50. ~seed:1 Gcs.Drift.Split_extremes)
+    ~delay:(Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound)
+    ~initial_edges:(Topology.Static.path n) ()
+
+let bench_simulation =
+  Test.make ~name:"end-to-end sim (n=16, horizon=50)"
+    (Staged.stage (fun () ->
+         let sim = Gcs.Sim.create (small_sim_config ()) in
+         Gcs.Sim.run_until sim 50.))
+
+let bench_flexible_distance =
+  let net = Lowerbound.Twochain.build ~n:64 ~k:2 in
+  let mask = Lowerbound.Twochain.mask net ~delay:1. in
+  Test.make ~name:"0-1 BFS flexible distance (n=64)"
+    (Staged.stage (fun () ->
+         ignore
+           (Lowerbound.Mask.flexible_distances mask ~n:64
+              ~edges:net.Lowerbound.Twochain.edges 0)))
+
+let bench_hetero_tolerance =
+  let p = Gcs.Params.make ~n:64 () in
+  Test.make ~name:"hetero tolerance B_e(dt)"
+    (Staged.stage (fun () -> ignore (Gcs.Hetero.b_e p ~t_e:0.25 137.5)))
+
+let bench_weighted_diameter =
+  let weighted =
+    List.map (fun (e : int * int) -> (e, 13.2)) (Topology.Static.ring 32)
+  in
+  Test.make ~name:"weighted diameter (Dijkstra, n=32)"
+    (Staged.stage (fun () -> ignore (Gcs.Weights.effective_diameter ~n:32 weighted)))
+
+let microbenches =
+  [
+    bench_pqueue; bench_prng; bench_clock_value; bench_params_b;
+    bench_hetero_tolerance; bench_global_skew; bench_local_skew; bench_simulation;
+    bench_flexible_distance; bench_weighted_diameter;
+  ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let table =
+    Analysis.Table.create ~title:"Microbenchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run"; "r^2" ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> est
+            | Some [] | None -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result) in
+          Analysis.Table.add_row table
+            [
+              Analysis.Table.Str name;
+              Analysis.Table.Float ns;
+              Analysis.Table.Float r2;
+            ])
+        results)
+    microbenches;
+  Format.printf "%a@." Analysis.Table.pp table
+
+let () =
+  Format.printf "gradient-clock-sync benchmark harness (%s mode)@.@."
+    (if quick then "quick" else "full");
+  let failures = run_experiments () in
+  if not skip_micro then run_micro ();
+  if failures > 0 then begin
+    Format.printf "@.%d experiment(s) had failing checks@." failures;
+    exit 1
+  end
+  else Format.printf "@.all experiment checks passed@."

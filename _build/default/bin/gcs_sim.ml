@@ -1,0 +1,331 @@
+(* Command-line interface to the gradient clock synchronization library.
+
+   gcs_sim list                         enumerate the paper experiments
+   gcs_sim exp E2 E4 [--quick] [--csv]  reproduce specific experiments
+   gcs_sim params --n 64 [--b0 ...]     print derived parameters
+   gcs_sim sim --n 32 --topology ring   run an ad-hoc simulation *)
+
+open Cmdliner
+
+(* --------------------------- shared options ------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let rho_arg =
+  Arg.(value & opt float 0.05 & info [ "rho" ] ~docv:"RHO" ~doc:"Hardware clock drift bound.")
+
+let b0_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "b0" ] ~docv:"B0"
+        ~doc:"Target stable skew parameter; defaults to 2.5x its lower bound.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let make_params ~n ~rho ~b0 = Gcs.Params.make ~rho ?b0 ~n ()
+
+(* ------------------------------ list ------------------------------- *)
+
+let list_cmd =
+  let doc = "List the reproduced paper experiments." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Format.printf "%-4s %s@." e.id e.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------- exp ------------------------------- *)
+
+let exp_cmd =
+  let doc = "Run paper experiments (all by default) and print their tables." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E8).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller networks and shorter horizons.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
+  in
+  let run ids quick csv =
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None -> Fmt.failwith "unknown experiment id %s (try 'list')" id)
+          ids
+    in
+    let failed = ref 0 in
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        let result = e.run ~quick in
+        Format.printf "%a@." Experiments.Common.pp_result result;
+        if not (Experiments.Common.all_pass result) then incr failed;
+        Option.iter
+          (fun dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iteri
+              (fun i table ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "%s_table%d.csv" (String.lowercase_ascii e.id) i)
+                in
+                let oc = open_out path in
+                output_string oc (Analysis.Table.to_csv table);
+                close_out oc;
+                Format.printf "wrote %s@." path)
+              result.Experiments.Common.tables)
+          csv)
+      entries;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ ids $ quick $ csv)
+
+(* ------------------------------ params ----------------------------- *)
+
+let params_cmd =
+  let doc = "Print the derived quantities of a parameter point (Sections 5-6)." in
+  let run n rho b0 =
+    let p = make_params ~n ~rho ~b0 in
+    Format.printf "%a@." Gcs.Params.pp p
+  in
+  Cmd.v (Cmd.info "params" ~doc) Term.(const run $ n_arg $ rho_arg $ b0_arg)
+
+(* ------------------------------- sim ------------------------------- *)
+
+type topology_kind = Path | Ring | Star | Grid | Complete | Tree | Er | Geometric
+
+let topology_conv =
+  Arg.enum
+    [
+      ("path", Path); ("ring", Ring); ("star", Star); ("grid", Grid);
+      ("complete", Complete); ("tree", Tree); ("er", Er); ("geometric", Geometric);
+    ]
+
+let algo_conv =
+  Arg.enum
+    [
+      ("gradient", Gcs.Sim.Gradient);
+      ("flat", Gcs.Sim.Flat_gradient);
+      ("max", Gcs.Sim.Max_only);
+    ]
+
+type drift_kind = Dperfect | Dsplit | Dalternating | Drandom | Dgradient
+
+let drift_conv =
+  Arg.enum
+    [
+      ("perfect", Dperfect); ("split", Dsplit); ("alternating", Dalternating);
+      ("random", Drandom); ("gradient", Dgradient);
+    ]
+
+type delay_kind = Ymax | Yzero | Yuniform
+
+let delay_conv = Arg.enum [ ("max", Ymax); ("zero", Yzero); ("uniform", Yuniform) ]
+
+let build_topology kind ~n ~seed =
+  let module S = Topology.Static in
+  match kind with
+  | Path -> S.path n
+  | Ring -> S.ring n
+  | Star -> S.star n
+  | Grid ->
+    let rows = max 2 (int_of_float (sqrt (float_of_int n))) in
+    if n mod rows <> 0 then
+      Fmt.failwith "grid topology needs n divisible by %d (got n=%d)" rows n;
+    S.grid ~rows ~cols:(n / rows)
+  | Complete -> S.complete n
+  | Tree -> S.binary_tree n
+  | Er -> S.erdos_renyi (Dsim.Prng.of_int seed) ~n ~p:(2.5 /. float_of_int n)
+  | Geometric ->
+    snd (S.random_geometric (Dsim.Prng.of_int seed) ~n ~radius:(1.8 /. sqrt (float_of_int n)))
+
+let sim_cmd =
+  let doc = "Run an ad-hoc simulation and print a skew summary." in
+  let topology =
+    Arg.(value & opt topology_conv Path & info [ "topology" ] ~docv:"TOPO"
+           ~doc:"One of path, ring, star, grid, complete, tree, er, geometric.")
+  in
+  let algo =
+    Arg.(value & opt algo_conv Gcs.Sim.Gradient
+         & info [ "algo" ] ~docv:"ALGO" ~doc:"gradient, flat or max.")
+  in
+  let drift =
+    Arg.(value & opt drift_conv Dsplit
+         & info [ "drift" ] ~docv:"DRIFT" ~doc:"perfect, split, alternating, random, gradient.")
+  in
+  let delay =
+    Arg.(value & opt delay_conv Ymax & info [ "delay" ] ~docv:"DELAY" ~doc:"max, zero or uniform.")
+  in
+  let horizon =
+    Arg.(value & opt float 300. & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let churn_rate =
+    Arg.(value & opt float 0. & info [ "churn" ] ~docv:"RATE"
+           ~doc:"Random non-backbone edge toggles per time unit (0 = static).")
+  in
+  let new_edge =
+    Arg.(value & opt (some (t3 ~sep:',' int int float)) None
+         & info [ "new-edge" ] ~docv:"U,V,T" ~doc:"Insert edge {u,v} at time t and trace it.")
+  in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print the sampled skew timeline.")
+  in
+  let plot =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII plot of the skews.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"RATE"
+           ~doc:"Silent per-message loss probability (robustness mode, outside the model).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write the sampled timeline as CSV to $(docv).")
+  in
+  let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
+      plot loss csv =
+    let params = make_params ~n ~rho ~b0 in
+    let edges = build_topology topology ~n ~seed in
+    let drift_spec =
+      match drift with
+      | Dperfect -> Gcs.Drift.Perfect
+      | Dsplit -> Gcs.Drift.Split_extremes
+      | Dalternating -> Gcs.Drift.Alternating (horizon /. 12.)
+      | Drandom -> Gcs.Drift.Random_walk (horizon /. 20.)
+      | Dgradient -> Gcs.Drift.Gradient_rates
+    in
+    let clocks = Gcs.Drift.assign params ~horizon ~seed drift_spec in
+    let bound = params.Gcs.Params.delay_bound in
+    let delay_policy =
+      match delay with
+      | Ymax -> Dsim.Delay.maximal ~bound
+      | Yzero -> Dsim.Delay.zero ~bound
+      | Yuniform -> Dsim.Delay.uniform (Dsim.Prng.of_int (seed + 1)) ~bound
+    in
+    let delay_policy =
+      if loss > 0. then Dsim.Delay.lossy (Dsim.Prng.of_int (seed + 3)) ~rate:loss delay_policy
+      else delay_policy
+    in
+    let trace = Dsim.Trace.create () in
+    let cfg =
+      Gcs.Sim.config ~algo ~params ~clocks ~delay:delay_policy ~initial_edges:edges
+        ~trace ()
+    in
+    let sim = Gcs.Sim.create cfg in
+    let engine = Gcs.Sim.engine sim in
+    let view = Gcs.Sim.view sim in
+    if churn_rate > 0. then
+      Topology.Churn.schedule engine
+        (Topology.Churn.random_churn
+           (Dsim.Prng.of_int (seed + 2))
+           ~n ~base:edges ~rate:churn_rate ~horizon);
+    Option.iter (fun (u, v, t) -> Gcs.Sim.add_edge_at sim ~at:t u v) new_edge;
+    let watch = match new_edge with Some (u, v, _) -> [ (u, v) ] | None -> [] in
+    let recorder =
+      Gcs.Metrics.attach engine view ~every:(horizon /. 200.) ~until:horizon ~watch ()
+    in
+    let monitor =
+      Gcs.Invariant.attach engine view ~every:(horizon /. 200.) ~until:horizon ()
+    in
+    Gcs.Sim.run_until sim horizon;
+    Format.printf "%a@.@." Gcs.Params.pp params;
+    Format.printf "algo=%s topology=%s n=%d horizon=%g seed=%d@."
+      (Gcs.Sim.algo_to_string algo)
+      (match topology with
+      | Path -> "path" | Ring -> "ring" | Star -> "star" | Grid -> "grid"
+      | Complete -> "complete" | Tree -> "tree" | Er -> "er" | Geometric -> "geometric")
+      n horizon seed;
+    Format.printf "events=%d messages=%d jumps=%d@."
+      (Dsim.Engine.events_processed engine)
+      (Gcs.Sim.total_messages sim) (Gcs.Sim.total_jumps sim);
+    Format.printf "max global skew = %.4f (bound G(n) = %.4f)@."
+      (Gcs.Metrics.max_global_skew recorder)
+      (Gcs.Params.global_skew_bound params);
+    Format.printf "max local skew  = %.4f (stable bound = %.4f)@."
+      (Gcs.Metrics.max_local_skew recorder)
+      (Gcs.Params.stable_local_skew params);
+    Format.printf "final global/local skew = %.4f / %.4f@."
+      (Gcs.Metrics.global_skew view) (Gcs.Metrics.local_skew view);
+    (match new_edge with
+    | Some (u, v, t) ->
+      let pair_trace = Gcs.Metrics.pair_trace recorder (u, v) in
+      let aged = List.map (fun (s, x) -> (s -. t, x)) (Analysis.Series.after t pair_trace) in
+      let initial = match aged with (_, s) :: _ -> s | [] -> 0. in
+      Format.printf "new edge {%d,%d}@@%g: initial skew %.3f, settle-to-stable %s@." u v t
+        initial
+        (match
+           Analysis.Series.first_below (Gcs.Params.stable_local_skew params) aged
+         with
+        | Some s -> Printf.sprintf "%.1f" s
+        | None -> "not reached")
+    | None -> ());
+    Format.printf "validity: %s (%d probes)@."
+      (if Gcs.Invariant.ok monitor then "ok" else "VIOLATIONS")
+      (Gcs.Invariant.probes monitor);
+    List.iter
+      (fun v -> Format.printf "  %a@." Gcs.Invariant.pp_violation v)
+      (Gcs.Invariant.violations monitor);
+    if timeline then begin
+      Format.printf "@.%-10s %-12s %-12s %-12s@." "time" "global" "local" "lmax-lag";
+      List.iter
+        (fun s ->
+          Format.printf "%-10.2f %-12.4f %-12.4f %-12.4f@." s.Gcs.Metrics.time
+            s.Gcs.Metrics.global_skew s.Gcs.Metrics.local_skew s.Gcs.Metrics.lmax_lag)
+        (Gcs.Metrics.samples recorder)
+    end;
+    Option.iter
+      (fun path ->
+        let table =
+          Analysis.Table.create ~title:"timeline"
+            ~columns:[ "time"; "global_skew"; "local_skew"; "lmax_lag"; "clock_lag" ]
+        in
+        List.iter
+          (fun s ->
+            Analysis.Table.add_row table
+              [
+                Analysis.Table.Float s.Gcs.Metrics.time;
+                Analysis.Table.Float s.Gcs.Metrics.global_skew;
+                Analysis.Table.Float s.Gcs.Metrics.local_skew;
+                Analysis.Table.Float s.Gcs.Metrics.lmax_lag;
+                Analysis.Table.Float s.Gcs.Metrics.clock_lag;
+              ])
+          (Gcs.Metrics.samples recorder);
+        let oc = open_out path in
+        output_string oc (Analysis.Table.to_csv table);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      csv;
+    if plot then begin
+      let samples = Gcs.Metrics.samples recorder in
+      let series f = List.map (fun s -> (s.Gcs.Metrics.time, f s)) samples in
+      Format.printf "@.%s@."
+        (Analysis.Plot.render ~width:70 ~height:14
+           [
+             ("global skew", series (fun s -> s.Gcs.Metrics.global_skew));
+             ("local skew", series (fun s -> s.Gcs.Metrics.local_skew));
+           ])
+    end
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
+      $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv)
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc = "Gradient clock synchronization in dynamic networks (SPAA 2009) simulator." in
+  let info = Cmd.info "gcs_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; params_cmd; sim_cmd ]))

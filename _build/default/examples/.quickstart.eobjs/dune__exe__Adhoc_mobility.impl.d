@@ -1,0 +1,1 @@
+examples/adhoc_mobility.ml: Dsim Float Format Gcs List Topology

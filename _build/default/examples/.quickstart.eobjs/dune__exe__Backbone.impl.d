@@ -1,0 +1,1 @@
+examples/backbone.ml: Analysis Dsim Format Gcs List

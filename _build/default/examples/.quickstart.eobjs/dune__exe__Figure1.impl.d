@@ -1,0 +1,1 @@
+examples/figure1.ml: Analysis Array Float Format Gcs List Lowerbound Option Printf Topology

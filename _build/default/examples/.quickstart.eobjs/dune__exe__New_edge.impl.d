@@ -1,0 +1,1 @@
+examples/new_edge.ml: Analysis Float Format Gcs List Lowerbound Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsim Format Gcs Topology

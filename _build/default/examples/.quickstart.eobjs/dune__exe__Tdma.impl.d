@@ -1,0 +1,1 @@
+examples/tdma.ml: Dsim Float Format Gcs List Lowerbound Printf Topology

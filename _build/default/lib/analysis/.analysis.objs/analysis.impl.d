@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Plot Series Stats Table

@@ -1,0 +1,1 @@
+lib/analysis/table.ml: Buffer Float Format List Printf Stdlib String

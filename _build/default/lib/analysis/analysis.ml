@@ -1,0 +1,15 @@
+(** Measurement post-processing: statistics, time series, tables and
+    terminal plots. *)
+
+module Stats = Stats
+(** Summary statistics, least squares, correlation. *)
+
+module Series = Series
+(** Chronological [(time, value)] traces: crossings, settle times,
+    slicing. *)
+
+module Table = Table
+(** Aligned text tables with CSV export. *)
+
+module Plot = Plot
+(** ASCII line plots and sparklines. *)

@@ -1,0 +1,36 @@
+(** Summary statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val percentile : float -> float list -> float
+(** [percentile q xs] for [q] in [\[0, 1\]], linear interpolation between
+    order statistics. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)]. Requires two or more points with
+    distinct abscissae. *)
+
+val correlation : (float * float) list -> float
+(** Pearson correlation coefficient. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,79 @@
+type cell = Str of string | Int of int | Float of float | Bool of bool
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : cell list list;
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row(%s): %d cells for %d columns" t.title
+         (List.length row) (List.length t.columns));
+  t.rev_rows <- row :: t.rev_rows
+
+let rows t = List.rev t.rev_rows
+
+let title t = t.title
+
+let columns t = t.columns
+
+let cell_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.4g" f
+  | Bool b -> if b then "yes" else "no"
+
+let get_float t ~row ~col =
+  match List.nth (List.nth (rows t) row) col with
+  | Float f -> f
+  | Int i -> float_of_int i
+  | Str _ | Bool _ -> invalid_arg "Table.get_float: not a numeric cell"
+
+let pp fmt t =
+  let rows = rows t in
+  let header = t.columns in
+  let all = header :: List.map (List.map cell_to_string) rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    String.concat "  " (List.map2 pad row widths) |> String.trim |> fun s ->
+    (* Re-pad: trim removed right padding only; keep interior alignment. *)
+    s
+  in
+  Format.fprintf fmt "@[<v>== %s ==@," t.title;
+  Format.fprintf fmt "%s@," (render_row header);
+  Format.fprintf fmt "%s@,"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter
+    (fun row -> Format.fprintf fmt "%s@," (render_row (List.map cell_to_string row)))
+    rows;
+  Format.fprintf fmt "@]"
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line (List.map cell_to_string row));
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf

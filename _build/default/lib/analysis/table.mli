@@ -1,0 +1,26 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type cell = Str of string | Int of int | Float of float | Bool of bool
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> cell list -> unit
+(** Row length must match the column count. *)
+
+val rows : t -> cell list list
+
+val title : t -> string
+
+val columns : t -> string list
+
+val cell_to_string : cell -> string
+
+val get_float : t -> row:int -> col:int -> float
+(** Numeric accessor for tests ([Int] is coerced). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render with a title line, a header, a rule and aligned columns. *)
+
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/core/gcs.ml: Baseline_max Drift Estimate Hetero Invariant Metrics Node Params Proto Sim Weights

@@ -1,0 +1,1 @@
+lib/core/baseline_max.ml: Dsim Estimate Int Params Proto Set

@@ -1,0 +1,1 @@
+lib/core/drift.ml: Array Dsim Params

@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Array Dsim Float Hashtbl List Metrics Node Option Params Printf

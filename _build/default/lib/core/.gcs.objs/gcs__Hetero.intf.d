@@ -1,0 +1,1 @@
+lib/core/hetero.mli: Dsim Metrics Node Params Proto

@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Array Dsim Format List Metrics Printf

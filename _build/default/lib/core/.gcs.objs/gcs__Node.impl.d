@@ -1,0 +1,1 @@
+lib/core/node.ml: Dsim Estimate Float Hashtbl Int List Option Params Proto Set

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Array Baseline_max Dsim Metrics Node Params Printf Proto

@@ -1,0 +1,71 @@
+module Engine = Dsim.Engine
+module Int_set = Set.Make (Int)
+
+type t = {
+  ctx : Proto.ctx;
+  params : Params.t;
+  mutable upsilon : Int_set.t;
+  l : Estimate.t;
+  lmax : Estimate.t;
+  mutable discrete_jumps : int;
+  mutable messages_sent : int;
+}
+
+let create params ctx =
+  {
+    ctx;
+    params;
+    upsilon = Int_set.empty;
+    l = Estimate.create ~value:0. ~anchor:0.;
+    lmax = Estimate.create ~value:0. ~anchor:0.;
+    discrete_jumps = 0;
+    messages_sent = 0;
+  }
+
+let hardware_clock t = Engine.hardware_clock t.ctx
+
+let id t = Engine.node_id t.ctx
+
+let logical_clock t = Estimate.get t.l ~at:(hardware_clock t)
+
+let max_estimate t = Estimate.get t.lmax ~at:(hardware_clock t)
+
+let adjust_clock t =
+  let h = hardware_clock t in
+  if Estimate.raise_to t.l ~at:h (Estimate.get t.lmax ~at:h) then
+    t.discrete_jumps <- t.discrete_jumps + 1
+
+let send_update t v =
+  let h = hardware_clock t in
+  t.messages_sent <- t.messages_sent + 1;
+  Engine.send t.ctx ~dst:v
+    { Proto.l = Estimate.get t.l ~at:h; lmax = Estimate.get t.lmax ~at:h }
+
+let handlers t =
+  {
+    Engine.on_init = (fun () -> Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick);
+    on_discover_add =
+      (fun v ->
+        send_update t v;
+        t.upsilon <- Int_set.add v t.upsilon);
+    on_discover_remove = (fun v -> t.upsilon <- Int_set.remove v t.upsilon);
+    on_receive =
+      (fun v { Proto.lmax = lmax_v; _ } ->
+        ignore v;
+        let h = hardware_clock t in
+        ignore (Estimate.raise_to t.lmax ~at:h lmax_v);
+        adjust_clock t);
+    on_timer =
+      (function
+      | Proto.Tick ->
+        Int_set.iter (fun v -> send_update t v) t.upsilon;
+        adjust_clock t;
+        Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
+      | Proto.Lost _ -> ());
+  }
+
+let upsilon t = Int_set.elements t.upsilon
+
+let discrete_jumps t = t.discrete_jumps
+
+let messages_sent t = t.messages_sent

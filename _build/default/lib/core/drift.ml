@@ -1,0 +1,29 @@
+module Hwclock = Dsim.Hwclock
+module Prng = Dsim.Prng
+
+type spec =
+  | Perfect
+  | Split_extremes
+  | Gradient_rates
+  | Alternating of float
+  | Random_walk of float
+  | Custom of (int -> Hwclock.t)
+
+let assign params ~horizon ~seed spec =
+  let n = params.Params.n in
+  let rho = params.Params.rho in
+  let clock_for i =
+    match spec with
+    | Perfect -> Hwclock.perfect
+    | Split_extremes -> if i < n / 2 then Hwclock.fastest ~rho else Hwclock.slowest ~rho
+    | Gradient_rates ->
+      let frac = if n = 1 then 0. else float_of_int i /. float_of_int (n - 1) in
+      Hwclock.constant (1. +. rho -. (2. *. rho *. frac))
+    | Alternating period ->
+      Hwclock.two_rate ~rho ~period ~horizon ~fast_first:(i mod 2 = 0)
+    | Random_walk segment_mean ->
+      let prng = Prng.of_int (seed + (7919 * i)) in
+      Hwclock.random_walk prng ~rho ~segment_mean ~horizon
+    | Custom f -> f i
+  in
+  Array.init n clock_for

@@ -1,0 +1,26 @@
+(** Convenience constructors for whole-network hardware-clock assignments.
+
+    Every produced array satisfies the drift bound of the given parameter
+    set ([Hwclock.within_drift ~rho]). *)
+
+type spec =
+  | Perfect
+      (** everyone at rate 1 — isolates algorithmic skew from drift *)
+  | Split_extremes
+      (** first half at [1+rho], second half at [1-rho] — maximizes
+          steady-state relative drift across the network *)
+  | Gradient_rates
+      (** node [i]'s rate interpolates linearly from [1+rho] to [1-rho] —
+          a drift gradient along node ids *)
+  | Alternating of float
+      (** every node flips between [1±rho] with the given period; odd
+          nodes start in the opposite phase *)
+  | Random_walk of float
+      (** independent random piecewise rates, mean segment length as
+          given *)
+  | Custom of (int -> Dsim.Hwclock.t)
+
+val assign :
+  Params.t -> horizon:float -> seed:int -> spec -> Dsim.Hwclock.t array
+(** Clock per node. [horizon] bounds the time-varying patterns (beyond it
+    they run at rate 1); [seed] drives [Random_walk]. *)

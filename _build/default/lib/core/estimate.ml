@@ -1,0 +1,17 @@
+type t = { mutable value : float; mutable anchor : float }
+
+let create ~value ~anchor = { value; anchor }
+
+let get e ~at = e.value +. (at -. e.anchor)
+
+let set e ~at x =
+  e.value <- x;
+  e.anchor <- at
+
+let raise_to e ~at x =
+  let current = get e ~at in
+  if x > current then begin
+    set e ~at x;
+    true
+  end
+  else false

@@ -1,0 +1,20 @@
+(** A register that drifts at the owning node's hardware-clock rate.
+
+    The paper's node variables [L_u], [Lmax_u] and [L^v_u] all "increase at
+    the rate of u's hardware clock" between discrete events. We represent
+    such a variable by its value at an anchor hardware-clock reading; its
+    value at hardware time [h] is [value + (h - anchor)]. All operations
+    take the current hardware clock reading [at]. *)
+
+type t
+
+val create : value:float -> anchor:float -> t
+
+val get : t -> at:float -> float
+
+val set : t -> at:float -> float -> unit
+(** Discrete assignment at hardware time [at]. *)
+
+val raise_to : t -> at:float -> float -> bool
+(** [raise_to e ~at x] sets the register to [max current x]; returns
+    [true] iff it increased (a discrete jump happened). *)

@@ -1,0 +1,75 @@
+module Engine = Dsim.Engine
+
+type violation = { time : float; node : int; kind : string; detail : string }
+
+type monitor = {
+  mutable violations : violation list; (* newest first *)
+  mutable probes : int;
+  prev_clock : float array;
+  mutable prev_time : float;
+  mutable primed : bool;
+}
+
+(* Absolute slack for float accumulation over long runs. *)
+let eps = 1e-6
+
+let probe view rate_floor monitor time =
+  monitor.probes <- monitor.probes + 1;
+  for i = 0 to view.Metrics.n - 1 do
+    let l = view.Metrics.clock_of i in
+    let lmax = view.Metrics.lmax_of i in
+    if lmax < l -. eps then
+      monitor.violations <-
+        {
+          time;
+          node = i;
+          kind = "lmax-dominance";
+          detail = Printf.sprintf "L=%.9g > Lmax=%.9g" l lmax;
+        }
+        :: monitor.violations;
+    if monitor.primed then begin
+      let dt = time -. monitor.prev_time in
+      let dl = l -. monitor.prev_clock.(i) in
+      if dl < (rate_floor *. dt) -. eps then
+        monitor.violations <-
+          {
+            time;
+            node = i;
+            kind = "min-rate";
+            detail = Printf.sprintf "dL=%.9g over dt=%.9g (floor %.3g)" dl dt rate_floor;
+          }
+          :: monitor.violations
+    end;
+    monitor.prev_clock.(i) <- l
+  done;
+  monitor.prev_time <- time;
+  monitor.primed <- true
+
+let attach engine view ~every ~until ?(rate_floor = 0.5) () =
+  if every <= 0. then invalid_arg "Invariant.attach: period must be positive";
+  let monitor =
+    {
+      violations = [];
+      probes = 0;
+      prev_clock = Array.make view.Metrics.n 0.;
+      prev_time = 0.;
+      primed = false;
+    }
+  in
+  let rec schedule time =
+    if time <= until then
+      Engine.at engine ~time (fun () ->
+          probe view rate_floor monitor (Engine.now engine);
+          schedule (time +. every))
+  in
+  schedule (Engine.now engine);
+  monitor
+
+let violations monitor = List.rev monitor.violations
+
+let ok monitor = monitor.violations = []
+
+let probes monitor = monitor.probes
+
+let pp_violation fmt v =
+  Format.fprintf fmt "t=%.6g node=%d %s: %s" v.time v.node v.kind v.detail

@@ -1,0 +1,30 @@
+(** Runtime validity monitors for the logical-clock requirements of
+    Section 3.3 and Property 6.3.
+
+    Between consecutive probes at times [t1 < t2] every node must satisfy:
+    - monotonicity / minimum rate: [L(t2) - L(t1) >= rate_floor (t2 - t1)]
+      (the paper mandates [rate_floor = 1/2]; the algorithm actually
+      achieves [1 - rho]);
+    - maximum estimate dominance: [Lmax(t) >= L(t)]. *)
+
+type violation = { time : float; node : int; kind : string; detail : string }
+
+type monitor
+
+val attach :
+  (Proto.message, Proto.timer) Dsim.Engine.t ->
+  Metrics.view ->
+  every:float ->
+  until:float ->
+  ?rate_floor:float ->
+  unit ->
+  monitor
+(** [rate_floor] defaults to [0.5]. *)
+
+val violations : monitor -> violation list
+
+val ok : monitor -> bool
+
+val probes : monitor -> int
+
+val pp_violation : Format.formatter -> violation -> unit

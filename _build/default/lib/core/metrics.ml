@@ -1,0 +1,98 @@
+module Engine = Dsim.Engine
+
+type view = {
+  n : int;
+  clock_of : int -> float;
+  lmax_of : int -> float;
+  edges : unit -> (int * int) list;
+}
+
+let fold_clocks view f init =
+  let acc = ref init in
+  for i = 0 to view.n - 1 do
+    acc := f !acc (view.clock_of i)
+  done;
+  !acc
+
+let global_skew view =
+  let max_l = fold_clocks view Float.max neg_infinity in
+  let min_l = fold_clocks view Float.min infinity in
+  max_l -. min_l
+
+let edge_skew view u v = Float.abs (view.clock_of u -. view.clock_of v)
+
+let local_skew view =
+  List.fold_left (fun acc (u, v) -> Float.max acc (edge_skew view u v)) 0. (view.edges ())
+
+let lmax_lag view =
+  let best = ref neg_infinity and worst = ref infinity in
+  for i = 0 to view.n - 1 do
+    let m = view.lmax_of i in
+    if m > !best then best := m;
+    if m < !worst then worst := m
+  done;
+  !best -. !worst
+
+let clock_lag view =
+  let lag = ref 0. in
+  for i = 0 to view.n - 1 do
+    lag := Float.max !lag (view.lmax_of i -. view.clock_of i)
+  done;
+  !lag
+
+type sample = {
+  time : float;
+  global_skew : float;
+  local_skew : float;
+  lmax_lag : float;
+  clock_lag : float;
+}
+
+type recorder = {
+  mutable samples : sample list; (* newest first *)
+  traces : (int * int, (float * float) list ref) Hashtbl.t;
+}
+
+let probe engine view recorder () =
+  let time = Engine.now engine in
+  recorder.samples <-
+    {
+      time;
+      global_skew = global_skew view;
+      local_skew = local_skew view;
+      lmax_lag = lmax_lag view;
+      clock_lag = clock_lag view;
+    }
+    :: recorder.samples;
+  Hashtbl.iter
+    (fun (u, v) trace -> trace := (time, edge_skew view u v) :: !trace)
+    recorder.traces
+
+let attach engine view ~every ~until ?(watch = []) () =
+  if every <= 0. then invalid_arg "Metrics.attach: sampling period must be positive";
+  let recorder = { samples = []; traces = Hashtbl.create 4 } in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace recorder.traces (Dsim.Dyngraph.normalize u v) (ref []))
+    watch;
+  let rec schedule time =
+    if time <= until then
+      Engine.at engine ~time (fun () ->
+          probe engine view recorder ();
+          schedule (time +. every))
+  in
+  schedule (Engine.now engine);
+  recorder
+
+let samples recorder = List.rev recorder.samples
+
+let pair_trace recorder (u, v) =
+  match Hashtbl.find_opt recorder.traces (Dsim.Dyngraph.normalize u v) with
+  | Some trace -> List.rev !trace
+  | None -> []
+
+let max_global_skew recorder =
+  List.fold_left (fun acc s -> Float.max acc s.global_skew) 0. recorder.samples
+
+let max_local_skew recorder =
+  List.fold_left (fun acc s -> Float.max acc s.local_skew) 0. recorder.samples

@@ -1,0 +1,61 @@
+(** Skew measurement: instantaneous queries over a node-state view and a
+    periodic recorder that samples an execution while it runs.
+
+    A {!view} abstracts over which algorithm is running: it exposes each
+    node's logical clock and max-estimate plus the live edge set. *)
+
+type view = {
+  n : int;
+  clock_of : int -> float;      (** logical clock [L_u] now *)
+  lmax_of : int -> float;       (** max estimate [Lmax_u] now *)
+  edges : unit -> (int * int) list;  (** edges present now *)
+}
+
+val global_skew : view -> float
+(** [max_u L_u - min_u L_u] (Definition 3.2 over all pairs). *)
+
+val local_skew : view -> float
+(** Maximum [|L_u - L_v|] over currently present edges (0 if none). *)
+
+val edge_skew : view -> int -> int -> float
+(** [|L_u - L_v|] for the given pair (present or not). *)
+
+val lmax_lag : view -> float
+(** [max_u (max_v Lmax_v - Lmax_u)]: how far the worst-informed node's max
+    estimate trails the best (Lemma 6.8's quantity). *)
+
+val clock_lag : view -> float
+(** [max_u (Lmax_u - L_u)]: how far any node trails its own max estimate;
+    spikes while nodes are blocked. *)
+
+type sample = {
+  time : float;
+  global_skew : float;
+  local_skew : float;
+  lmax_lag : float;
+  clock_lag : float;
+}
+
+type recorder
+
+val attach :
+  (Proto.message, Proto.timer) Dsim.Engine.t ->
+  view ->
+  every:float ->
+  until:float ->
+  ?watch:(int * int) list ->
+  unit ->
+  recorder
+(** Schedule periodic probes on the engine from its current time to
+    [until]. [watch] lists node pairs whose pairwise skew is traced at
+    every probe (whether or not an edge is present). *)
+
+val samples : recorder -> sample list
+(** Chronological samples taken so far. *)
+
+val pair_trace : recorder -> int * int -> (float * float) list
+(** Chronological [(time, skew)] trace of a watched pair. *)
+
+val max_global_skew : recorder -> float
+
+val max_local_skew : recorder -> float

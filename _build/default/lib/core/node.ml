@@ -1,0 +1,153 @@
+module Engine = Dsim.Engine
+module Int_set = Set.Make (Int)
+
+type peer = {
+  mutable c : float;      (* C^v_u: hardware clock when v last entered Γ *)
+  estimate : Estimate.t;  (* L^v_u, drifting at u's hardware rate *)
+}
+
+type t = {
+  ctx : Proto.ctx;
+  params : Params.t;
+  tolerance : peer:int -> float -> float;
+  timeout : peer:int -> float;
+  gamma : (int, peer) Hashtbl.t;
+  mutable upsilon : Int_set.t;
+  l : Estimate.t;
+  lmax : Estimate.t;
+  mutable discrete_jumps : int;
+  mutable messages_sent : int;
+}
+
+let create ?tolerance ?timeout params ctx =
+  let tolerance =
+    match tolerance with Some f -> f | None -> fun ~peer:_ -> Params.b params
+  in
+  let timeout =
+    match timeout with Some f -> f | None -> fun ~peer:_ -> Params.delta_t' params
+  in
+  {
+    ctx;
+    params;
+    tolerance;
+    timeout;
+    gamma = Hashtbl.create 8;
+    upsilon = Int_set.empty;
+    l = Estimate.create ~value:0. ~anchor:0.;
+    lmax = Estimate.create ~value:0. ~anchor:0.;
+    discrete_jumps = 0;
+    messages_sent = 0;
+  }
+
+let hardware_clock t = Engine.hardware_clock t.ctx
+
+let id t = Engine.node_id t.ctx
+
+let params_of t = t.params
+
+let logical_clock t = Estimate.get t.l ~at:(hardware_clock t)
+
+let max_estimate t = Estimate.get t.lmax ~at:(hardware_clock t)
+
+(* Procedure AdjustClock:
+   L <- max{L, min{Lmax, min_{v in Gamma}(L^v + B(H - C^v))}}. *)
+let adjust_clock t =
+  let h = hardware_clock t in
+  let l = Estimate.get t.l ~at:h in
+  let lmax = Estimate.get t.lmax ~at:h in
+  let constraint_cap =
+    Hashtbl.fold
+      (fun v peer acc ->
+        Float.min acc
+          (Estimate.get peer.estimate ~at:h +. t.tolerance ~peer:v (h -. peer.c)))
+      t.gamma infinity
+  in
+  let target = Float.max l (Float.min lmax constraint_cap) in
+  if target > l then begin
+    t.discrete_jumps <- t.discrete_jumps + 1;
+    Estimate.set t.l ~at:h target
+  end
+
+let send_update t v =
+  let h = hardware_clock t in
+  t.messages_sent <- t.messages_sent + 1;
+  Engine.send t.ctx ~dst:v
+    { Proto.l = Estimate.get t.l ~at:h; lmax = Estimate.get t.lmax ~at:h }
+
+let on_init t () = Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
+
+let on_discover_add t v =
+  send_update t v;
+  t.upsilon <- Int_set.add v t.upsilon;
+  adjust_clock t
+
+let on_discover_remove t v =
+  Hashtbl.remove t.gamma v;
+  t.upsilon <- Int_set.remove v t.upsilon;
+  adjust_clock t
+
+let on_receive t v { Proto.l = l_v; lmax = lmax_v } =
+  Engine.cancel_timer t.ctx (Proto.Lost v);
+  let h = hardware_clock t in
+  (match Hashtbl.find_opt t.gamma v with
+  | Some peer ->
+    (* Line 20: the estimate is refreshed on every receipt; C^v only when
+       v (re-)enters Gamma (lines 17-19, cf. Lemma 6.10). *)
+    Estimate.set peer.estimate ~at:h l_v
+  | None ->
+    Hashtbl.replace t.gamma v { c = h; estimate = Estimate.create ~value:l_v ~anchor:h });
+  (* A message can only arrive on an edge the environment delivered on, so
+     v belongs in Upsilon even if the discover(add) was suppressed as
+     transient. *)
+  t.upsilon <- Int_set.add v t.upsilon;
+  ignore (Estimate.raise_to t.lmax ~at:h lmax_v);
+  adjust_clock t;
+  Engine.set_timer t.ctx ~after:(t.timeout ~peer:v) (Proto.Lost v)
+
+let on_timer t = function
+  | Proto.Tick ->
+    Int_set.iter (fun v -> send_update t v) t.upsilon;
+    adjust_clock t;
+    Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
+  | Proto.Lost v ->
+    Hashtbl.remove t.gamma v;
+    adjust_clock t
+
+let handlers t =
+  {
+    Engine.on_init = on_init t;
+    on_discover_add = on_discover_add t;
+    on_discover_remove = on_discover_remove t;
+    on_receive = on_receive t;
+    on_timer = on_timer t;
+  }
+
+(* Introspection ------------------------------------------------------ *)
+
+let gamma t = Hashtbl.fold (fun v _ acc -> v :: acc) t.gamma [] |> List.sort compare
+
+let upsilon t = Int_set.elements t.upsilon
+
+let peer_estimate t v =
+  Option.map
+    (fun peer -> Estimate.get peer.estimate ~at:(hardware_clock t))
+    (Hashtbl.find_opt t.gamma v)
+
+let peer_age t v =
+  Option.map (fun peer -> hardware_clock t -. peer.c) (Hashtbl.find_opt t.gamma v)
+
+let peer_tolerance t v = Option.map (t.tolerance ~peer:v) (peer_age t v)
+
+let is_blocked t =
+  let h = hardware_clock t in
+  let l = Estimate.get t.l ~at:h in
+  Estimate.get t.lmax ~at:h > l
+  && Hashtbl.fold
+       (fun v peer acc ->
+         acc
+         || l -. Estimate.get peer.estimate ~at:h > t.tolerance ~peer:v (h -. peer.c))
+       t.gamma false
+
+let discrete_jumps t = t.discrete_jumps
+
+let messages_sent t = t.messages_sent

@@ -1,0 +1,76 @@
+(** The dynamic gradient clock synchronization algorithm (Algorithm 2 of
+    the paper), as the event handlers of one node.
+
+    Each node maintains:
+    - [Υ] (upsilon): peers it believes it has an edge to (discovered adds
+      not yet followed by a discovered remove);
+    - [Γ] (gamma) ⊆ Υ: peers heard from within the last subjective [ΔT'];
+    - a logical clock [L], an estimate [Lmax] of the maximal logical clock
+      in the network, and per-peer estimates [L^v] with the hardware
+      timestamp [C^v] of when [v] last (re-)entered Γ.
+
+    After every event, [AdjustClock] raises [L] as far as possible subject
+    to [L <= Lmax] and, for every [v ∈ Γ],
+    [L - L^v <= B(H - C^v)] where [B] is the per-edge tolerance function
+    ({!Params.b}).
+
+    The [tolerance] parameter generalizes [B]: the flat-gradient baseline
+    passes a constant function. *)
+
+type t
+
+val create :
+  ?tolerance:(peer:int -> float -> float) ->
+  ?timeout:(peer:int -> float) ->
+  Params.t ->
+  Proto.ctx ->
+  t
+(** [tolerance] defaults to [fun ~peer:_ -> Params.b params]; it receives
+    the peer id and the subjective age [H_u - C^v_u] of its Γ-membership.
+    [timeout] is the subjective silence after which a peer leaves Γ,
+    default [fun ~peer:_ -> Params.delta_t' params]. Per-peer values
+    support the heterogeneous-link extension ({!Hetero}), where each link
+    has its own delay bound. *)
+
+val handlers : t -> Proto.handlers
+(** The Algorithm 2 event handlers, to be installed in the engine. *)
+
+(** {1 Introspection (harness side; reads the node's current state)} *)
+
+val id : t -> int
+
+val params_of : t -> Params.t
+
+val logical_clock : t -> float
+(** [L_u] at the engine's current instant. *)
+
+val max_estimate : t -> float
+(** [Lmax_u] at the engine's current instant. *)
+
+val hardware_clock : t -> float
+
+val gamma : t -> int list
+(** Current members of Γ, sorted. *)
+
+val upsilon : t -> int list
+(** Current members of Υ, sorted. *)
+
+val peer_estimate : t -> int -> float option
+(** [L^v_u] if [v ∈ Γ]. *)
+
+val peer_tolerance : t -> int -> float option
+(** Current [B^v_u = B(H_u - C^v_u)] if [v ∈ Γ]. *)
+
+val peer_age : t -> int -> float option
+(** Subjective age [H_u - C^v_u] of [v]'s Γ-membership. *)
+
+val is_blocked : t -> bool
+(** Definition 6.1: [Lmax_u > L_u] and some [v ∈ Γ] has
+    [L_u - L^v_u > B^v_u]. By Property 6.4 the first condition alone is
+    equivalent; we check both and the pair is asserted consistent in
+    tests. *)
+
+val discrete_jumps : t -> int
+(** Number of strictly positive discrete adjustments made so far. *)
+
+val messages_sent : t -> int

@@ -1,0 +1,9 @@
+type message = { l : float; lmax : float }
+
+type timer = Tick | Lost of int
+
+type ctx = (message, timer) Dsim.Engine.ctx
+
+type handlers = (message, timer) Dsim.Engine.handlers
+
+let pp_message fmt m = Format.fprintf fmt "<L=%g, Lmax=%g>" m.l m.lmax

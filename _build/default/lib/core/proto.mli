@@ -1,0 +1,16 @@
+(** Wire protocol shared by the gradient algorithm and the baselines. *)
+
+type message = { l : float; lmax : float }
+(** The update [⟨L_u, Lmax_u⟩] broadcast every subjective [ΔH]
+    (Algorithm 2). *)
+
+type timer =
+  | Tick          (** the periodic broadcast alarm *)
+  | Lost of int   (** [lost(v)]: armed on each receipt from [v], fires
+                      after subjective [ΔT'] of silence *)
+
+type ctx = (message, timer) Dsim.Engine.ctx
+
+type handlers = (message, timer) Dsim.Engine.handlers
+
+val pp_message : Format.formatter -> message -> unit

@@ -1,0 +1,136 @@
+module Engine = Dsim.Engine
+module Hwclock = Dsim.Hwclock
+
+type algo = Gradient | Flat_gradient | Max_only
+
+let algo_to_string = function
+  | Gradient -> "gradient"
+  | Flat_gradient -> "flat-gradient"
+  | Max_only -> "max-only"
+
+type config = {
+  params : Params.t;
+  clocks : Hwclock.t array;
+  delay : Dsim.Delay.t;
+  discovery_lag : float;
+  initial_edges : (int * int) list;
+  algo : algo;
+  trace : Dsim.Trace.t option;
+}
+
+let config ?(algo = Gradient) ?discovery_lag ?trace ~params ~clocks ~delay ~initial_edges
+    () =
+  let discovery_lag =
+    match discovery_lag with
+    | Some lag -> lag
+    | None -> 0.9 *. params.Params.discovery_bound
+  in
+  if Array.length clocks <> params.Params.n then
+    invalid_arg "Sim.config: clocks array length must equal params.n";
+  if discovery_lag < 0. || discovery_lag > params.Params.discovery_bound then
+    invalid_arg "Sim.config: discovery lag must lie in [0, D]";
+  Array.iteri
+    (fun i c ->
+      if not (Hwclock.within_drift ~rho:params.Params.rho c) then
+        invalid_arg (Printf.sprintf "Sim.config: clock %d violates the drift bound" i))
+    clocks;
+  if delay.Dsim.Delay.bound > params.Params.delay_bound then
+    invalid_arg "Sim.config: delay policy bound exceeds params.delay_bound";
+  { params; clocks; delay; discovery_lag; initial_edges; algo; trace }
+
+type impl = Gradient_node of Node.t | Max_node of Baseline_max.t
+
+type t = {
+  cfg : config;
+  engine : (Proto.message, Proto.timer) Engine.t;
+  impls : impl array;
+}
+
+let create cfg =
+  let engine =
+    Engine.create ~clocks:cfg.clocks ~delay:cfg.delay ~discovery_lag:cfg.discovery_lag
+      ~initial_edges:cfg.initial_edges ?trace:cfg.trace ()
+  in
+  let n = cfg.params.Params.n in
+  (* Build node implementations while installing handlers: the ctx only
+     exists inside the install callback. *)
+  let impls = Array.make n None in
+  for i = 0 to n - 1 do
+    Engine.install engine i (fun ctx ->
+        match cfg.algo with
+        | Gradient ->
+          let node = Node.create cfg.params ctx in
+          impls.(i) <- Some (Gradient_node node);
+          Node.handlers node
+        | Flat_gradient ->
+          let node =
+            Node.create
+              ~tolerance:(fun ~peer:_ _ -> cfg.params.Params.b0)
+              cfg.params ctx
+          in
+          impls.(i) <- Some (Gradient_node node);
+          Node.handlers node
+        | Max_only ->
+          let node = Baseline_max.create cfg.params ctx in
+          impls.(i) <- Some (Max_node node);
+          Baseline_max.handlers node)
+  done;
+  let impls =
+    Array.map
+      (function Some impl -> impl | None -> failwith "Sim.create: node not installed")
+      impls
+  in
+  { cfg; engine; impls }
+
+let engine t = t.engine
+
+let params t = t.cfg.params
+
+let run_until t horizon = Engine.run_until t.engine horizon
+
+let now t = Engine.now t.engine
+
+let logical_clock t i =
+  match t.impls.(i) with
+  | Gradient_node node -> Node.logical_clock node
+  | Max_node node -> Baseline_max.logical_clock node
+
+let lmax t i =
+  match t.impls.(i) with
+  | Gradient_node node -> Node.max_estimate node
+  | Max_node node -> Baseline_max.max_estimate node
+
+let view t =
+  {
+    Metrics.n = t.cfg.params.Params.n;
+    clock_of = logical_clock t;
+    lmax_of = lmax t;
+    edges = (fun () -> Dsim.Dyngraph.edges (Engine.graph t.engine));
+  }
+
+let gradient_node t i =
+  match t.impls.(i) with Gradient_node node -> Some node | Max_node _ -> None
+
+let total_messages t =
+  Array.fold_left
+    (fun acc impl ->
+      acc
+      +
+      match impl with
+      | Gradient_node node -> Node.messages_sent node
+      | Max_node node -> Baseline_max.messages_sent node)
+    0 t.impls
+
+let total_jumps t =
+  Array.fold_left
+    (fun acc impl ->
+      acc
+      +
+      match impl with
+      | Gradient_node node -> Node.discrete_jumps node
+      | Max_node node -> Baseline_max.discrete_jumps node)
+    0 t.impls
+
+let add_edge_at t ~at u v = Engine.schedule_edge_add t.engine ~at u v
+
+let remove_edge_at t ~at u v = Engine.schedule_edge_remove t.engine ~at u v

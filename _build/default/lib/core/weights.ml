@@ -1,0 +1,53 @@
+let edge_weight nodes u v =
+  match (Node.peer_tolerance nodes.(u) v, Node.peer_tolerance nodes.(v) u) with
+  | Some a, Some b -> Some (Float.max a b)
+  | Some _, None | None, Some _ | None, None -> None
+
+let weighted_edges nodes edges =
+  List.map
+    (fun (u, v) ->
+      let w =
+        match edge_weight nodes u v with
+        | Some w -> w
+        | None ->
+          (* Not yet (mutually) in Gamma: the edge is as heavy as a
+             newborn one. *)
+          Params.b (Node.params_of nodes.(u)) 0.
+      in
+      ((u, v), w))
+    edges
+
+let distances ~n weighted src =
+  let adj = Array.make n [] in
+  List.iter
+    (fun ((u, v), w) ->
+      adj.(u) <- (v, w) :: adj.(u);
+      adj.(v) <- (u, w) :: adj.(v))
+    weighted;
+  let dist = Array.make n infinity in
+  let visited = Array.make n false in
+  dist.(src) <- 0.;
+  (* Simple O(n^2) Dijkstra: the graphs here are small. *)
+  for _ = 1 to n do
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not visited.(i)) && (!best = -1 || dist.(i) < dist.(!best)) then best := i
+    done;
+    let u = !best in
+    if u >= 0 && dist.(u) < infinity then begin
+      visited.(u) <- true;
+      List.iter
+        (fun (v, w) -> if dist.(u) +. w < dist.(v) then dist.(v) <- dist.(u) +. w)
+        adj.(u)
+    end
+  done;
+  dist
+
+let effective_diameter ~n weighted =
+  let worst = ref 0. in
+  for src = 0 to n - 1 do
+    Array.iter (fun d -> if d > !worst then worst := d) (distances ~n weighted src)
+  done;
+  !worst
+
+let hop_diameter_weight params hops = params.Params.b0 *. float_of_int hops

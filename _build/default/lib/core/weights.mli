@@ -1,0 +1,34 @@
+(** The weighted-graph view of Section 7.
+
+    The paper closes by reinterpreting the tolerance function as a dynamic
+    edge weight: "each edge carries a weight, which starts out very large
+    when the edge first appears and decreases over time. We use the
+    dynamic weights to gradually decrease the effective diameter of the
+    graph." This module materializes that view from live node states: the
+    weight of edge {u, v} is the larger of the two endpoints' current
+    tolerances [B^v_u], i.e. the skew both sides are currently willing to
+    tolerate, and the {e effective diameter} is the weighted diameter
+    under those weights. A freshly inserted shortcut starts heavy
+    (weight ≈ B(0) > 5 G(n)) and anneals to [B0], shrinking the effective
+    diameter continuously instead of abruptly. *)
+
+val edge_weight : Node.t array -> int -> int -> float option
+(** Current weight of edge {u, v}: [max(B^v_u, B^u_v)] if each endpoint
+    has the other in Γ. *)
+
+val weighted_edges :
+  Node.t array -> (int * int) list -> ((int * int) * float) list
+(** Weights for the given edges; edges not yet in both Γ sets get the
+    birth weight [B(0)] of the first node's tolerance — conservative, as
+    the algorithm itself would. *)
+
+val distances : n:int -> ((int * int) * float) list -> int -> float array
+(** Dijkstra over weighted edges; [infinity] when unreachable. *)
+
+val effective_diameter : n:int -> ((int * int) * float) list -> float
+(** Max over sources of the max finite weighted distance; [infinity] if
+    the graph is disconnected. *)
+
+val hop_diameter_weight : Params.t -> int -> float
+(** [B0 * hops]: the weight a fully annealed path of the given hop count
+    converges to — the natural yardstick for {!effective_diameter}. *)

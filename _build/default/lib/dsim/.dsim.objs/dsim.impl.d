@@ -1,0 +1,1 @@
+lib/dsim/dsim.ml: Delay Dyngraph Engine Hwclock Pqueue Prng Trace

@@ -1,0 +1,1 @@
+lib/dsim/delay.ml: Float Prng

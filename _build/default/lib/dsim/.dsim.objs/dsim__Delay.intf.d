@@ -1,0 +1,1 @@
+lib/dsim/delay.mli: Prng

@@ -1,0 +1,1 @@
+lib/dsim/dyngraph.ml: Array Fun Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Delay Dyngraph Float Hashtbl Hwclock List Pqueue Printf Trace

@@ -1,0 +1,1 @@
+lib/dsim/hwclock.ml: Array Float List Prng

@@ -1,0 +1,1 @@
+lib/dsim/hwclock.mli: Prng

@@ -1,0 +1,1 @@
+lib/dsim/prng.ml: Array Int64

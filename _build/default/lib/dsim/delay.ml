@@ -1,0 +1,53 @@
+type t = {
+  bound : float;
+  draw : src:int -> dst:int -> now:float -> float;
+  drop : src:int -> dst:int -> now:float -> bool;
+}
+
+let never_drop ~src:_ ~dst:_ ~now:_ = false
+
+let check_bound bound =
+  if bound < 0. || not (Float.is_finite bound) then
+    invalid_arg "Delay: bound must be finite and non-negative"
+
+let constant ~bound d =
+  check_bound bound;
+  if d < 0. || d > bound then invalid_arg "Delay.constant: delay out of range";
+  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> d); drop = never_drop }
+
+let zero ~bound = constant ~bound 0.
+
+let maximal ~bound = constant ~bound bound
+
+let uniform prng ~bound =
+  check_bound bound;
+  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float prng bound); drop = never_drop }
+
+let uniform_in prng ~bound ~lo ~hi =
+  check_bound bound;
+  if lo < 0. || hi > bound || lo > hi then
+    invalid_arg "Delay.uniform_in: range out of bounds";
+  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float_in prng lo hi); drop = never_drop }
+
+let directed ~bound f =
+  check_bound bound;
+  { bound; draw = f; drop = never_drop }
+
+let per_edge ~bound ~default f =
+  check_bound bound;
+  let draw ~src ~dst ~now =
+    let key = if src < dst then (src, dst) else (dst, src) in
+    match f key with
+    | Some d -> d
+    | None -> default.draw ~src ~dst ~now
+  in
+  { bound; draw; drop = default.drop }
+
+let lossy prng ~rate inner =
+  if rate < 0. || rate >= 1. then invalid_arg "Delay.lossy: rate must be in [0, 1)";
+  {
+    inner with
+    drop =
+      (fun ~src ~dst ~now ->
+        inner.drop ~src ~dst ~now || Prng.float prng 1. < rate);
+  }

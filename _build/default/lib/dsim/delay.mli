@@ -1,0 +1,49 @@
+(** Message delay policies.
+
+    The network model (Section 3.2) guarantees delivery within [T] real
+    time on a surviving edge but leaves the specific delay to an adversary.
+    A policy chooses the delay of each message at send time; the engine
+    additionally enforces FIFO order per directed link. *)
+
+type t = {
+  bound : float;
+  (** The model's [T]: no drawn delay may exceed it. *)
+  draw : src:int -> dst:int -> now:float -> float;
+  (** Delay for a message sent from [src] to [dst] at real time [now].
+      Must lie in [\[0, bound\]]. *)
+  drop : src:int -> dst:int -> now:float -> bool;
+  (** Silent per-message loss. The paper's model assumes reliable links
+      ([drop] is constantly [false] for every constructor here); {!lossy}
+      wraps a policy to study robustness when that assumption breaks.
+      Unlike an edge removal, a silent drop triggers no discovery — the
+      receiver only notices through the [lost(v)] timeout. *)
+}
+
+val constant : bound:float -> float -> t
+(** Every message takes exactly the given delay. *)
+
+val zero : bound:float -> t
+(** Instantaneous delivery (still ordered after the sending event). *)
+
+val maximal : bound:float -> t
+(** Every message takes the full [bound] — the classic worst case. *)
+
+val uniform : Prng.t -> bound:float -> t
+(** Delay uniform in [\[0, bound\]]. *)
+
+val uniform_in : Prng.t -> bound:float -> lo:float -> hi:float -> t
+(** Delay uniform in [\[lo, hi\]] with [0 <= lo <= hi <= bound]. *)
+
+val directed : bound:float -> (src:int -> dst:int -> now:float -> float) -> t
+(** Fully custom policy; used by the lower-bound adversary. Drawn values
+    are clamped to [\[0, bound\]] by the engine. *)
+
+val per_edge : bound:float -> default:t -> ((int * int) -> float option) -> t
+(** [per_edge ~bound ~default f] uses the fixed delay [f (u, v)] on edges
+    where it is defined ([(u, v)] normalized with [u < v]) and [default]
+    elsewhere. This realizes a delay mask (Definition 4.1). *)
+
+val lossy : Prng.t -> rate:float -> t -> t
+(** [lossy prng ~rate policy] drops each message independently with the
+    given probability (in [\[0, 1)]) and otherwise behaves like [policy].
+    Deliberately outside the paper's model — see experiment A6. *)

@@ -1,0 +1,29 @@
+(** Discrete-event simulation substrate for dynamic networks with
+    drifting hardware clocks (the model of Section 3.2 of the paper).
+
+    Everything here is algorithm-agnostic: {!Engine} drives arbitrary
+    node automata that only see their own hardware clock, message
+    receipt, discovery events and subjective-time timers. *)
+
+module Prng = Prng
+(** Deterministic splittable PRNG (splitmix64). *)
+
+module Pqueue = Pqueue
+(** Timestamped event queue (binary heap, FIFO at equal times). *)
+
+module Hwclock = Hwclock
+(** Piecewise-linear drifting hardware clocks with exact inverses. *)
+
+module Delay = Delay
+(** Message delay policies in [\[0, T\]], including adversarial and
+    (optionally) lossy ones. *)
+
+module Dyngraph = Dyngraph
+(** The dynamic edge set with per-edge change epochs. *)
+
+module Trace = Trace
+(** Execution event counters and optional structured logs. *)
+
+module Engine = Engine
+(** The simulator core: topology changes, discovery, FIFO delivery,
+    subjective timers, probes. *)

@@ -1,0 +1,251 @@
+type ('msg, 'timer) event =
+  | Edge_add of int * int
+  | Edge_remove of int * int
+  | Discover of { node : int; peer : int; epoch : int; add : bool }
+  | Absence of { node : int; peer : int }
+      (* Pending notification that a send failed because the edge is absent. *)
+  | Deliver of { src : int; dst : int; epoch : int; msg : 'msg }
+  | Timer of { node : int; timer : 'timer; gen : int }
+  | Callback of (unit -> unit)
+
+type ('msg, 'timer) t = {
+  n : int;
+  clocks : Hwclock.t array;
+  delay : Delay.t;
+  discovery_lag : float;
+  graph : Dyngraph.t;
+  queue : ('msg, 'timer) event Pqueue.t;
+  trace : Trace.t;
+  handlers : ('msg, 'timer) handlers option array;
+  timers : ('timer, int) Hashtbl.t array; (* label -> live generation *)
+  absence_pending : (int, unit) Hashtbl.t array; (* node -> peers with a pending absence notice *)
+  fifo_last : (int * int, float) Hashtbl.t; (* directed edge -> last delivery time *)
+  mutable next_gen : int;
+  mutable now : float;
+  mutable started : bool;
+  mutable events_processed : int;
+}
+
+and ('msg, 'timer) handlers = {
+  on_init : unit -> unit;
+  on_discover_add : int -> unit;
+  on_discover_remove : int -> unit;
+  on_receive : int -> 'msg -> unit;
+  on_timer : 'timer -> unit;
+}
+
+type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int }
+
+let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace () =
+  let n = Array.length clocks in
+  if n = 0 then invalid_arg "Engine.create: no nodes";
+  if discovery_lag < 0. then invalid_arg "Engine.create: negative discovery lag";
+  let t =
+    {
+      n;
+      clocks;
+      delay;
+      discovery_lag;
+      graph = Dyngraph.create ~n;
+      queue = Pqueue.create ();
+      trace = (match trace with Some tr -> tr | None -> Trace.create ());
+      handlers = Array.make n None;
+      timers = Array.init n (fun _ -> Hashtbl.create 8);
+      absence_pending = Array.init n (fun _ -> Hashtbl.create 4);
+      fifo_last = Hashtbl.create 64;
+      next_gen = 0;
+      now = 0.;
+      started = false;
+      events_processed = 0;
+    }
+  in
+  List.iter
+    (fun (u, v) ->
+      if Dyngraph.add_edge t.graph ~now:0. u v then begin
+        let epoch = Dyngraph.epoch t.graph u v in
+        (* Initial topology is known immediately. *)
+        Pqueue.push t.queue ~time:0. (Discover { node = u; peer = v; epoch; add = true });
+        Pqueue.push t.queue ~time:0. (Discover { node = v; peer = u; epoch; add = true })
+      end)
+    initial_edges;
+  t
+
+let install t i build =
+  if i < 0 || i >= t.n then invalid_arg "Engine.install: node out of range";
+  if t.started then invalid_arg "Engine.install: engine already started";
+  let ctx = { engine = t; id = i } in
+  t.handlers.(i) <- Some (build ctx)
+
+let handlers_of t i =
+  match t.handlers.(i) with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Engine: node %d has no handlers installed" i)
+
+(* Node-side API ----------------------------------------------------- *)
+
+let node_id ctx = ctx.id
+
+let node_count ctx = ctx.engine.n
+
+let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) ctx.engine.now
+
+let send ctx ~dst msg =
+  let t = ctx.engine in
+  let src = ctx.id in
+  if dst < 0 || dst >= t.n || dst = src then invalid_arg "Engine.send: bad destination";
+  Trace.record t.trace ~time:t.now Send (Printf.sprintf "%d->%d" src dst);
+  if Dyngraph.has_edge t.graph src dst then begin
+    if t.delay.Delay.drop ~src ~dst ~now:t.now then
+      (* Silent loss (outside the paper's reliable-link model): no
+         delivery and no discovery; only the receiver's lost-timer will
+         notice the silence. *)
+      Trace.record t.trace ~time:t.now Drop_lossy (Printf.sprintf "%d->%d" src dst)
+    else begin
+    let epoch = Dyngraph.epoch t.graph src dst in
+    let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
+    let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
+    let deliver_at = t.now +. d in
+    (* FIFO per directed link: never deliver before an earlier message. *)
+    let deliver_at =
+      match Hashtbl.find_opt t.fifo_last (src, dst) with
+      | Some last -> Float.max deliver_at last
+      | None -> deliver_at
+    in
+    Hashtbl.replace t.fifo_last (src, dst) deliver_at;
+    Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg })
+    end
+  end
+  else begin
+    Trace.record t.trace ~time:t.now Drop_no_edge (Printf.sprintf "%d->%d" src dst);
+    (* The model: the sender discovers the absence within D. Coalesce
+       multiple failed sends into a single pending notification. *)
+    if not (Hashtbl.mem t.absence_pending.(src) dst) then begin
+      Hashtbl.replace t.absence_pending.(src) dst ();
+      Pqueue.push t.queue ~time:(t.now +. t.discovery_lag)
+        (Absence { node = src; peer = dst })
+    end
+  end
+
+let set_timer ctx ~after timer =
+  let t = ctx.engine in
+  if after < 0. then invalid_arg "Engine.set_timer: negative delay";
+  let clock = t.clocks.(ctx.id) in
+  let deadline = Hwclock.inverse clock (Hwclock.value clock t.now +. after) in
+  let gen = t.next_gen in
+  t.next_gen <- gen + 1;
+  Hashtbl.replace t.timers.(ctx.id) timer gen;
+  Pqueue.push t.queue ~time:deadline (Timer { node = ctx.id; timer; gen })
+
+let cancel_timer ctx timer = Hashtbl.remove ctx.engine.timers.(ctx.id) timer
+
+(* Harness-side API --------------------------------------------------- *)
+
+let now t = t.now
+
+let graph t = t.graph
+
+let clock t i = t.clocks.(i)
+
+let check_future t at =
+  if at < t.now then invalid_arg "Engine: cannot schedule in the past"
+
+let schedule_edge_add t ~at u v =
+  check_future t at;
+  Pqueue.push t.queue ~time:at (Edge_add (u, v))
+
+let schedule_edge_remove t ~at u v =
+  check_future t at;
+  Pqueue.push t.queue ~time:at (Edge_remove (u, v))
+
+let at t ~time f =
+  check_future t time;
+  Pqueue.push t.queue ~time (Callback f)
+
+let events_processed t = t.events_processed
+
+let pending_events t = Pqueue.size t.queue
+
+(* Event dispatch ----------------------------------------------------- *)
+
+let schedule_discovery t u v ~epoch ~add =
+  let time = t.now +. t.discovery_lag in
+  Pqueue.push t.queue ~time (Discover { node = u; peer = v; epoch; add });
+  Pqueue.push t.queue ~time (Discover { node = v; peer = u; epoch; add })
+
+let dispatch t event =
+  match event with
+  | Edge_add (u, v) ->
+    if Dyngraph.add_edge t.graph ~now:t.now u v then begin
+      Trace.record t.trace ~time:t.now Edge_add (Printf.sprintf "{%d,%d}" u v);
+      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:true
+    end
+  | Edge_remove (u, v) ->
+    if Dyngraph.remove_edge t.graph ~now:t.now u v then begin
+      Trace.record t.trace ~time:t.now Edge_remove (Printf.sprintf "{%d,%d}" u v);
+      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
+    end
+  | Discover { node; peer; epoch; add } ->
+    (* Deliver only if this is still the edge's latest change: a change
+       reversed within the lag is superseded by its reversal's own
+       discovery (transient changes need not be reported). *)
+    if Dyngraph.epoch t.graph node peer = epoch then begin
+      if add then begin
+        Trace.record t.trace ~time:t.now Discover_add (Printf.sprintf "%d:{%d,%d}" node node peer);
+        (handlers_of t node).on_discover_add peer
+      end
+      else begin
+        Trace.record t.trace ~time:t.now Discover_remove
+          (Printf.sprintf "%d:{%d,%d}" node node peer);
+        (handlers_of t node).on_discover_remove peer
+      end
+    end
+    else Trace.record t.trace ~time:t.now Discover_stale (Printf.sprintf "%d:{%d,%d}" node node peer)
+  | Absence { node; peer } ->
+    Hashtbl.remove t.absence_pending.(node) peer;
+    if not (Dyngraph.has_edge t.graph node peer) then begin
+      Trace.record t.trace ~time:t.now Discover_remove (Printf.sprintf "%d:{%d,%d}" node node peer);
+      (handlers_of t node).on_discover_remove peer
+    end
+    else Trace.record t.trace ~time:t.now Discover_stale (Printf.sprintf "%d:{%d,%d}" node node peer)
+  | Deliver { src; dst; epoch; msg } ->
+    if Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch then begin
+      Trace.record t.trace ~time:t.now Deliver (Printf.sprintf "%d->%d" src dst);
+      (handlers_of t dst).on_receive src msg
+    end
+    else
+      Trace.record t.trace ~time:t.now Drop_in_flight (Printf.sprintf "%d->%d" src dst)
+  | Timer { node; timer; gen } -> (
+    match Hashtbl.find_opt t.timers.(node) timer with
+    | Some live when live = gen ->
+      Hashtbl.remove t.timers.(node) timer;
+      Trace.record t.trace ~time:t.now Timer_fire (string_of_int node);
+      (handlers_of t node).on_timer timer
+    | Some _ | None -> Trace.record t.trace ~time:t.now Timer_stale (string_of_int node))
+  | Callback f -> f ()
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    for i = 0 to t.n - 1 do
+      (handlers_of t i).on_init ()
+    done
+  end
+
+let run_until t horizon =
+  if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
+  start t;
+  let rec loop () =
+    match Pqueue.peek_time t.queue with
+    | Some time when time <= horizon ->
+      (match Pqueue.pop t.queue with
+      | Some (time, event) ->
+        assert (time >= t.now);
+        t.now <- time;
+        t.events_processed <- t.events_processed + 1;
+        dispatch t event
+      | None -> ());
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- horizon

@@ -1,0 +1,107 @@
+(** Discrete-event simulator for dynamic networks of drifting-clock nodes.
+
+    The engine realizes the model of Section 3.2 of the paper:
+
+    - a static node set [0 .. n-1], each with a hardware clock that is an
+      arbitrary piecewise-linear function within the drift bound;
+    - an undirected dynamic edge set changed by scheduled add/remove
+      events;
+    - discovery: endpoints learn of a persistent change [discovery_lag]
+      after it happens; changes reversed within the lag are suppressed
+      (transient changes "may or may not" be detected);
+    - reliable FIFO links: a message sent on a present edge is delivered
+      after a policy-chosen delay in [\[0, T\]], unless the edge changes
+      while the message is in flight, in which case it is dropped (and the
+      removal is discovered within the lag);
+    - subjective-time timers: nodes set alarms measured on their own
+      hardware clocks; the engine fires them at the exact real time using
+      the clock inverse.
+
+    Node algorithms see the network only through {!ctx}: their hardware
+    clock, message sends, and timers. Real time is not exposed to node
+    code. The engine is generic in the message type ['msg] and the timer
+    label type ['timer] (labels are compared with structural equality, so
+    use simple variant types). *)
+
+type ('msg, 'timer) t
+
+type ('msg, 'timer) ctx
+(** Node-side capability handle. *)
+
+type ('msg, 'timer) handlers = {
+  on_init : unit -> unit;
+      (** Called once at time 0, before any event is processed. *)
+  on_discover_add : int -> unit;
+      (** [on_discover_add v]: a [discover(add({u, v}))] event (the peer's
+          id is [v]). *)
+  on_discover_remove : int -> unit;
+  on_receive : int -> 'msg -> unit;
+      (** [on_receive src msg]. *)
+  on_timer : 'timer -> unit;
+}
+
+(** {1 Construction} *)
+
+val create :
+  clocks:Hwclock.t array ->
+  delay:Delay.t ->
+  ?discovery_lag:float ->
+  ?initial_edges:(int * int) list ->
+  ?trace:Trace.t ->
+  unit ->
+  ('msg, 'timer) t
+(** [create ~clocks ~delay ()] builds an engine over
+    [Array.length clocks] nodes. [discovery_lag] (default [0.]) is the
+    fixed time between a topology change and its discovery by the
+    endpoints; the paper's [D] is an upper bound on it. [initial_edges]
+    exist from time 0 and are discovered at time [0.]. *)
+
+val install : ('msg, 'timer) t -> int -> (('msg, 'timer) ctx -> ('msg, 'timer) handlers) -> unit
+(** Install node [i]'s algorithm. Must be called for every node before
+    running. The builder receives the node's {!ctx}. *)
+
+(** {1 Node-side API (used from handlers)} *)
+
+val node_id : ('msg, 'timer) ctx -> int
+
+val node_count : ('msg, 'timer) ctx -> int
+
+val hardware_clock : ('msg, 'timer) ctx -> float
+(** The node's hardware clock value at the current instant. *)
+
+val send : ('msg, 'timer) ctx -> dst:int -> 'msg -> unit
+(** Send a message. If the edge to [dst] is currently absent the message
+    is dropped and the absence will be (re-)discovered within the lag. *)
+
+val set_timer : ('msg, 'timer) ctx -> after:float -> 'timer -> unit
+(** Arm (or re-arm) the timer labelled by the given value to fire after
+    [after] subjective time units. A previously pending timer with an
+    equal label is superseded. *)
+
+val cancel_timer : ('msg, 'timer) ctx -> 'timer -> unit
+
+(** {1 Environment control (harness side)} *)
+
+val now : ('msg, 'timer) t -> float
+
+val graph : ('msg, 'timer) t -> Dyngraph.t
+(** Live view of the dynamic edge set. Treat as read-only; use the
+    scheduling functions to change topology. *)
+
+val clock : ('msg, 'timer) t -> int -> Hwclock.t
+
+val schedule_edge_add : ('msg, 'timer) t -> at:float -> int -> int -> unit
+
+val schedule_edge_remove : ('msg, 'timer) t -> at:float -> int -> int -> unit
+
+val at : ('msg, 'timer) t -> time:float -> (unit -> unit) -> unit
+(** Run a callback (e.g. a metrics probe) at the given time. *)
+
+val run_until : ('msg, 'timer) t -> float -> unit
+(** Process all events with timestamp [<= horizon], then advance the
+    current time to [horizon]. May be called repeatedly with increasing
+    horizons. *)
+
+val events_processed : ('msg, 'timer) t -> int
+
+val pending_events : ('msg, 'timer) t -> int

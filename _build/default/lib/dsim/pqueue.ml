@@ -1,0 +1,80 @@
+type 'a cell = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable cells : 'a cell array; (* heap in [0, size) *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  { cells = [||]; size = 0; next_seq = 0 }
+  |> fun q ->
+  ignore capacity;
+  q
+
+let is_empty q = q.size = 0
+
+let size q = q.size
+
+let clear q =
+  q.cells <- [||];
+  q.size <- 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q cell =
+  let n = Array.length q.cells in
+  let cap = if n = 0 then 64 else 2 * n in
+  let cells = Array.make cap cell in
+  Array.blit q.cells 0 cells 0 q.size;
+  q.cells <- cells
+
+let push q ~time payload =
+  if not (Float.is_finite time) then invalid_arg "Pqueue.push: non-finite time";
+  let cell = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size >= Array.length q.cells then grow q cell;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.cells.(!i) <- cell;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before cell q.cells.(parent) then begin
+      q.cells.(!i) <- q.cells.(parent);
+      q.cells.(parent) <- cell;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.cells.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      let last = q.cells.(q.size) in
+      q.cells.(0) <- last;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.cells.(l) q.cells.(!smallest) then smallest := l;
+        if r < q.size && before q.cells.(r) q.cells.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.cells.(!i) in
+          q.cells.(!i) <- q.cells.(!smallest);
+          q.cells.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.cells.(0).time

@@ -1,0 +1,24 @@
+(** Priority queue of timestamped events.
+
+    A binary heap ordered by [(time, sequence)]: events at equal times pop
+    in insertion order, which gives the simulator a deterministic total
+    order and preserves FIFO delivery for zero-delay messages. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at [time]. [time] must be finite. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, if any. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  (* A distinct finalization of the drawn seed keeps the child stream away
+     from the parent's trajectory. *)
+  create (mix (Int64.logxor seed 0xD1B54A32D192ED03L))
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling for exact uniformity on small bounds. *)
+    let mask = (1 lsl 30) - 1 in
+    let limit = mask / bound * bound in
+    let rec draw () =
+      let v = bits30 g land mask in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+  else
+    (* Large bounds: 62 random bits, modulo bias is negligible. *)
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    v mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 uniform bits in [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int bits *. 0x1p-53
+
+let float g bound =
+  if not (bound >= 0.) then invalid_arg "Prng.float: bound must be >= 0";
+  unit_float g *. bound
+
+let float_in g lo hi =
+  if hi < lo then invalid_arg "Prng.float_in: hi < lo";
+  lo +. (unit_float g *. (hi -. lo))
+
+let bool g = Int64.compare (next_int64 g) 0L < 0
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,82 @@
+type kind =
+  | Send
+  | Deliver
+  | Drop_no_edge
+  | Drop_in_flight
+  | Drop_lossy
+  | Edge_add
+  | Edge_remove
+  | Discover_add
+  | Discover_remove
+  | Discover_stale
+  | Timer_fire
+  | Timer_stale
+
+let kind_index = function
+  | Send -> 0
+  | Deliver -> 1
+  | Drop_no_edge -> 2
+  | Drop_in_flight -> 3
+  | Drop_lossy -> 4
+  | Edge_add -> 5
+  | Edge_remove -> 6
+  | Discover_add -> 7
+  | Discover_remove -> 8
+  | Discover_stale -> 9
+  | Timer_fire -> 10
+  | Timer_stale -> 11
+
+let kind_count = 12
+
+let kind_to_string = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop_no_edge -> "drop-no-edge"
+  | Drop_in_flight -> "drop-in-flight"
+  | Drop_lossy -> "drop-lossy"
+  | Edge_add -> "edge-add"
+  | Edge_remove -> "edge-remove"
+  | Discover_add -> "discover-add"
+  | Discover_remove -> "discover-remove"
+  | Discover_stale -> "discover-stale"
+  | Timer_fire -> "timer-fire"
+  | Timer_stale -> "timer-stale"
+
+let all_kinds =
+  [ Send; Deliver; Drop_no_edge; Drop_in_flight; Drop_lossy; Edge_add; Edge_remove;
+    Discover_add; Discover_remove; Discover_stale; Timer_fire; Timer_stale ]
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t = {
+  counters : int array;
+  log_limit : int;
+  mutable log : entry list; (* newest first *)
+  mutable log_size : int;
+}
+
+let create ?(log_limit = 0) () =
+  { counters = Array.make kind_count 0; log_limit; log = []; log_size = 0 }
+
+let record t ~time kind detail =
+  let i = kind_index kind in
+  t.counters.(i) <- t.counters.(i) + 1;
+  if t.log_limit > 0 && t.log_size < t.log_limit then begin
+    t.log <- { time; kind; detail } :: t.log;
+    t.log_size <- t.log_size + 1
+  end
+
+let count t kind = t.counters.(kind_index kind)
+
+let total t = Array.fold_left ( + ) 0 t.counters
+
+let entries t = List.rev t.log
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun k ->
+      let c = count t k in
+      if c > 0 then Format.fprintf fmt "%-18s %d@," (kind_to_string k) c)
+    all_kinds;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Lightweight execution tracing: event counters plus an optional bounded
+    log of structured records for debugging and assertions in tests. *)
+
+type kind =
+  | Send
+  | Deliver
+  | Drop_no_edge     (** send attempted on an absent edge *)
+  | Drop_in_flight   (** message lost because the edge changed in flight *)
+  | Drop_lossy       (** silent loss injected by a lossy delay policy *)
+  | Edge_add
+  | Edge_remove
+  | Discover_add
+  | Discover_remove
+  | Discover_stale   (** discovery suppressed: the change was superseded *)
+  | Timer_fire
+  | Timer_stale      (** cancelled or superseded timer *)
+
+val kind_to_string : kind -> string
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t
+
+val create : ?log_limit:int -> unit -> t
+(** [log_limit] bounds the number of retained entries (default 0: counters
+    only). *)
+
+val record : t -> time:float -> kind -> string -> unit
+
+val count : t -> kind -> int
+
+val total : t -> int
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/a1_message_cost.ml: Analysis Common Dsim Float Gcs List Printf Topology

@@ -1,0 +1,1 @@
+lib/experiments/a2_discovery.ml: Analysis Common Gcs List Lowerbound Option Printf Topology

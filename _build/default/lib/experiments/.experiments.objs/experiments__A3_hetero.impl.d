@@ -1,0 +1,1 @@
+lib/experiments/a3_hetero.ml: Analysis Common Dsim Gcs List Printf Topology

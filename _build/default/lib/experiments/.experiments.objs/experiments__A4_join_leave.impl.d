@@ -1,0 +1,1 @@
+lib/experiments/a4_join_leave.ml: Analysis Array Common Dsim Float Fun Gcs List Printf Topology

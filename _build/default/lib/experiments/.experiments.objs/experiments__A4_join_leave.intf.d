@@ -1,0 +1,1 @@
+lib/experiments/a4_join_leave.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/a5_weights.ml: Analysis Array Common Dsim Float Gcs List Option Printf Topology

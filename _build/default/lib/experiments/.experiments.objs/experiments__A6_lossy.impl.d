@@ -1,0 +1,1 @@
+lib/experiments/a6_lossy.ml: Analysis Common Dsim Float Gcs List Printf Stdlib Topology

@@ -1,0 +1,1 @@
+lib/experiments/a6_lossy.mli: Common

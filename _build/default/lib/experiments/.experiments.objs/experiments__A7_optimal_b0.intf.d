@@ -1,0 +1,1 @@
+lib/experiments/a7_optimal_b0.mli: Common

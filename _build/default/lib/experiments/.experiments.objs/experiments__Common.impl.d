@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Analysis Format Gcs List Topology

@@ -1,0 +1,1 @@
+lib/experiments/e1_global_skew.ml: Analysis Common Dsim Float Gcs List Printf Topology

@@ -1,0 +1,1 @@
+lib/experiments/e2_envelope.ml: Analysis Common Float Gcs List Lowerbound Printf Topology

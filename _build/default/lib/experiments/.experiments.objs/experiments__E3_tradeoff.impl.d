@@ -1,0 +1,1 @@
+lib/experiments/e3_tradeoff.ml: Analysis Common Float Gcs List Lowerbound Option Printf String Topology

@@ -1,0 +1,1 @@
+lib/experiments/e4_lowerbound.ml: Analysis Array Common Float Gcs List Lowerbound Option Printf Stdlib Topology

@@ -1,0 +1,1 @@
+lib/experiments/e5_stable_skew.mli: Common

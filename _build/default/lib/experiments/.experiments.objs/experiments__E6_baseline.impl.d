@@ -1,0 +1,1 @@
+lib/experiments/e6_baseline.ml: Analysis Common Float Gcs List Lowerbound Printf Topology

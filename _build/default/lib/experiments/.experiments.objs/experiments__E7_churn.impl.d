@@ -1,0 +1,1 @@
+lib/experiments/e7_churn.ml: Analysis Common Dsim Float Gcs List Printf Topology

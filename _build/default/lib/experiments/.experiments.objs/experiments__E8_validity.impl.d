@@ -1,0 +1,1 @@
+lib/experiments/e8_validity.ml: Analysis Common Dsim Gcs List Printf Topology

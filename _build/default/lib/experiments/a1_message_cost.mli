@@ -1,0 +1,9 @@
+(** A1 (ablation) — the message-rate / skew trade-off in ΔH.
+
+    Algorithm 2 broadcasts every subjective ΔH. Smaller ΔH means fresher
+    neighbour estimates — staleness enters every bound through
+    [ΔT = T + ΔH/(1-rho)] — at proportionally higher message cost. The
+    sweep measures messages per node per time unit and the steady skews on
+    a fixed adversarial workload. *)
+
+val run : quick:bool -> Common.result

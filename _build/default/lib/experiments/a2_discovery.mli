@@ -1,0 +1,9 @@
+(** A2 (ablation) — the discovery lag D.
+
+    Nodes learn of topology changes up to [D] late (Section 3.2), and [D]
+    enters the bounds through [τ] and through the real-time offset
+    [ΔT + D + W] of the envelope. Sweeping the actual lag (0 .. D) on the
+    new-edge scenario shows absorption shifting later by roughly the lag
+    while the envelope — parameterized by the worst case — always holds. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,17 @@
+(** A3 (extension) — heterogeneous link delay bounds (Section 7 /
+    reference [9]).
+
+    A path alternates tight links ([T_e = T/10]) with loose links
+    ([T_e = T]); adjacent nodes drift in opposite phase. With the
+    per-link algorithm ({!Gcs.Hetero}) each link gets a tolerance and
+    timeout scaled to its own uncertainty [τ_e]:
+
+    - measured steady skew on tight links is a fraction of that on loose
+      links (skew tracks uncertainty, not hop count);
+    - tight links honor their {e refined} stable bound
+      [B0_e = B0 τ_e/τ « B0], a promise the uniform algorithm cannot
+      make;
+    - the uniform-tolerance run on the identical workload shows the same
+      physics but only the loose [B0] promise. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,16 @@
+(** A4 (extension) — node joins and leaves (Section 7's open question).
+
+    The model keeps the node set fixed; we realize joins as nodes that
+    spend a long prefix isolated (no edges — permitted by the model, since
+    interval connectivity is only needed for the bounds to hold) and then
+    acquire links, and leaves as all-edge removals. An isolated node's
+    logical clock legitimately drifts up to [rho·t] from the connected
+    component, so a late joiner is exactly a "new edge with Θ(rho t)
+    initial skew" event:
+
+    - edges among long-connected members keep the stable bound throughout;
+    - each join edge stays within the dynamic envelope for its age and
+      reaches the stable bound;
+    - leaves are absorbed silently (the lost-timer path). *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,12 @@
+(** A5 (extension) — the weighted-graph view: the effective diameter
+    anneals (Section 7).
+
+    After a shortcut edge appears across a path, the hop diameter halves
+    instantly, but the algorithm cannot exploit the shortcut immediately:
+    its weight (the mutual tolerance [B^v_u]) starts above [5 G(n)] and
+    decays to [B0]. Sampling the weighted (effective) diameter over time
+    shows a continuous shrink from the old-path value toward
+    [B0 x cycle-diameter] — the paper's closing intuition made
+    measurable. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,16 @@
+(** A6 (robustness) — breaking the reliable-link assumption.
+
+    The model (Section 3.2) assumes reliable FIFO delivery; the algorithm
+    additionally self-protects against silence with the [lost(v)] timeout.
+    Injecting independent silent message loss (which the model forbids)
+    probes how much of the algorithm's behaviour depends on reliability:
+
+    - validity (monotone, rate >= 1/2, L <= Lmax) is unconditional and
+      must survive any loss rate;
+    - skews degrade gracefully with moderate loss (every lost update is
+      recovered by the next periodic broadcast ΔH later);
+    - heavy loss churns Γ through spurious [lost(v)] expirations, which is
+      observable but still safe (a node with empty Γ free-runs toward
+      Lmax; it never violates validity). *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,124 @@
+module Table = Analysis.Table
+module Params = Gcs.Params
+
+(* Stable-skew bound as a function of b0 at a given parameter point. *)
+let stable_bound ~n ~rho b0 =
+  let p = Params.make ~rho ~b0 ~n () in
+  Params.stable_local_skew p
+
+let grid_minimizer ~n ~rho =
+  let base = Params.make ~rho ~n () in
+  let lo = 1.0001 *. Params.min_b0 base in
+  let hi = 100. *. lo in
+  let steps = 4000 in
+  let best = ref (lo, stable_bound ~n ~rho lo) in
+  for i = 1 to steps do
+    (* geometric grid *)
+    let b0 = lo *. ((hi /. lo) ** (float_of_int i /. float_of_int steps)) in
+    let s = stable_bound ~n ~rho b0 in
+    if s < snd !best then best := (b0, s)
+  done;
+  !best
+
+let analytic_minimizer ~n ~rho =
+  let base = Params.make ~rho ~n () in
+  let unconstrained =
+    sqrt (8. *. rho *. Params.global_skew_bound base *. Params.tau base)
+  in
+  Float.max unconstrained (1.0001 *. Params.min_b0 base)
+
+let loglog_slope points =
+  fst (Analysis.Stats.linear_fit (List.map (fun (x, y) -> (log x, log y)) points))
+
+let run ~quick =
+  let rho0 = 0.05 in
+  let ns = if quick then [ 64; 128; 256; 512 ] else [ 64; 128; 256; 512; 1024; 2048 ] in
+  let table_n =
+    Table.create
+      ~title:(Printf.sprintf "Optimal B0 vs n (rho=%.2f): B0* = sqrt(8 rho G tau)" rho0)
+      ~columns:[ "n"; "B0* (grid)"; "B0* (analytic)"; "S(B0*)"; "S(B0*)/sqrt(n)" ]
+  in
+  let n_points =
+    List.map
+      (fun n ->
+        let b0_grid, s_min = grid_minimizer ~n ~rho:rho0 in
+        let b0_formula = analytic_minimizer ~n ~rho:rho0 in
+        Table.add_row table_n
+          [
+            Table.Int n;
+            Table.Float b0_grid;
+            Table.Float b0_formula;
+            Table.Float s_min;
+            Table.Float (s_min /. sqrt (float_of_int n));
+          ];
+        (float_of_int n, b0_grid, b0_formula))
+      ns
+  in
+  (* rho sweep at fixed n *)
+  let n_fixed = 256 in
+  let rhos = [ 0.01; 0.02; 0.05; 0.1; 0.2 ] in
+  let table_rho =
+    Table.create
+      ~title:(Printf.sprintf "Optimal B0 vs rho (n=%d)" n_fixed)
+      ~columns:[ "rho"; "B0* (grid)"; "S(B0*)" ]
+  in
+  let rho_points =
+    List.map
+      (fun rho ->
+        let b0_grid, s_min = grid_minimizer ~n:n_fixed ~rho in
+        Table.add_row table_rho
+          [ Table.Float rho; Table.Float b0_grid; Table.Float s_min ];
+        (rho, b0_grid))
+      rhos
+  in
+  let slope_n = loglog_slope (List.map (fun (n, b, _) -> (n, b)) n_points) in
+  let max_rel_err =
+    List.fold_left
+      (fun acc (_, grid, formula) ->
+        Float.max acc (Float.abs (grid -. formula) /. formula))
+      0. n_points
+  in
+  (* Simulation check at B0* for a real (small) n. *)
+  let n_sim = if quick then 48 else 96 in
+  let b0_star = analytic_minimizer ~n:n_sim ~rho:rho0 in
+  let params = Params.make ~rho:rho0 ~b0:b0_star ~n:n_sim () in
+  let horizon = 300. in
+  let cfg =
+    Gcs.Sim.config ~params
+      ~clocks:(Gcs.Drift.assign params ~horizon ~seed:2 Gcs.Drift.Split_extremes)
+      ~delay:(Dsim.Delay.maximal ~bound:params.Params.delay_bound)
+      ~initial_edges:(Topology.Static.path n_sim) ()
+  in
+  let sim_run = Common.launch cfg ~horizon in
+  let measured = Gcs.Metrics.max_local_skew sim_run.Common.recorder in
+  let checks =
+    [
+      Common.check ~name:"grid search matches the calculus minimizer"
+        ~pass:(max_rel_err < 0.02) "max relative error %.4f over %d sizes" max_rel_err
+        (List.length n_points);
+      Common.check ~name:"B0* scales as sqrt(n)"
+        ~pass:(Float.abs (slope_n -. 0.5) < 0.05)
+        "log-log slope %.3f (Corollary 6.14: Theta(sqrt(rho n)))" slope_n;
+      Common.check ~name:"B0* grows with rho"
+        ~pass:
+          (let rec increasing = function
+             | (_, a) :: ((_, b) :: _ as rest) -> a < b && increasing rest
+             | _ -> true
+           in
+           increasing rho_points)
+        "monotone over rho in [%.2f, %.2f]" (List.hd rhos)
+        (List.nth rhos (List.length rhos - 1));
+      Common.check ~name:"simulation at B0* stays within S(B0*)"
+        ~pass:(measured <= Params.stable_local_skew params)
+        "measured %.3f vs S(B0*) = %.3f (n=%d, B0*=%.2f)" measured
+        (Params.stable_local_skew params)
+        n_sim b0_star;
+      Common.invariants_check sim_run;
+    ]
+  in
+  {
+    Common.id = "A7";
+    title = "Corollary 6.14's optimal B0 = Theta(sqrt(rho n))";
+    tables = [ table_n; table_rho ];
+    checks;
+  }

@@ -1,0 +1,10 @@
+(** E1 — Theorem 6.9: the algorithm guarantees a global skew of
+    [G(n) = ((1+rho)T + 2 rho D)(n-1)].
+
+    Workload: adversarial drift (fast half vs slow half) under maximal
+    message delays, on several topologies and network sizes. For every run
+    the maximum observed global skew must stay below [G(n)], and across
+    sizes it must grow (the bound's linear shape), while validity
+    invariants hold. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,14 @@
+(** E2 — Corollary 6.13: the dynamic local skew envelope.
+
+    The paper's central dynamic guarantee: an edge that has existed for
+    [Δt] real time carries skew at most
+    [s(n, Δt) = B(max{(1-rho)(Δt - ΔT - D - W), 0}) + 2 rho W], whatever
+    its initial skew. This is the "figure" of the reproduction: a
+    skew-versus-edge-age series for a freshly inserted edge between the
+    two ends of a path that the Masking-Lemma adversary has driven to
+    [Θ(n)] skew, plotted against the envelope.
+
+    Also checked: old edges never exceed the stable bound
+    [B0 + 2 rho W] while the network re-converges (Theorem 6.12). *)
+
+val run : quick:bool -> Common.result

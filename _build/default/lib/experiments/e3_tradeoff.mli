@@ -1,0 +1,13 @@
+(** E3 — Corollary 6.14: the stabilization/skew trade-off.
+
+    The time to absorb a new edge's initial skew is [Θ(n/B0)]: inversely
+    proportional to the stable skew the algorithm tolerates, and linear in
+    the network size. Two sweeps over the path-plus-new-edge scenario of
+    E2 measure the time until the new edge's skew first drops below a
+    fixed fraction of its initial value:
+
+    - sweep [B0] at fixed [n]: settle time must decrease as [B0] grows,
+      with a strong correlation against [1/B0];
+    - sweep [n] at fixed [B0]: settle time must grow with [n]. *)
+
+val run : quick:bool -> Common.result

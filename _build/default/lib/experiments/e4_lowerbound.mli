@@ -1,0 +1,18 @@
+(** E4 — Theorem 4.1 and Figure 1: the lower bound on adjusting new edges.
+
+    Part A (Masking Lemma, Lemma 4.2): on the two-chain network with the
+    blocked edges [E_block] constrained to maximal delay, running the
+    algorithm in the indistinguishable executions α and β must leave, in
+    at least one of them, a skew of at least [T·dist_M(u, v)/4] between the
+    designated chain-A nodes [u] and [v] — and hence [Ω(n)] skew between
+    [w0] and [wn].
+
+    Part B (Theorem 4.1): at time [T1] the adversary inserts new edges
+    between B-chain nodes selected by Lemma 4.3, each carrying initial
+    skew ≈ I. The time the algorithm then needs to reduce the skew on
+    those edges by a constant factor is measured and compared against the
+    [Ω(n/B0)]-shaped prediction: it must exceed a constant fraction of
+    [(I/B0)·ΔT] (the wave argument) and scale with the global skew the
+    adversary built. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,11 @@
+(** E5 — Theorem 6.12 / stable local skew: on long-lived edges the skew
+    stays below [B0 + 2 rho W], and — the "gradient" property that names
+    the problem — the local skew does {e not} grow with the network size,
+    while the global skew does.
+
+    Workload: static paths under adversarially alternating drift (adjacent
+    nodes in opposite phase) with maximal delays; sweep [n] at fixed [B0]
+    and [B0] at fixed [n], measuring steady-state local skew after a
+    warmup. *)
+
+val run : quick:bool -> Common.result

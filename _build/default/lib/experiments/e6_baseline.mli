@@ -1,0 +1,18 @@
+(** E6 — baseline comparison: why the gradient algorithm (and its decaying
+    tolerance) is needed.
+
+    Scenario: the Section 1 motivating example — a path driven to [Θ(n)]
+    skew by the Masking-Lemma adversary, then a new edge between its ends.
+    Three algorithms run the identical execution:
+
+    - [Gradient] (Algorithm 2): old edges stay below the stable bound
+      while the new edge is absorbed gradually;
+    - [Max_only]: the behind node jumps to the freshly learned maximum,
+      creating [Θ(n)] skew across its old edges instantly;
+    - [Flat_gradient] (constant tolerance [B0]): safe on old edges, but
+      its implicit promise — at most ~[B0] skew on every Γ-edge — is
+      violated on the new edge for a long stretch, which the decaying
+      [B(Δt)] of the real algorithm is designed to avoid (its envelope is
+      honored from the moment the edge appears). *)
+
+val run : quick:bool -> Common.result

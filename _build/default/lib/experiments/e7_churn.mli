@@ -1,0 +1,16 @@
+(** E7 — the (T+D)-interval connectivity premise (Lemma 6.8/Theorem 6.9).
+
+    The global-skew analysis requires the dynamic graph to stay connected
+    over every window of length [T + D]. Two workloads probe the premise:
+
+    - heavy but backbone-preserving churn (every non-tree edge flaps and
+      churns randomly): connectivity holds at every instant, so the
+      global skew must stay below [G(n)] despite the turbulence;
+    - a deliberately violating schedule (a cut edge goes down for long
+      stretches): while partitioned, the two sides' max estimates drift
+      apart at up to [2 rho], and the measured global skew is expected to
+      exceed what the same network exhibits when connected — demonstrating
+      that the premise is necessary, with skew growth tracking
+      [2 rho * downtime]. *)
+
+val run : quick:bool -> Common.result

@@ -1,0 +1,9 @@
+(** E8 — logical-clock validity (Section 3.3) and reproducibility.
+
+    Sweeps a battery of small scenarios across algorithms, topologies,
+    drift patterns, delay policies and churn, checking on every probe:
+    monotone logical clocks with rate at least 1/2, and [L <= Lmax]
+    (Property 6.3). Also asserts determinism: re-running a seeded scenario
+    reproduces the exact sample trace. *)
+
+val run : quick:bool -> Common.result

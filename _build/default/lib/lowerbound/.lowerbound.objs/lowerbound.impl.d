@@ -1,0 +1,1 @@
+lib/lowerbound/lowerbound.ml: Layered Mask Subseq Twochain

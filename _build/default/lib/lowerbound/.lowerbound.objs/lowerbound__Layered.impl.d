@@ -1,0 +1,1 @@
+lib/lowerbound/layered.ml: Array Dsim Float List Mask Stdlib

@@ -1,0 +1,1 @@
+lib/lowerbound/layered.mli: Dsim Mask

@@ -1,0 +1,1 @@
+lib/lowerbound/mask.ml: Array Dsim List Map

@@ -1,0 +1,1 @@
+lib/lowerbound/subseq.ml: Array Float List

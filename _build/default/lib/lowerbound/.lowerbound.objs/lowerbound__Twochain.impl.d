@@ -1,0 +1,1 @@
+lib/lowerbound/twochain.ml: Dsim List Mask

@@ -1,0 +1,17 @@
+(** The lower-bound constructions of Section 4: delay masks, the
+    indistinguishable executions of the Masking Lemma, the Lemma 4.3
+    subsequence extraction and the Figure 1 two-chain network. *)
+
+module Mask = Mask
+(** Delay masks (Definition 4.1) and flexible distance
+    (Definition 4.3). *)
+
+module Subseq = Subseq
+(** Lemma 4.3: bounded-gap subsequence extraction. *)
+
+module Layered = Layered
+(** Lemma 4.2: the executions alpha and beta, as clocks + delay
+    policies. *)
+
+module Twochain = Twochain
+(** The Theorem 4.1 / Figure 1 network. *)

@@ -1,0 +1,68 @@
+module Edge_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = float Edge_map.t
+
+let create pairs =
+  List.fold_left
+    (fun acc ((u, v), d) ->
+      if d < 0. then invalid_arg "Mask.create: negative delay";
+      Edge_map.add (Dsim.Dyngraph.normalize u v) d acc)
+    Edge_map.empty pairs
+
+let empty = Edge_map.empty
+
+let delay m u v = Edge_map.find_opt (Dsim.Dyngraph.normalize u v) m
+
+let is_constrained m u v = Edge_map.mem (Dsim.Dyngraph.normalize u v) m
+
+let constrained_edges m = List.map fst (Edge_map.bindings m)
+
+(* 0-1 BFS with a deque: constrained edges have weight 0. *)
+let flexible_distances m ~n ~edges u =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (x, y) ->
+      let w = if is_constrained m x y then 0 else 1 in
+      adj.(x) <- (y, w) :: adj.(x);
+      adj.(y) <- (x, w) :: adj.(y))
+    edges;
+  let dist = Array.make n max_int in
+  dist.(u) <- 0;
+  (* Simple two-list deque. *)
+  let front = ref [ u ] and back = ref [] in
+  let push_front x = front := x :: !front in
+  let push_back x = back := x :: !back in
+  let pop () =
+    match !front with
+    | x :: rest ->
+      front := rest;
+      Some x
+    | [] -> (
+      match List.rev !back with
+      | [] -> None
+      | x :: rest ->
+        front := rest;
+        back := [];
+        Some x)
+  in
+  let rec loop () =
+    match pop () with
+    | None -> ()
+    | Some x ->
+      List.iter
+        (fun (y, w) ->
+          if dist.(x) + w < dist.(y) then begin
+            dist.(y) <- dist.(x) + w;
+            if w = 0 then push_front y else push_back y
+          end)
+        adj.(x);
+      loop ()
+  in
+  loop ();
+  dist
+
+let flexible_distance m ~n ~edges u v = (flexible_distances m ~n ~edges u).(v)

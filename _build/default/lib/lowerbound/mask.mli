@@ -1,0 +1,28 @@
+(** Delay masks (Definition 4.1) and the flexible distance they induce
+    (Definition 4.3).
+
+    A mask constrains a subset of links to fixed message delays; the
+    adversary of the Masking Lemma builds skew using only the unconstrained
+    links. The [M]-flexible distance between two nodes is the minimum
+    number of unconstrained edges on any path between them. *)
+
+type t
+
+val create : ((int * int) * float) list -> t
+(** [(edge, delay)] pairs; endpoints are normalized. *)
+
+val empty : t
+
+val delay : t -> int -> int -> float option
+(** The prescribed delay [P(e)] if the edge is constrained. *)
+
+val is_constrained : t -> int -> int -> bool
+
+val constrained_edges : t -> (int * int) list
+
+val flexible_distances : t -> n:int -> edges:(int * int) list -> int -> int array
+(** [flexible_distances m ~n ~edges u] gives [dist_M(u, x)] for every [x]:
+    a 0-1 BFS where constrained edges cost 0 and unconstrained edges cost
+    1. Unreachable nodes get [max_int]. *)
+
+val flexible_distance : t -> n:int -> edges:(int * int) list -> int -> int -> int

@@ -1,0 +1,42 @@
+let check_preconditions ~values ~c ~d =
+  let n = Array.length values in
+  if n < 2 then invalid_arg "Subseq.extract: need at least two values";
+  if not (c > d) then invalid_arg "Subseq.extract: need c > d";
+  if not (d > 0.) then invalid_arg "Subseq.extract: need d > 0";
+  if values.(0) > values.(n - 1) then
+    invalid_arg "Subseq.extract: need x_0 <= x_{N-1} (reverse the chain)";
+  Array.iteri
+    (fun i x ->
+      if i + 1 < n && Float.abs (x -. values.(i + 1)) > d +. 1e-9 then
+        invalid_arg "Subseq.extract: adjacent gap exceeds d")
+    values
+
+(* Construction from the proof of Lemma 4.3: i_{j+1} is the smallest index
+   l with i_j < l < N-1, x_l - x_{i_j} >= c - d and x_l <= x_{N-1}; if none
+   exists the sequence jumps to N-1 and stops. *)
+let extract ~values ~c ~d =
+  check_preconditions ~values ~c ~d;
+  let n = Array.length values in
+  let last = n - 1 in
+  let next ij =
+    let rec scan l =
+      if l >= last then last
+      else if values.(l) -. values.(ij) >= c -. d && values.(l) <= values.(last) then l
+      else scan (l + 1)
+    in
+    scan (ij + 1)
+  in
+  let rec build acc ij =
+    let l = next ij in
+    if l = last then List.rev acc else build (l :: acc) l
+  in
+  build [ 0 ] 0
+
+let check_gaps ~values ~c ~d selected =
+  let rec go = function
+    | i :: (j :: _ as rest) ->
+      let gap = values.(j) -. values.(i) in
+      gap >= c -. d -. 1e-9 && gap <= c +. 1e-9 && go rest
+    | [ _ ] | [] -> true
+  in
+  go selected

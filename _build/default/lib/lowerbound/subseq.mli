@@ -1,0 +1,19 @@
+(** The subsequence extraction of Lemma 4.3.
+
+    Given [x_0, ..., x_{N-1}] with [x_0 <= x_{N-1}] and
+    [|x_i - x_{i+1}| <= d], and a target gap [c > d], returns indices
+    [i_1 < ... < i_m] such that every consecutive pair satisfies
+    [x_{i_{j+1}} - x_{i_j} ∈ [c - d, c]] and
+    [m <= (x_{N-1} - x_0)/(c - d) + 1].
+
+    In the lower-bound construction the [x_i] are the logical clocks along
+    the B-chain, [d] is the stable local skew [S], and [c] the desired
+    initial skew [I]: the new edges of execution β are drawn between
+    consecutive selected nodes. *)
+
+val extract : values:float array -> c:float -> d:float -> int list
+(** The selected indices [i_1 .. i_m], in increasing order (starts with
+    0). Raises [Invalid_argument] if the preconditions fail. *)
+
+val check_gaps : values:float array -> c:float -> d:float -> int list -> bool
+(** Do all consecutive selected pairs have gaps in [\[c - d, c\]]? *)

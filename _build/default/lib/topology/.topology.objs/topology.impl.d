@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Churn Connectivity Static

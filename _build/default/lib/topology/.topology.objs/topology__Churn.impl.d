@@ -1,0 +1,1 @@
+lib/topology/churn.ml: Array Dsim Float List Set Static Stdlib

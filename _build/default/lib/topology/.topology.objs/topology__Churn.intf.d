@@ -1,0 +1,1 @@
+lib/topology/churn.mli: Dsim

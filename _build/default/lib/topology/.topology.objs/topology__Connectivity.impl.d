@@ -1,0 +1,1 @@
+lib/topology/connectivity.ml: Array Churn Dsim Float Fun List Map

@@ -1,0 +1,1 @@
+lib/topology/static.ml: Array Dsim Fun List Printf Queue

@@ -1,0 +1,1 @@
+lib/topology/static.mli: Dsim

@@ -1,0 +1,92 @@
+module Union_find = struct
+  type t = { parent : int array; rank : int array; mutable components : int }
+
+  let create n =
+    { parent = Array.init n Fun.id; rank = Array.make n 0; components = n }
+
+  let rec find t x =
+    if t.parent.(x) = x then x
+    else begin
+      let root = find t t.parent.(x) in
+      t.parent.(x) <- root;
+      root
+    end
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if rx <> ry then begin
+      t.components <- t.components - 1;
+      if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+      else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+      else begin
+        t.parent.(ry) <- rx;
+        t.rank.(rx) <- t.rank.(rx) + 1
+      end
+    end
+
+  let same t x y = find t x = find t y
+
+  let components t = t.components
+end
+
+let connected ~n edges =
+  if n <= 1 then true
+  else begin
+    let uf = Union_find.create n in
+    List.iter (fun (u, v) -> Union_find.union uf u v) edges;
+    Union_find.components uf = 1
+  end
+
+module Edge_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* Edge presence intervals [from, until) reconstructed from the schedule. *)
+let presence_intervals ~horizon ~initial events =
+  let open Churn in
+  let state =
+    List.fold_left
+      (fun acc (u, v) -> Edge_map.add (Dsim.Dyngraph.normalize u v) 0. acc)
+      Edge_map.empty initial
+  in
+  let intervals = ref [] in
+  let state =
+    List.fold_left
+      (fun state e ->
+        let key = Dsim.Dyngraph.normalize e.u e.v in
+        match e.op with
+        | Add -> if Edge_map.mem key state then state else Edge_map.add key e.time state
+        | Remove -> (
+          match Edge_map.find_opt key state with
+          | Some since ->
+            intervals := (key, since, e.time) :: !intervals;
+            Edge_map.remove key state
+          | None -> state))
+      state (normalize events)
+  in
+  Edge_map.iter (fun key since -> intervals := (key, since, horizon) :: !intervals) state;
+  !intervals
+
+let window_starts ~horizon events =
+  let times = 0. :: List.map (fun e -> e.Churn.time) events in
+  List.sort_uniq Float.compare (List.filter (fun t -> t <= horizon) times)
+
+let edges_throughout intervals t window =
+  List.filter_map
+    (fun (key, since, until) ->
+      if since <= t && until >= t +. window then Some key else None)
+    intervals
+
+let first_violation ~n ~window ~horizon ~initial events =
+  let intervals = presence_intervals ~horizon ~initial events in
+  let starts =
+    List.filter (fun t -> t +. window <= horizon) (window_starts ~horizon events)
+  in
+  List.find_opt
+    (fun t -> not (connected ~n (edges_throughout intervals t window)))
+    starts
+
+let interval_connected ~n ~window ~horizon ~initial events =
+  first_violation ~n ~window ~horizon ~initial events = None

@@ -1,0 +1,39 @@
+(** Connectivity checking for static snapshots and dynamic schedules,
+    including the paper's T-interval connectivity (Definition 3.1). *)
+
+module Union_find : sig
+  type t
+
+  val create : int -> t
+
+  val union : t -> int -> int -> unit
+
+  val same : t -> int -> int -> bool
+
+  val components : t -> int
+end
+
+val connected : n:int -> (int * int) list -> bool
+
+val interval_connected :
+  n:int ->
+  window:float ->
+  horizon:float ->
+  initial:(int * int) list ->
+  Churn.event list ->
+  bool
+(** Is the dynamic graph given by [initial] and the events [T]-interval
+    connected with [T = window] over [\[0, horizon\]]? Checks that for
+    every window start [t] (it suffices to check [t = 0] and every event
+    time), the set of edges that exist throughout [\[t, t + window\]] is
+    connected. *)
+
+val first_violation :
+  n:int ->
+  window:float ->
+  horizon:float ->
+  initial:(int * int) list ->
+  Churn.event list ->
+  float option
+(** Earliest window start whose throughout-present edge set is
+    disconnected, if any. *)

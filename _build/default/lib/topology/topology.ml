@@ -1,0 +1,11 @@
+(** Topologies for the simulator: static generators, dynamic (churn)
+    schedules and interval-connectivity checking (Definition 3.1). *)
+
+module Static = Static
+(** Connected static graph generators and BFS utilities. *)
+
+module Churn = Churn
+(** Timed edge insertion/removal schedules and their generators. *)
+
+module Connectivity = Connectivity
+(** Union-find and T-interval connectivity verification. *)

@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Dsim List QCheck QCheck_alcotest Set Topology

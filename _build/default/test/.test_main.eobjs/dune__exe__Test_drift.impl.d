@@ -1,0 +1,1 @@
+test/test_drift.ml: Alcotest Array Dsim Gcs

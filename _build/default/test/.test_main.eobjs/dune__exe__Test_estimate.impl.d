@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Gcs QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Dsim Gcs List Printf Topology

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Array Dsim Float Gcs List Topology

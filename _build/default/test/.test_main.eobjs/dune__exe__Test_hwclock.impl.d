@@ -1,0 +1,1 @@
+test/test_hwclock.ml: Alcotest Dsim Float List Printf QCheck QCheck_alcotest

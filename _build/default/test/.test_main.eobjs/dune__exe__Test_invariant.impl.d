@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Array Dsim Float Format Gcs List String

@@ -1,0 +1,1 @@
+test/test_layered.ml: Alcotest Array Dsim Float Fun Gcs List Lowerbound Printf QCheck QCheck_alcotest Topology

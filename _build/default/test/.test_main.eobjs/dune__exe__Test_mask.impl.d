@@ -1,0 +1,1 @@
+test/test_mask.ml: Alcotest Array Dsim List Lowerbound QCheck QCheck_alcotest Topology

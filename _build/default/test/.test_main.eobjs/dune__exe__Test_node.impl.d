@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Array Dsim Float Gcs Option

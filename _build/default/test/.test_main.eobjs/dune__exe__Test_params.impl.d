@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float Gcs QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Dsim Float Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dsim Float Fun QCheck QCheck_alcotest

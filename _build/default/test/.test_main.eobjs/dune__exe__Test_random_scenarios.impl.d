@@ -1,0 +1,1 @@
+test/test_random_scenarios.ml: Dsim Gcs QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Analysis Float List QCheck QCheck_alcotest

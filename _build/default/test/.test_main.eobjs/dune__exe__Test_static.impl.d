@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Array Dsim List QCheck QCheck_alcotest Topology

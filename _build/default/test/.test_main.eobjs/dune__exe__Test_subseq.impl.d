@@ -1,0 +1,1 @@
+test/test_subseq.ml: Alcotest Array List Lowerbound QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_twochain.ml: Alcotest Array Fun List Lowerbound QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Array Dsim Gcs List Option Topology

@@ -1,0 +1,86 @@
+module Connectivity = Topology.Connectivity
+module Churn = Topology.Churn
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_union_find () =
+  let uf = Connectivity.Union_find.create 5 in
+  Alcotest.(check int) "initial components" 5 (Connectivity.Union_find.components uf);
+  Connectivity.Union_find.union uf 0 1;
+  Connectivity.Union_find.union uf 2 3;
+  Alcotest.(check int) "after two unions" 3 (Connectivity.Union_find.components uf);
+  Alcotest.(check bool) "same(0,1)" true (Connectivity.Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same(1,2)" false (Connectivity.Union_find.same uf 1 2);
+  Connectivity.Union_find.union uf 1 2;
+  Connectivity.Union_find.union uf 1 2;
+  Alcotest.(check bool) "transitive" true (Connectivity.Union_find.same uf 0 3);
+  Alcotest.(check int) "idempotent unions" 2 (Connectivity.Union_find.components uf)
+
+let test_connected () =
+  Alcotest.(check bool) "path" true (Connectivity.connected ~n:3 [ (0, 1); (1, 2) ]);
+  Alcotest.(check bool) "split" false (Connectivity.connected ~n:4 [ (0, 1); (2, 3) ]);
+  Alcotest.(check bool) "single node" true (Connectivity.connected ~n:1 [])
+
+let base = [ (0, 1); (1, 2); (2, 3) ]
+
+let test_static_interval_connected () =
+  Alcotest.(check bool) "no events" true
+    (Connectivity.interval_connected ~n:4 ~window:2. ~horizon:100. ~initial:base [])
+
+let test_brief_outage_within_window () =
+  (* Edge 1-2 gone only during [10, 10.5]: with window 2 every window
+     containing the outage is missing the edge -> disconnected windows. *)
+  let events =
+    [
+      { Churn.time = 10.; op = Churn.Remove; u = 1; v = 2 };
+      { Churn.time = 10.5; op = Churn.Add; u = 1; v = 2 };
+    ]
+  in
+  Alcotest.(check bool) "outage on a cut edge breaks interval connectivity" false
+    (Connectivity.interval_connected ~n:4 ~window:2. ~horizon:100. ~initial:base events)
+
+let test_redundant_edge_outage_is_fine () =
+  (* A ring tolerates losing one edge at a time. *)
+  let ring = [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let events =
+    [
+      { Churn.time = 10.; op = Churn.Remove; u = 1; v = 2 };
+      { Churn.time = 20.; op = Churn.Add; u = 1; v = 2 };
+      { Churn.time = 30.; op = Churn.Remove; u = 0; v = 3 };
+    ]
+  in
+  Alcotest.(check bool) "stays interval connected" true
+    (Connectivity.interval_connected ~n:4 ~window:2. ~horizon:100. ~initial:ring events)
+
+let test_overlapping_outages_break_it () =
+  let ring = [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let events =
+    [
+      { Churn.time = 10.; op = Churn.Remove; u = 1; v = 2 };
+      { Churn.time = 12.; op = Churn.Remove; u = 0; v = 3 };
+      { Churn.time = 20.; op = Churn.Add; u = 1; v = 2 };
+      { Churn.time = 22.; op = Churn.Add; u = 0; v = 3 };
+    ]
+  in
+  Alcotest.(check bool) "two simultaneous cuts split the ring" false
+    (Connectivity.interval_connected ~n:4 ~window:2. ~horizon:100. ~initial:ring events);
+  match
+    Connectivity.first_violation ~n:4 ~window:2. ~horizon:100. ~initial:ring events
+  with
+  | Some t -> Alcotest.(check bool) "violation near the overlap" true (t >= 10. && t <= 22.)
+  | None -> Alcotest.fail "expected a violation"
+
+let test_first_violation_none () =
+  Alcotest.(check (option (float 0.))) "no violation" None
+    (Connectivity.first_violation ~n:4 ~window:2. ~horizon:50. ~initial:base [])
+
+let suite =
+  [
+    case "union-find" test_union_find;
+    case "connected" test_connected;
+    case "static graph" test_static_interval_connected;
+    case "cut-edge outage breaks windows" test_brief_outage_within_window;
+    case "redundant-edge outage tolerated" test_redundant_edge_outage_is_fine;
+    case "overlapping outages break the ring" test_overlapping_outages_break_it;
+    case "first_violation none" test_first_violation_none;
+  ]

@@ -1,0 +1,64 @@
+module Drift = Gcs.Drift
+module Hwclock = Dsim.Hwclock
+module Params = Gcs.Params
+
+let case name f = Alcotest.test_case name `Quick f
+
+let p = Params.make ~rho:0.08 ~n:10 ()
+
+let assign spec = Drift.assign p ~horizon:100. ~seed:7 spec
+
+let test_all_within_drift spec name =
+  case name (fun () ->
+      let clocks = assign spec in
+      Alcotest.(check int) "one clock per node" 10 (Array.length clocks);
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "within drift" true (Hwclock.within_drift ~rho:0.08 c))
+        clocks)
+
+let test_perfect () =
+  Array.iter
+    (fun c -> Alcotest.(check (float 1e-9)) "rate 1" 1. (Hwclock.rate_at c 5.))
+    (assign Drift.Perfect)
+
+let test_split_extremes () =
+  let clocks = assign Drift.Split_extremes in
+  Alcotest.(check (float 1e-9)) "first fast" 1.08 (Hwclock.rate_at clocks.(0) 0.);
+  Alcotest.(check (float 1e-9)) "last slow" 0.92 (Hwclock.rate_at clocks.(9) 0.)
+
+let test_gradient_rates () =
+  let clocks = assign Drift.Gradient_rates in
+  Alcotest.(check (float 1e-9)) "first at 1+rho" 1.08 (Hwclock.rate_at clocks.(0) 0.);
+  Alcotest.(check (float 1e-9)) "last at 1-rho" 0.92 (Hwclock.rate_at clocks.(9) 0.);
+  Alcotest.(check bool) "middle strictly between" true
+    (Hwclock.rate_at clocks.(5) 0. < 1.08 && Hwclock.rate_at clocks.(5) 0. > 0.92)
+
+let test_alternating_phases () =
+  let clocks = assign (Drift.Alternating 10.) in
+  Alcotest.(check (float 1e-9)) "even fast first" 1.08 (Hwclock.rate_at clocks.(0) 0.);
+  Alcotest.(check (float 1e-9)) "odd slow first" 0.92 (Hwclock.rate_at clocks.(1) 0.)
+
+let test_random_walk_distinct () =
+  let clocks = assign (Drift.Random_walk 10.) in
+  Alcotest.(check bool) "nodes get different schedules" true
+    (Hwclock.segments clocks.(0) <> Hwclock.segments clocks.(1))
+
+let test_custom () =
+  let clocks = assign (Drift.Custom (fun i -> if i = 0 then Hwclock.perfect else Hwclock.slowest ~rho:0.08)) in
+  Alcotest.(check (float 1e-9)) "custom applied" 1. (Hwclock.rate_at clocks.(0) 3.)
+
+let suite =
+  [
+    test_all_within_drift Drift.Perfect "perfect within drift";
+    test_all_within_drift Drift.Split_extremes "split extremes within drift";
+    test_all_within_drift Drift.Gradient_rates "gradient rates within drift";
+    test_all_within_drift (Drift.Alternating 7.) "alternating within drift";
+    test_all_within_drift (Drift.Random_walk 5.) "random walk within drift";
+    case "perfect rates" test_perfect;
+    case "split extremes halves" test_split_extremes;
+    case "gradient of rates" test_gradient_rates;
+    case "alternating phases" test_alternating_phases;
+    case "random walks distinct" test_random_walk_distinct;
+    case "custom" test_custom;
+  ]

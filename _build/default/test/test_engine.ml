@@ -1,0 +1,389 @@
+module Engine = Dsim.Engine
+module Hwclock = Dsim.Hwclock
+module Delay = Dsim.Delay
+module Trace = Dsim.Trace
+
+let case name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.float 1e-9
+
+(* A recording node: logs every event it sees as (time, description). The
+   engine hides real time from nodes, so the log uses a shared clock
+   captured through the harness closure. *)
+type harness = {
+  engine : (string, string) Engine.t;
+  log : (float * string) list ref;
+}
+
+let make ?(n = 2) ?(clocks = None) ?(delay = Delay.constant ~bound:1. 0.5)
+    ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
+    ?(on_init = fun _ctx _id -> ()) ?(on_timer = fun _ctx _id _t -> ()) () =
+  let clocks =
+    match clocks with Some c -> c | None -> Array.init n (fun _ -> Hwclock.perfect)
+  in
+  let engine = Engine.create ~clocks ~delay ~discovery_lag ~initial_edges ?trace () in
+  let log = ref [] in
+  let record time entry = log := (time, entry) :: !log in
+  for i = 0 to n - 1 do
+    Engine.install engine i (fun ctx ->
+        {
+          Engine.on_init =
+            (fun () ->
+              record (Engine.now engine) (Printf.sprintf "%d:init" i);
+              on_init ctx i);
+          on_discover_add =
+            (fun v -> record (Engine.now engine) (Printf.sprintf "%d:add(%d)" i v));
+          on_discover_remove =
+            (fun v -> record (Engine.now engine) (Printf.sprintf "%d:rem(%d)" i v));
+          on_receive =
+            (fun src msg ->
+              record (Engine.now engine) (Printf.sprintf "%d:recv(%d,%s)" i src msg));
+          on_timer =
+            (fun t ->
+              record (Engine.now engine) (Printf.sprintf "%d:timer(%s)" i t);
+              on_timer ctx i t);
+        })
+  done;
+  { engine; log }
+
+let entries h = List.rev !(h.log)
+
+let has h entry = List.exists (fun (_, e) -> e = entry) (entries h)
+
+let time_of h entry =
+  match List.find_opt (fun (_, e) -> e = entry) (entries h) with
+  | Some (t, _) -> t
+  | None -> Alcotest.failf "event %s never happened" entry
+
+let test_delivery () =
+  let h =
+    make ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i -> if i = 0 then Engine.send ctx ~dst:1 "hi")
+      ()
+  in
+  Engine.run_until h.engine 10.;
+  Alcotest.(check bool) "received" true (has h "1:recv(0,hi)");
+  Alcotest.check feq "after 0.5 delay" 0.5 (time_of h "1:recv(0,hi)")
+
+let test_initial_discovery_at_zero () =
+  let h = make ~initial_edges:[ (0, 1) ] () in
+  Engine.run_until h.engine 1.;
+  Alcotest.check feq "node 0 discovers" 0. (time_of h "0:add(1)");
+  Alcotest.check feq "node 1 discovers" 0. (time_of h "1:add(0)");
+  (* init strictly precedes discoveries in the log *)
+  let log = entries h in
+  let idx entry =
+    match List.mapi (fun i (_, e) -> (i, e)) log |> List.find_opt (fun (_, e) -> e = entry) with
+    | Some (i, _) -> i
+    | None -> -1
+  in
+  Alcotest.(check bool) "init before discovery" true (idx "0:init" < idx "0:add(1)")
+
+let test_fifo_clamping () =
+  (* First message has delay 1.0, second (sent later) would overtake with
+     delay 0; the engine must clamp the second to the first's arrival. *)
+  let sent = ref 0 in
+  let delay =
+    Delay.directed ~bound:1. (fun ~src:_ ~dst:_ ~now:_ ->
+        incr sent;
+        if !sent = 1 then 1.0 else 0.0)
+  in
+  let h =
+    make ~delay ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          Engine.send ctx ~dst:1 "first";
+          Engine.set_timer ctx ~after:0.2 "t"
+        end)
+      ~on_timer:(fun ctx _ _ -> Engine.send ctx ~dst:1 "second")
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  Alcotest.check feq "first at 1.0" 1.0 (time_of h "1:recv(0,first)");
+  Alcotest.check feq "second clamped to 1.0" 1.0 (time_of h "1:recv(0,second)");
+  let log = entries h in
+  let order =
+    List.filter_map
+      (fun (_, e) -> if e = "1:recv(0,first)" || e = "1:recv(0,second)" then Some e else None)
+      log
+  in
+  Alcotest.(check (list string)) "FIFO order" [ "1:recv(0,first)"; "1:recv(0,second)" ]
+    order
+
+let test_send_without_edge () =
+  let trace = Trace.create () in
+  let h =
+    make ~trace ~discovery_lag:0.7
+      ~on_init:(fun ctx i -> if i = 0 then Engine.send ctx ~dst:1 "lost")
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  Alcotest.(check bool) "never received" false (has h "1:recv(0,lost)");
+  Alcotest.(check int) "drop counted" 1 (Trace.count trace Trace.Drop_no_edge);
+  Alcotest.check feq "sender learns absence within lag" 0.7 (time_of h "0:rem(1)")
+
+let test_edge_add_discovery_lag () =
+  let h = make ~discovery_lag:1.5 () in
+  Engine.schedule_edge_add h.engine ~at:2. 0 1;
+  Engine.run_until h.engine 10.;
+  Alcotest.check feq "discovered at 3.5" 3.5 (time_of h "0:add(1)");
+  Alcotest.check feq "both endpoints" 3.5 (time_of h "1:add(0)")
+
+let test_in_flight_drop () =
+  let trace = Trace.create () in
+  (* Message sent at t=0 with delay 1.0; edge removed at t=0.5. *)
+  let delay = Delay.constant ~bound:1. 1.0 in
+  let h =
+    make ~trace ~delay ~discovery_lag:0.25 ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i -> if i = 0 then Engine.send ctx ~dst:1 "doomed")
+      ()
+  in
+  Engine.schedule_edge_remove h.engine ~at:0.5 0 1;
+  Engine.run_until h.engine 5.;
+  Alcotest.(check bool) "not delivered" false (has h "1:recv(0,doomed)");
+  Alcotest.(check int) "in-flight drop" 1 (Trace.count trace Trace.Drop_in_flight);
+  Alcotest.check feq "removal discovered" 0.75 (time_of h "0:rem(1)")
+
+let test_transient_change_suppressed () =
+  let trace = Trace.create () in
+  let h = make ~trace ~discovery_lag:2. () in
+  Engine.schedule_edge_add h.engine ~at:1. 0 1;
+  Engine.schedule_edge_remove h.engine ~at:1.5 0 1;
+  Engine.schedule_edge_add h.engine ~at:1.8 0 1;
+  Engine.run_until h.engine 10.;
+  (* Only the final add (epoch 3) is discovered, at 1.8 + 2. *)
+  let adds = List.filter (fun (_, e) -> e = "0:add(1)") (entries h) in
+  Alcotest.(check int) "one discovery" 1 (List.length adds);
+  Alcotest.check feq "at 3.8" 3.8 (time_of h "0:add(1)");
+  Alcotest.(check bool) "no remove discovery" false (has h "0:rem(1)");
+  Alcotest.(check int) "stale discoveries suppressed" 4
+    (Trace.count trace Trace.Discover_stale)
+
+let test_subjective_timer () =
+  (* Node 0 runs at rate 1.25: a subjective 2.5 elapses at real time 2.0. *)
+  let clocks = [| Hwclock.constant 1.25; Hwclock.perfect |] in
+  let h =
+    make ~clocks:(Some clocks)
+      ~on_init:(fun ctx i -> if i = 0 then Engine.set_timer ctx ~after:2.5 "alarm")
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  Alcotest.check feq "fires at real 2.0" 2.0 (time_of h "0:timer(alarm)")
+
+let test_timer_cancellation () =
+  let h =
+    make
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          Engine.set_timer ctx ~after:1. "a";
+          Engine.set_timer ctx ~after:2. "b";
+          Engine.cancel_timer ctx "a"
+        end)
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  Alcotest.(check bool) "a cancelled" false (has h "0:timer(a)");
+  Alcotest.(check bool) "b fires" true (has h "0:timer(b)")
+
+let test_timer_rearm_supersedes () =
+  let h =
+    make
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          Engine.set_timer ctx ~after:1. "t";
+          Engine.set_timer ctx ~after:3. "t"
+        end)
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  let fires = List.filter (fun (_, e) -> e = "0:timer(t)") (entries h) in
+  Alcotest.(check int) "fires once" 1 (List.length fires);
+  Alcotest.check feq "at the re-armed time" 3. (time_of h "0:timer(t)")
+
+let test_periodic_timer_chain () =
+  let count = ref 0 in
+  let h =
+    make
+      ~on_init:(fun ctx i -> if i = 0 then Engine.set_timer ctx ~after:1. "tick")
+      ~on_timer:(fun ctx _ _ ->
+        incr count;
+        if !count < 5 then Engine.set_timer ctx ~after:1. "tick")
+      ()
+  in
+  Engine.run_until h.engine 100.;
+  Alcotest.(check int) "five ticks" 5 !count
+
+let test_callback () =
+  let h = make () in
+  let hits = ref [] in
+  Engine.at h.engine ~time:2.5 (fun () -> hits := Engine.now h.engine :: !hits);
+  Engine.at h.engine ~time:1.5 (fun () -> hits := Engine.now h.engine :: !hits);
+  Engine.run_until h.engine 10.;
+  Alcotest.(check (list (float 1e-9))) "both in order" [ 1.5; 2.5 ] (List.rev !hits)
+
+let test_run_until_advances_now () =
+  let h = make () in
+  Engine.run_until h.engine 4.;
+  Alcotest.check feq "now" 4. (Engine.now h.engine);
+  Alcotest.check_raises "cannot go back"
+    (Invalid_argument "Engine.run_until: horizon in the past") (fun () ->
+      Engine.run_until h.engine 3.)
+
+let test_bad_destination () =
+  let h =
+    make
+      ~on_init:(fun ctx i ->
+        if i = 0 then
+          Alcotest.check_raises "self-send" (Invalid_argument "Engine.send: bad destination")
+            (fun () -> Engine.send ctx ~dst:0 "oops"))
+      ()
+  in
+  Engine.run_until h.engine 1.
+
+let test_determinism () =
+  let build () =
+    let trace = Trace.create () in
+    let h =
+      make ~trace ~initial_edges:[ (0, 1) ]
+        ~on_init:(fun ctx i ->
+          if i = 0 then Engine.set_timer ctx ~after:1. "tick")
+        ~on_timer:(fun ctx _ _ ->
+          Engine.send ctx ~dst:1 "m";
+          Engine.set_timer ctx ~after:1. "tick")
+        ()
+    in
+    Engine.schedule_edge_remove h.engine ~at:5.2 0 1;
+    Engine.schedule_edge_add h.engine ~at:7.9 0 1;
+    Engine.run_until h.engine 20.;
+    (entries h, Trace.total trace)
+  in
+  let a = build () and b = build () in
+  Alcotest.(check bool) "identical logs" true (fst a = fst b);
+  Alcotest.(check int) "identical trace totals" (snd a) (snd b)
+
+let test_graph_view () =
+  let h = make ~initial_edges:[ (0, 1) ] () in
+  Engine.schedule_edge_remove h.engine ~at:1. 0 1;
+  Engine.run_until h.engine 0.5;
+  Alcotest.(check bool) "edge present" true (Dsim.Dyngraph.has_edge (Engine.graph h.engine) 0 1);
+  Engine.run_until h.engine 2.;
+  Alcotest.(check bool) "edge gone" false (Dsim.Dyngraph.has_edge (Engine.graph h.engine) 0 1)
+
+let test_absence_notifications_coalesce () =
+  let trace = Trace.create () in
+  let h =
+    make ~trace ~discovery_lag:1.
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          (* Three failed sends in a burst: one notification. *)
+          Engine.send ctx ~dst:1 "a";
+          Engine.send ctx ~dst:1 "b";
+          Engine.send ctx ~dst:1 "c"
+        end)
+      ()
+  in
+  Engine.run_until h.engine 5.;
+  let removes = List.filter (fun (_, e) -> e = "0:rem(1)") (entries h) in
+  Alcotest.(check int) "coalesced to one notification" 1 (List.length removes);
+  Alcotest.(check int) "three drops counted" 3 (Trace.count trace Trace.Drop_no_edge)
+
+let test_same_time_add_then_remove () =
+  (* Scheduled in this order at the same instant, the sequence number
+     orders them deterministically: add then remove leaves the edge
+     absent (and the paper forbids relying on simultaneous changes). *)
+  let h = make ~discovery_lag:0.5 () in
+  Engine.schedule_edge_add h.engine ~at:2. 0 1;
+  Engine.schedule_edge_remove h.engine ~at:2. 0 1;
+  Engine.run_until h.engine 5.;
+  Alcotest.(check bool) "edge absent" false
+    (Dsim.Dyngraph.has_edge (Engine.graph h.engine) 0 1);
+  (* Both changes were transient/superseded: only the final (remove)
+     discovery can fire, and handlers see a remove for an edge they never
+     knew — harmless. *)
+  Alcotest.(check bool) "no add discovery" false (has h "0:add(1)")
+
+let test_zero_delay_timer () =
+  let h =
+    make ~on_init:(fun ctx i -> if i = 0 then Engine.set_timer ctx ~after:0. "now") ()
+  in
+  Engine.run_until h.engine 1.;
+  Alcotest.check feq "fires at once" 0. (time_of h "0:timer(now)")
+
+let test_event_counters () =
+  let h =
+    make ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i -> if i = 0 then Engine.send ctx ~dst:1 "m")
+      ()
+  in
+  Alcotest.(check int) "nothing processed yet" 0 (Engine.events_processed h.engine);
+  Engine.run_until h.engine 5.;
+  Alcotest.(check bool) "events processed" true (Engine.events_processed h.engine >= 3);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending_events h.engine)
+
+(* Property: whatever delays the policy draws, each directed link delivers
+   in send order and within [0, bound] of the send time (after clamping). *)
+let prop_fifo_random_delays =
+  QCheck.Test.make ~name:"FIFO delivery under random delays" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 2 20))
+    (fun (seed, burst) ->
+      let prng = Dsim.Prng.of_int seed in
+      let delay = Delay.uniform prng ~bound:1. in
+      let received = ref [] in
+      let engine =
+        (Engine.create
+           ~clocks:[| Hwclock.perfect; Hwclock.perfect |]
+           ~delay ~initial_edges:[ (0, 1) ] ()
+          : (int, string) Engine.t)
+      in
+      Engine.install engine 0 (fun ctx ->
+          {
+            Engine.on_init =
+              (fun () ->
+                for i = 1 to burst do
+                  Engine.send ctx ~dst:1 i
+                done;
+                Engine.set_timer ctx ~after:0.3 "again");
+            on_discover_add = ignore;
+            on_discover_remove = ignore;
+            on_receive = (fun _ _ -> ());
+            on_timer =
+              (fun _ ->
+                for i = burst + 1 to 2 * burst do
+                  Engine.send ctx ~dst:1 i
+                done);
+          });
+      Engine.install engine 1 (fun _ ->
+          {
+            Engine.on_init = ignore;
+            on_discover_add = ignore;
+            on_discover_remove = ignore;
+            on_receive = (fun _ i -> received := i :: !received);
+            on_timer = ignore;
+          });
+      Engine.run_until engine 10.;
+      List.rev !received = List.init (2 * burst) (fun i -> i + 1))
+
+let suite =
+  [
+    case "message delivery" test_delivery;
+    QCheck_alcotest.to_alcotest prop_fifo_random_delays;
+    case "absence notifications coalesce" test_absence_notifications_coalesce;
+    case "same-time add then remove" test_same_time_add_then_remove;
+    case "zero-delay timer" test_zero_delay_timer;
+    case "event counters" test_event_counters;
+    case "initial edges discovered at 0" test_initial_discovery_at_zero;
+    case "FIFO clamping" test_fifo_clamping;
+    case "send without edge" test_send_without_edge;
+    case "edge-add discovery lag" test_edge_add_discovery_lag;
+    case "in-flight drop on removal" test_in_flight_drop;
+    case "transient changes suppressed" test_transient_change_suppressed;
+    case "subjective timers follow drift" test_subjective_timer;
+    case "timer cancellation" test_timer_cancellation;
+    case "timer re-arm supersedes" test_timer_rearm_supersedes;
+    case "periodic timer chain" test_periodic_timer_chain;
+    case "scheduled callbacks" test_callback;
+    case "run_until advances time" test_run_until_advances_now;
+    case "bad destination rejected" test_bad_destination;
+    case "determinism" test_determinism;
+    case "graph view tracks schedule" test_graph_view;
+  ]

@@ -1,0 +1,43 @@
+module Estimate = Gcs.Estimate
+
+let case name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.float 1e-9
+
+let test_drift () =
+  let e = Estimate.create ~value:10. ~anchor:5. in
+  Alcotest.check feq "at anchor" 10. (Estimate.get e ~at:5.);
+  Alcotest.check feq "drifts with hardware time" 13. (Estimate.get e ~at:8.)
+
+let test_set () =
+  let e = Estimate.create ~value:0. ~anchor:0. in
+  Estimate.set e ~at:4. 100.;
+  Alcotest.check feq "set value" 100. (Estimate.get e ~at:4.);
+  Alcotest.check feq "drifts from new anchor" 101.5 (Estimate.get e ~at:5.5)
+
+let test_raise_to () =
+  let e = Estimate.create ~value:10. ~anchor:0. in
+  Alcotest.(check bool) "raise below is no-op" false (Estimate.raise_to e ~at:2. 5.);
+  Alcotest.check feq "unchanged" 12. (Estimate.get e ~at:2.);
+  Alcotest.(check bool) "raise above jumps" true (Estimate.raise_to e ~at:2. 20.);
+  Alcotest.check feq "jumped" 20. (Estimate.get e ~at:2.)
+
+let test_raise_to_equal_is_noop () =
+  let e = Estimate.create ~value:3. ~anchor:0. in
+  Alcotest.(check bool) "equal value" false (Estimate.raise_to e ~at:1. 4.)
+
+let prop_never_decreases_between_events =
+  QCheck.Test.make ~name:"get is monotone in hardware time" ~count:300
+    QCheck.(triple (float_bound_inclusive 100.) (float_bound_inclusive 100.) pos_float)
+    (fun (anchor, v, dt) ->
+      let e = Estimate.create ~value:v ~anchor in
+      Estimate.get e ~at:(anchor +. dt) >= Estimate.get e ~at:anchor)
+
+let suite =
+  [
+    case "drift semantics" test_drift;
+    case "set re-anchors" test_set;
+    case "raise_to" test_raise_to;
+    case "raise_to equal" test_raise_to_equal_is_noop;
+    QCheck_alcotest.to_alcotest prop_never_decreases_between_events;
+  ]

@@ -1,0 +1,32 @@
+(* Integration: the full quick-mode experiment battery must pass every
+   check. These are the repository's headline claims (EXPERIMENTS.md). *)
+
+let case name f = Alcotest.test_case name `Slow f
+
+let run_experiment (e : Experiments.Registry.entry) () =
+  let result = e.Experiments.Registry.run ~quick:true in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s (%s)" e.Experiments.Registry.id
+           c.Experiments.Common.name c.Experiments.Common.detail)
+        true c.Experiments.Common.pass)
+    result.Experiments.Common.checks;
+  Alcotest.(check bool) "has at least one table" true
+    (result.Experiments.Common.tables <> [])
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find e4 (case-insensitive)" true
+    (Experiments.Registry.find "e4" <> None);
+  Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "E99" = None);
+  Alcotest.(check bool) "find a4" true (Experiments.Registry.find "a4" <> None);
+  Alcotest.(check int) "fifteen experiments" 15 (List.length Experiments.Registry.all)
+
+let suite =
+  Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+  :: List.map
+       (fun e ->
+         case
+           (Printf.sprintf "%s passes all checks" e.Experiments.Registry.id)
+           (run_experiment e))
+       Experiments.Registry.all

@@ -1,0 +1,156 @@
+module Hwclock = Dsim.Hwclock
+module Prng = Dsim.Prng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.float 1e-9
+
+let test_perfect () =
+  let c = Hwclock.perfect in
+  Alcotest.check feq "H(0)" 0. (Hwclock.value c 0.);
+  Alcotest.check feq "H(5)" 5. (Hwclock.value c 5.);
+  Alcotest.check feq "inverse" 7.25 (Hwclock.inverse c 7.25);
+  Alcotest.check feq "rate" 1. (Hwclock.rate_at c 3.)
+
+let test_constant_rate () =
+  let c = Hwclock.constant 1.05 in
+  Alcotest.check feq "H(10)" 10.5 (Hwclock.value c 10.);
+  Alcotest.check feq "inverse" 10. (Hwclock.inverse c 10.5)
+
+let test_piecewise () =
+  (* rate 2 on [0,1), rate 0.5 on [1,3), rate 1 after *)
+  let c = Hwclock.of_rates [ (0., 2.); (1., 0.5); (3., 1.) ] in
+  Alcotest.check feq "H(0.5)" 1. (Hwclock.value c 0.5);
+  Alcotest.check feq "H(1)" 2. (Hwclock.value c 1.);
+  Alcotest.check feq "H(2)" 2.5 (Hwclock.value c 2.);
+  Alcotest.check feq "H(3)" 3. (Hwclock.value c 3.);
+  Alcotest.check feq "H(5)" 5. (Hwclock.value c 5.);
+  Alcotest.check feq "inv 1" 0.5 (Hwclock.inverse c 1.);
+  Alcotest.check feq "inv 2.5" 2. (Hwclock.inverse c 2.5);
+  Alcotest.check feq "inv 5" 5. (Hwclock.inverse c 5.)
+
+let test_rate_at_boundaries () =
+  let c = Hwclock.of_rates [ (0., 2.); (1., 0.5) ] in
+  Alcotest.check feq "right-continuous at 1" 0.5 (Hwclock.rate_at c 1.);
+  Alcotest.check feq "before boundary" 2. (Hwclock.rate_at c 0.999)
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hwclock.of_rates: empty schedule")
+    (fun () -> ignore (Hwclock.of_rates []));
+  Alcotest.check_raises "nonzero start"
+    (Invalid_argument "Hwclock.of_rates: first segment must start at 0") (fun () ->
+      ignore (Hwclock.of_rates [ (1., 1.) ]));
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Hwclock.of_rates: rate must be positive") (fun () ->
+      ignore (Hwclock.of_rates [ (0., -1.) ]));
+  Alcotest.check_raises "non-increasing times"
+    (Invalid_argument "Hwclock.of_rates: segment times must increase") (fun () ->
+      ignore (Hwclock.of_rates [ (0., 1.); (2., 1.); (2., 1.5) ]))
+
+let test_within_drift () =
+  Alcotest.(check bool) "perfect ok" true (Hwclock.within_drift ~rho:0.01 Hwclock.perfect);
+  Alcotest.(check bool) "fastest ok" true
+    (Hwclock.within_drift ~rho:0.1 (Hwclock.fastest ~rho:0.1));
+  Alcotest.(check bool) "too fast" false
+    (Hwclock.within_drift ~rho:0.05 (Hwclock.constant 1.06))
+
+let test_two_rate () =
+  let rho = 0.1 in
+  let c = Hwclock.two_rate ~rho ~period:10. ~horizon:25. ~fast_first:true in
+  Alcotest.check feq "fast first" (1. +. rho) (Hwclock.rate_at c 0.);
+  Alcotest.check feq "slow second" (1. -. rho) (Hwclock.rate_at c 10.);
+  Alcotest.check feq "fast third" (1. +. rho) (Hwclock.rate_at c 20.);
+  Alcotest.check feq "rate 1 past horizon" 1. (Hwclock.rate_at c 30.);
+  Alcotest.(check bool) "within drift" true (Hwclock.within_drift ~rho c)
+
+let test_fast_until () =
+  let rho = 0.05 in
+  let c = Hwclock.fast_until ~rho 10. in
+  Alcotest.check feq "H(10)" 10.5 (Hwclock.value c 10.);
+  Alcotest.check feq "H(20) = 10*(1+rho) + 10" 20.5 (Hwclock.value c 20.);
+  let c0 = Hwclock.fast_until ~rho 0. in
+  Alcotest.check feq "switch at 0 means perfect" 5. (Hwclock.value c0 5.)
+
+let test_beta_formula () =
+  (* fast_until realizes H(t) = t + min(rho t, T d) with switch = T d / rho. *)
+  let rho = 0.05 and t_bound = 1.0 in
+  let d = 7 in
+  let c = Hwclock.fast_until ~rho (t_bound *. float_of_int d /. rho) in
+  List.iter
+    (fun t ->
+      let expect = t +. Float.min (rho *. t) (t_bound *. float_of_int d) in
+      Alcotest.check feq (Printf.sprintf "H(%g)" t) expect (Hwclock.value c t))
+    [ 0.; 10.; 100.; 140.; 141.; 1000. ]
+
+let test_random_walk_bounds () =
+  let prng = Prng.of_int 123 in
+  let c = Hwclock.random_walk prng ~rho:0.07 ~segment_mean:5. ~horizon:100. in
+  Alcotest.(check bool) "within drift" true (Hwclock.within_drift ~rho:0.07 c);
+  Alcotest.check feq "rate 1 past horizon" 1. (Hwclock.rate_at c 200.)
+
+let test_segments_roundtrip () =
+  let schedule = [ (0., 1.02); (5., 0.98); (12., 1.) ] in
+  let c = Hwclock.of_rates schedule in
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "segments" schedule
+    (Hwclock.segments c)
+
+let test_negative_time_rejected () =
+  Alcotest.check_raises "value" (Invalid_argument "Hwclock.value: negative time")
+    (fun () -> ignore (Hwclock.value Hwclock.perfect (-1.)));
+  Alcotest.check_raises "inverse" (Invalid_argument "Hwclock.inverse: negative value")
+    (fun () -> ignore (Hwclock.inverse Hwclock.perfect (-0.5)))
+
+(* Random piecewise clocks: value and inverse are mutually inverse, value is
+   strictly increasing. *)
+let random_clock_gen =
+  QCheck.Gen.(
+    let* k = int_range 1 6 in
+    let* rates = list_repeat k (float_range 0.5 1.5) in
+    let* gaps = list_repeat (k - 1) (float_range 0.1 10.) in
+    let times =
+      List.fold_left (fun acc g -> (List.hd acc +. g) :: acc) [ 0. ] gaps
+      |> List.rev
+    in
+    return (List.combine times rates))
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse (value t) = t" ~count:300
+    (QCheck.make random_clock_gen)
+    (fun schedule ->
+      let c = Dsim.Hwclock.of_rates schedule in
+      List.for_all
+        (fun t ->
+          let h = Dsim.Hwclock.value c t in
+          Float.abs (Dsim.Hwclock.inverse c h -. t) < 1e-6)
+        [ 0.; 0.3; 1.7; 5.; 23.; 100. ])
+
+let prop_monotone =
+  QCheck.Test.make ~name:"value is strictly increasing" ~count:300
+    (QCheck.make random_clock_gen)
+    (fun schedule ->
+      let c = Dsim.Hwclock.of_rates schedule in
+      let ts = [ 0.; 0.1; 0.5; 1.; 2.; 4.; 8.; 16.; 50. ] in
+      let vs = List.map (Dsim.Hwclock.value c) ts in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      increasing vs)
+
+let suite =
+  [
+    case "perfect clock" test_perfect;
+    case "constant rate" test_constant_rate;
+    case "piecewise values and inverse" test_piecewise;
+    case "rate at boundaries" test_rate_at_boundaries;
+    case "schedule validation" test_validation;
+    case "within_drift" test_within_drift;
+    case "two_rate pattern" test_two_rate;
+    case "fast_until" test_fast_until;
+    case "beta clock formula (Lemma 4.2)" test_beta_formula;
+    case "random walk bounds" test_random_walk_bounds;
+    case "segments roundtrip" test_segments_roundtrip;
+    case "negative times rejected" test_negative_time_rejected;
+    QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_monotone;
+  ]

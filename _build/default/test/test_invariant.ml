@@ -1,0 +1,120 @@
+module Invariant = Gcs.Invariant
+module Metrics = Gcs.Metrics
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Drive the monitor with a synthetic view backed by mutable clocks so we
+   can inject violations deliberately. *)
+let make_setup () =
+  let clocks = [| 0.; 0. |] in
+  let lmaxes = [| 0.; 0. |] in
+  let view =
+    {
+      Metrics.n = 2;
+      clock_of = (fun i -> clocks.(i));
+      lmax_of = (fun i -> lmaxes.(i));
+      edges = (fun () -> [ (0, 1) ]);
+    }
+  in
+  let engine =
+    (Dsim.Engine.create
+       ~clocks:[| Dsim.Hwclock.perfect; Dsim.Hwclock.perfect |]
+       ~delay:(Dsim.Delay.zero ~bound:1.) ()
+      : (Gcs.Proto.message, Gcs.Proto.timer) Dsim.Engine.t)
+  in
+  Dsim.Engine.install engine 0 (fun _ ->
+      {
+        Dsim.Engine.on_init = ignore;
+        on_discover_add = ignore;
+        on_discover_remove = ignore;
+        on_receive = (fun _ _ -> ());
+        on_timer = ignore;
+      });
+  Dsim.Engine.install engine 1 (fun _ ->
+      {
+        Dsim.Engine.on_init = ignore;
+        on_discover_add = ignore;
+        on_discover_remove = ignore;
+        on_receive = (fun _ _ -> ());
+        on_timer = ignore;
+      });
+  (clocks, lmaxes, view, engine)
+
+let advance clocks lmaxes rate dt =
+  Array.iteri (fun i v -> clocks.(i) <- v +. (rate *. dt)) clocks;
+  Array.iteri (fun i v -> lmaxes.(i) <- Float.max (v +. dt) clocks.(i)) lmaxes
+
+let test_clean_run () =
+  let clocks, lmaxes, view, engine = make_setup () in
+  let monitor = Invariant.attach engine view ~every:1. ~until:10. () in
+  (* Advance clocks at rate 1 between probes via interleaved callbacks. *)
+  let rec push t =
+    if t <= 10. then
+      Dsim.Engine.at engine ~time:t (fun () ->
+          advance clocks lmaxes 1.0 0.5;
+          push (t +. 0.5))
+  in
+  push 0.25;
+  Dsim.Engine.run_until engine 10.;
+  Alcotest.(check bool) "ok" true (Invariant.ok monitor);
+  Alcotest.(check int) "probes" 11 (Invariant.probes monitor)
+
+let test_detects_slow_clock () =
+  let clocks, lmaxes, view, engine = make_setup () in
+  let monitor = Invariant.attach engine view ~every:1. ~until:5. () in
+  let rec push t =
+    if t <= 5. then
+      Dsim.Engine.at engine ~time:t (fun () ->
+          (* rate 0.3 < the 1/2 floor *)
+          advance clocks lmaxes 0.3 1.0;
+          push (t +. 1.))
+  in
+  push 0.5;
+  Dsim.Engine.run_until engine 5.;
+  Alcotest.(check bool) "violation found" false (Invariant.ok monitor);
+  let kinds = List.map (fun v -> v.Invariant.kind) (Invariant.violations monitor) in
+  Alcotest.(check bool) "min-rate kind" true (List.mem "min-rate" kinds)
+
+let test_detects_lmax_violation () =
+  let clocks, lmaxes, view, engine = make_setup () in
+  let monitor = Invariant.attach engine view ~every:1. ~until:3. () in
+  Dsim.Engine.at engine ~time:0.5 (fun () ->
+      clocks.(1) <- 10.;
+      lmaxes.(1) <- 5. (* L > Lmax: Property 6.3 broken *));
+  Dsim.Engine.at engine ~time:2.5 (fun () ->
+      clocks.(0) <- 10.;
+      clocks.(1) <- 20.;
+      lmaxes.(0) <- 10.;
+      lmaxes.(1) <- 20.);
+  Dsim.Engine.run_until engine 3.;
+  let kinds = List.map (fun v -> v.Invariant.kind) (Invariant.violations monitor) in
+  Alcotest.(check bool) "lmax-dominance kind" true (List.mem "lmax-dominance" kinds)
+
+let test_custom_rate_floor () =
+  let clocks, lmaxes, view, engine = make_setup () in
+  (* rate 0.8 passes the default 0.5 floor but fails a 0.9 floor *)
+  let monitor = Invariant.attach engine view ~every:1. ~until:4. ~rate_floor:0.9 () in
+  let rec push t =
+    if t <= 4. then
+      Dsim.Engine.at engine ~time:t (fun () ->
+          advance clocks lmaxes 0.8 1.0;
+          push (t +. 1.))
+  in
+  push 0.5;
+  Dsim.Engine.run_until engine 4.;
+  Alcotest.(check bool) "0.8 fails 0.9 floor" false (Invariant.ok monitor)
+
+let test_violation_printing () =
+  let v = { Invariant.time = 1.5; node = 3; kind = "min-rate"; detail = "x" } in
+  let s = Format.asprintf "%a" Invariant.pp_violation v in
+  Alcotest.(check bool) "mentions node" true
+    (String.length s > 0 && s <> "")
+
+let suite =
+  [
+    case "clean run" test_clean_run;
+    case "detects slow clock" test_detects_slow_clock;
+    case "detects L > Lmax" test_detects_lmax_violation;
+    case "custom rate floor" test_custom_rate_floor;
+    case "violation printing" test_violation_printing;
+  ]

@@ -1,0 +1,80 @@
+module Mask = Lowerbound.Mask
+module Static = Topology.Static
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_lookup () =
+  let m = Mask.create [ ((2, 1), 0.5); ((3, 4), 1.0) ] in
+  Alcotest.(check (option (float 1e-9))) "normalized lookup" (Some 0.5) (Mask.delay m 1 2);
+  Alcotest.(check (option (float 1e-9))) "reverse order" (Some 0.5) (Mask.delay m 2 1);
+  Alcotest.(check (option (float 1e-9))) "absent" None (Mask.delay m 0 1);
+  Alcotest.(check bool) "constrained" true (Mask.is_constrained m 3 4);
+  Alcotest.(check int) "edge list" 2 (List.length (Mask.constrained_edges m))
+
+let test_negative_delay_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Mask.create: negative delay")
+    (fun () -> ignore (Mask.create [ ((0, 1), -0.1) ]))
+
+let test_empty_mask_distance_is_hops () =
+  let edges = Static.path 6 in
+  let d = Mask.flexible_distances Mask.empty ~n:6 ~edges 0 in
+  Alcotest.(check (array int)) "plain BFS" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_constrained_edges_are_free () =
+  (* Path 0-1-2-3-4 with edges (1,2) and (2,3) constrained: dist(0,4) =
+     2 unconstrained hops. *)
+  let edges = Static.path 5 in
+  let m = Mask.create [ ((1, 2), 1.); ((2, 3), 1.) ] in
+  Alcotest.(check int) "skips constrained" 2 (Mask.flexible_distance m ~n:5 ~edges 0 4);
+  Alcotest.(check int) "within the block" 0 (Mask.flexible_distance m ~n:5 ~edges 1 3)
+
+let test_chooses_cheapest_path () =
+  (* Triangle 0-1, 1-2, 0-2 with (0,2) constrained: dist(0,2) = 0 via the
+     constrained edge even though the 2-hop path exists. *)
+  let edges = [ (0, 1); (1, 2); (0, 2) ] in
+  let m = Mask.create [ ((0, 2), 1.) ] in
+  Alcotest.(check int) "free edge wins" 0 (Mask.flexible_distance m ~n:3 ~edges 0 2);
+  Alcotest.(check int) "one unconstrained hop" 1 (Mask.flexible_distance m ~n:3 ~edges 0 1)
+
+let test_unreachable () =
+  let d = Mask.flexible_distances Mask.empty ~n:3 ~edges:[ (0, 1) ] 0 in
+  Alcotest.(check int) "isolated node" max_int d.(2)
+
+(* Property: 0-1 BFS flexible distance equals a brute-force Bellman-Ford
+   with weights 0/1 on random graphs. *)
+let prop_matches_bellman_ford =
+  QCheck.Test.make ~name:"0-1 BFS matches Bellman-Ford" ~count:100
+    QCheck.(pair (int_range 3 12) (int_range 0 100))
+    (fun (n, seed) ->
+      let prng = Dsim.Prng.of_int seed in
+      let edges = Static.erdos_renyi prng ~n ~p:0.4 in
+      let constrained =
+        List.filter (fun _ -> Dsim.Prng.bool prng) edges
+        |> List.map (fun e -> (e, 0.5))
+      in
+      let m = Mask.create constrained in
+      let weight u v = if Mask.is_constrained m u v then 0 else 1 in
+      (* Bellman-Ford from node 0. *)
+      let dist = Array.make n max_int in
+      dist.(0) <- 0;
+      for _ = 1 to n do
+        List.iter
+          (fun (u, v) ->
+            let w = weight u v in
+            if dist.(u) < max_int && dist.(u) + w < dist.(v) then dist.(v) <- dist.(u) + w;
+            if dist.(v) < max_int && dist.(v) + w < dist.(u) then dist.(u) <- dist.(v) + w)
+          edges
+      done;
+      let bfs = Mask.flexible_distances m ~n ~edges 0 in
+      bfs = dist)
+
+let suite =
+  [
+    case "lookup" test_lookup;
+    case "negative delay rejected" test_negative_delay_rejected;
+    case "empty mask = hop distance" test_empty_mask_distance_is_hops;
+    case "constrained edges cost zero" test_constrained_edges_are_free;
+    case "cheapest path" test_chooses_cheapest_path;
+    case "unreachable" test_unreachable;
+    QCheck_alcotest.to_alcotest prop_matches_bellman_ford;
+  ]

@@ -1,0 +1,119 @@
+module Pqueue = Dsim.Pqueue
+
+let case name f = Alcotest.test_case name `Quick f
+
+let drain q =
+  let rec go acc =
+    match Pqueue.pop q with Some (t, v) -> go ((t, v) :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "size 0" 0 (Pqueue.size q);
+  Alcotest.(check bool) "pop None" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Pqueue.peek_time q = None)
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun t -> Pqueue.push q ~time:t (int_of_float t)) [ 3.; 1.; 2.; 0.5; 10. ];
+  let times = List.map fst (drain q) in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 0.5; 1.; 2.; 3.; 10. ] times
+
+let test_fifo_at_equal_times () =
+  let q = Pqueue.create () in
+  List.iteri (fun i () -> Pqueue.push q ~time:5. i) [ (); (); (); (); () ];
+  let vals = List.map snd (drain q) in
+  Alcotest.(check (list int)) "insertion order preserved" [ 0; 1; 2; 3; 4 ] vals
+
+let test_interleaved_push_pop () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:2. "b";
+  Pqueue.push q ~time:1. "a";
+  Alcotest.(check bool) "pop a" true (Pqueue.pop q = Some (1., "a"));
+  Pqueue.push q ~time:0.5 "c";
+  Alcotest.(check bool) "pop c" true (Pqueue.pop q = Some (0.5, "c"));
+  Alcotest.(check bool) "pop b" true (Pqueue.pop q = Some (2., "b"));
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:7. ();
+  Alcotest.(check (option (float 0.))) "peek" (Some 7.) (Pqueue.peek_time q);
+  Alcotest.(check int) "size still 1" 1 (Pqueue.size q)
+
+let test_grow () =
+  let q = Pqueue.create () in
+  for i = 999 downto 0 do
+    Pqueue.push q ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "size" 1000 (Pqueue.size q);
+  let out = List.map snd (drain q) in
+  Alcotest.(check (list int)) "sorted output" (List.init 1000 Fun.id) out
+
+let test_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1. ();
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q)
+
+let test_rejects_non_finite () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Pqueue.push: non-finite time")
+    (fun () -> Pqueue.push q ~time:Float.nan ());
+  Alcotest.check_raises "inf" (Invalid_argument "Pqueue.push: non-finite time")
+    (fun () -> Pqueue.push q ~time:Float.infinity ())
+
+let prop_sorted =
+  QCheck.Test.make ~name:"pops are sorted and complete" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun i t -> Pqueue.push q ~time:t i) times;
+      let out = ref [] in
+      let rec go () =
+        match Pqueue.pop q with
+        | Some (t, _) ->
+          out := t :: !out;
+          go ()
+        | None -> ()
+      in
+      go ();
+      let popped = List.rev !out in
+      List.length popped = List.length times
+      && popped = List.sort Float.compare times)
+
+let prop_stability =
+  QCheck.Test.make ~name:"equal times pop in insertion order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_bound 3))
+    (fun buckets ->
+      let q = Pqueue.create () in
+      List.iteri (fun i b -> Pqueue.push q ~time:(float_of_int b) i) buckets;
+      let rec go acc =
+        match Pqueue.pop q with Some (t, i) -> go ((t, i) :: acc) | None -> List.rev acc
+      in
+      let out = go [] in
+      (* Within each time bucket, payload order must be increasing. *)
+      let rec check_bucket last = function
+        | [] -> true
+        | (t, i) :: rest -> (
+          match last with
+          | Some (t', i') when t = t' -> i > i' && check_bucket (Some (t, i)) rest
+          | _ -> check_bucket (Some (t, i)) rest)
+      in
+      check_bucket None out)
+
+let suite =
+  [
+    case "empty queue" test_empty;
+    case "ordering" test_ordering;
+    case "fifo ties" test_fifo_at_equal_times;
+    case "interleaved push/pop" test_interleaved_push_pop;
+    case "peek" test_peek_does_not_remove;
+    case "growth to 1000" test_grow;
+    case "clear" test_clear;
+    case "rejects non-finite times" test_rejects_non_finite;
+    QCheck_alcotest.to_alcotest prop_sorted;
+    QCheck_alcotest.to_alcotest prop_stability;
+  ]

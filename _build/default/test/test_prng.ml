@@ -1,0 +1,146 @@
+module Prng = Dsim.Prng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_determinism () =
+  let a = Prng.of_int 42 and b = Prng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.of_int 1 and b = Prng.of_int 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_copy_independence () =
+  let a = Prng.of_int 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b);
+  ignore (Prng.next_int64 a);
+  (* advancing a does not advance b *)
+  let va = Prng.next_int64 a and vb = Prng.next_int64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (va <> vb)
+
+let test_split_diverges () =
+  let parent = Prng.of_int 9 in
+  let child = Prng.split parent in
+  let clash = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr clash
+  done;
+  Alcotest.(check int) "no collisions between parent and child" 0 !clash
+
+let test_int_bounds () =
+  let g = Prng.of_int 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_covers_range () =
+  let g = Prng.of_int 4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all residues appear" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 200 do
+    let v = Prng.int_in g (-3) 3 in
+    Alcotest.(check bool) "in [-3, 3]" true (v >= -3 && v <= 3)
+  done
+
+let test_float_bounds () =
+  let g = Prng.of_int 6 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_float_in () =
+  let g = Prng.of_int 8 in
+  for _ = 1 to 200 do
+    let v = Prng.float_in g 0.95 1.05 in
+    Alcotest.(check bool) "in [0.95, 1.05)" true (v >= 0.95 && v < 1.05)
+  done
+
+let test_float_mean () =
+  let g = Prng.of_int 10 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g 1.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bool_balance () =
+  let g = Prng.of_int 11 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (abs (!trues - 5000) < 400)
+
+let test_shuffle_permutation () =
+  let g = Prng.of_int 12 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_changes_order () =
+  let g = Prng.of_int 13 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 50 Fun.id)
+
+let test_pick () =
+  let g = Prng.of_int 14 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick g a in
+    Alcotest.(check bool) "element of array" true (Array.mem v a)
+  done
+
+let test_invalid_args () =
+  let g = Prng.of_int 15 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+let prop_float_in_range =
+  QCheck.Test.make ~name:"float_in stays within bounds" ~count:500
+    QCheck.(triple small_int pos_float pos_float)
+    (fun (seed, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let g = Prng.of_int seed in
+      let v = Prng.float_in g lo hi in
+      v >= lo && (v < hi || lo = hi))
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "copy independence" test_copy_independence;
+    case "split diverges" test_split_diverges;
+    case "int bounds" test_int_bounds;
+    case "int covers range" test_int_covers_range;
+    case "int_in bounds" test_int_in;
+    case "float bounds" test_float_bounds;
+    case "float_in bounds" test_float_in;
+    case "float mean" test_float_mean;
+    case "bool balance" test_bool_balance;
+    case "shuffle permutation" test_shuffle_permutation;
+    case "shuffle changes order" test_shuffle_changes_order;
+    case "pick membership" test_pick;
+    case "invalid arguments" test_invalid_args;
+    QCheck_alcotest.to_alcotest prop_float_in_range;
+  ]

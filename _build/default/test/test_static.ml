@@ -1,0 +1,116 @@
+module Static = Topology.Static
+module Prng = Dsim.Prng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_path () =
+  Alcotest.(check (list (pair int int))) "path 4" [ (0, 1); (1, 2); (2, 3) ]
+    (Static.path 4);
+  Alcotest.(check int) "diameter" 3 (Static.diameter ~n:4 (Static.path 4))
+
+let test_ring () =
+  let edges = Static.ring 5 in
+  Alcotest.(check int) "edge count" 5 (List.length edges);
+  Alcotest.(check bool) "wrap edge" true (List.mem (0, 4) edges);
+  Alcotest.(check int) "diameter" 2 (Static.diameter ~n:5 edges)
+
+let test_star () =
+  let edges = Static.star 6 in
+  Alcotest.(check int) "edge count" 5 (List.length edges);
+  Alcotest.(check bool) "all incident to 0" true (List.for_all (fun (u, _) -> u = 0) edges);
+  Alcotest.(check int) "diameter" 2 (Static.diameter ~n:6 edges)
+
+let test_complete () =
+  let edges = Static.complete 5 in
+  Alcotest.(check int) "n(n-1)/2" 10 (List.length edges);
+  Alcotest.(check int) "diameter" 1 (Static.diameter ~n:5 edges);
+  Alcotest.(check int) "no duplicates" 10 (List.length (List.sort_uniq compare edges))
+
+let test_grid () =
+  let edges = Static.grid ~rows:3 ~cols:4 in
+  (* 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 *)
+  Alcotest.(check int) "edge count" 17 (List.length edges);
+  Alcotest.(check bool) "connected" true (Static.is_connected ~n:12 edges);
+  Alcotest.(check int) "diameter = rows+cols-2" 5 (Static.diameter ~n:12 edges)
+
+let test_binary_tree () =
+  let edges = Static.binary_tree 7 in
+  Alcotest.(check int) "n-1 edges" 6 (List.length edges);
+  Alcotest.(check bool) "root-children" true
+    (List.mem (0, 1) edges && List.mem (0, 2) edges);
+  Alcotest.(check bool) "connected" true (Static.is_connected ~n:7 edges)
+
+let test_distances () =
+  let edges = Static.path 5 in
+  let d = Static.distances ~n:5 edges 0 in
+  Alcotest.(check (array int)) "from end" [| 0; 1; 2; 3; 4 |] d;
+  Alcotest.(check int) "dist" 2 (Static.dist ~n:5 edges 1 3)
+
+let test_disconnected () =
+  let edges = [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "not connected" false (Static.is_connected ~n:4 edges);
+  (match Static.diameter ~n:4 edges with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "diameter of disconnected graph accepted");
+  Alcotest.(check int) "unreachable distance" max_int
+    (Static.distances ~n:4 edges 0).(2)
+
+let test_spanning_tree () =
+  let edges = Static.ring 6 in
+  let tree = Static.spanning_tree ~n:6 edges in
+  Alcotest.(check int) "n-1 edges" 5 (List.length tree);
+  Alcotest.(check bool) "connected" true (Static.is_connected ~n:6 tree);
+  Alcotest.(check bool) "subset of original" true
+    (List.for_all (fun e -> List.mem e edges) tree);
+  let extra = Static.non_tree_edges ~n:6 edges in
+  Alcotest.(check int) "one extra on a ring" 1 (List.length extra)
+
+let test_erdos_renyi () =
+  let g = Prng.of_int 42 in
+  let edges = Static.erdos_renyi g ~n:20 ~p:0.2 in
+  Alcotest.(check bool) "connected" true (Static.is_connected ~n:20 edges);
+  Alcotest.(check bool) "normalized" true (List.for_all (fun (u, v) -> u < v) edges)
+
+let test_random_geometric () =
+  let g = Prng.of_int 43 in
+  let points, edges = Static.random_geometric g ~n:25 ~radius:0.2 in
+  Alcotest.(check int) "point per node" 25 (Array.length points);
+  Alcotest.(check bool) "connected (radius grown if needed)" true
+    (Static.is_connected ~n:25 edges);
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "in unit square" true (x >= 0. && x < 1. && y >= 0. && y < 1.))
+    points
+
+let prop_generators_connected =
+  QCheck.Test.make ~name:"all generators yield connected graphs" ~count:50
+    QCheck.(int_range 4 40)
+    (fun n ->
+      let n4 = (n + 3) / 4 * 4 in
+      Static.is_connected ~n (Static.path n)
+      && Static.is_connected ~n (Static.ring n)
+      && Static.is_connected ~n (Static.star n)
+      && Static.is_connected ~n (Static.binary_tree n)
+      && Static.is_connected ~n:n4 (Static.grid ~rows:4 ~cols:(n4 / 4)))
+
+let prop_path_diameter =
+  QCheck.Test.make ~name:"path diameter is n-1" ~count:30
+    QCheck.(int_range 2 40)
+    (fun n -> Static.diameter ~n (Static.path n) = n - 1)
+
+let suite =
+  [
+    case "path" test_path;
+    case "ring" test_ring;
+    case "star" test_star;
+    case "complete" test_complete;
+    case "grid" test_grid;
+    case "binary tree" test_binary_tree;
+    case "distances" test_distances;
+    case "disconnected handling" test_disconnected;
+    case "spanning tree" test_spanning_tree;
+    case "erdos-renyi" test_erdos_renyi;
+    case "random geometric" test_random_geometric;
+    QCheck_alcotest.to_alcotest prop_generators_connected;
+    QCheck_alcotest.to_alcotest prop_path_diameter;
+  ]

@@ -1,0 +1,82 @@
+module Subseq = Lowerbound.Subseq
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_simple_ramp () =
+  (* 0,1,2,...,10 with d=1, c=3: gaps must land in [2,3]. *)
+  let values = Array.init 11 float_of_int in
+  let selected = Subseq.extract ~values ~c:3. ~d:1. in
+  Alcotest.(check bool) "starts at 0" true (List.hd selected = 0);
+  Alcotest.(check bool) "gap property" true (Subseq.check_gaps ~values ~c:3. ~d:1. selected);
+  (* m <= (x_N - x_0)/(c-d) + 1 = 10/2 + 1 = 6 *)
+  Alcotest.(check bool) "length bound" true (List.length selected <= 6)
+
+let test_non_monotone_profile () =
+  (* A tent: rises then falls back; last >= first still required. *)
+  let values = [| 0.; 1.; 2.; 3.; 4.; 3.; 2.; 3.; 4.; 5. |] in
+  let selected = Subseq.extract ~values ~c:2.5 ~d:1. in
+  Alcotest.(check bool) "gap property" true
+    (Subseq.check_gaps ~values ~c:2.5 ~d:1. selected);
+  Alcotest.(check bool) "indices increasing" true
+    (let rec incr = function
+       | a :: (b :: _ as rest) -> a < b && incr rest
+       | _ -> true
+     in
+     incr selected)
+
+let test_flat_sequence () =
+  (* No gaps >= c - d exist: only the first index is selected. *)
+  let values = [| 1.; 1.; 1.; 1. |] in
+  let selected = Subseq.extract ~values ~c:2. ~d:0.5 in
+  Alcotest.(check (list int)) "only the start" [ 0 ] selected
+
+let test_preconditions () =
+  (match Subseq.extract ~values:[| 1. |] ~c:2. ~d:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "singleton accepted");
+  (match Subseq.extract ~values:[| 0.; 1. |] ~c:1. ~d:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c = d accepted");
+  (match Subseq.extract ~values:[| 5.; 0. |] ~c:2. ~d:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "decreasing endpoints accepted (gap 5 > d anyway)");
+  match Subseq.extract ~values:[| 0.; 5. |] ~c:7. ~d:6. with
+  | exception Invalid_argument _ -> Alcotest.fail "valid input rejected"
+  | _ -> ()
+
+(* Lemma 4.3 as a property: on any bounded-increment sequence with
+   x_0 <= x_last, the extraction satisfies both conclusions. *)
+let bounded_walk_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 60 in
+    let* steps = list_repeat (n - 1) (float_range (-1.) 1.) in
+    let values = Array.make n 0. in
+    List.iteri (fun i s -> values.(i + 1) <- values.(i) +. s) steps;
+    (* Enforce x_0 <= x_last by mirroring if needed. *)
+    let values =
+      if values.(n - 1) >= values.(0) then values
+      else Array.map (fun v -> -.v) values
+    in
+    return values)
+
+let prop_lemma_4_3 =
+  QCheck.Test.make ~name:"Lemma 4.3 conclusions hold" ~count:300
+    (QCheck.make bounded_walk_gen)
+    (fun values ->
+      let d = 1.0 and c = 2.5 in
+      let selected = Lowerbound.Subseq.extract ~values ~c ~d in
+      let n = Array.length values in
+      let m = List.length selected in
+      Lowerbound.Subseq.check_gaps ~values ~c ~d selected
+      && float_of_int m
+         <= ((values.(n - 1) -. values.(0)) /. (c -. d)) +. 1. +. 1e-9
+      && List.hd selected = 0)
+
+let suite =
+  [
+    case "simple ramp" test_simple_ramp;
+    case "tent profile" test_non_monotone_profile;
+    case "flat sequence" test_flat_sequence;
+    case "preconditions" test_preconditions;
+    QCheck_alcotest.to_alcotest prop_lemma_4_3;
+  ]

@@ -1,0 +1,71 @@
+module Table = Analysis.Table
+
+let case name f = Alcotest.test_case name `Quick f
+
+let sample () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "n"; "value"; "ok" ] in
+  Table.add_row t [ Table.Str "alpha"; Table.Int 3; Table.Float 1.5; Table.Bool true ];
+  Table.add_row t [ Table.Str "beta"; Table.Int 12; Table.Float 0.25; Table.Bool false ];
+  t
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_structure () =
+  let t = sample () in
+  Alcotest.(check string) "title" "demo" (Table.title t);
+  Alcotest.(check (list string)) "columns" [ "name"; "n"; "value"; "ok" ] (Table.columns t);
+  Alcotest.(check int) "rows" 2 (List.length (Table.rows t))
+
+let test_row_length_checked () =
+  let t = sample () in
+  match Table.add_row t [ Table.Str "short" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short row accepted"
+
+let test_cell_rendering () =
+  Alcotest.(check string) "int" "7" (Table.cell_to_string (Table.Int 7));
+  Alcotest.(check string) "bool" "yes" (Table.cell_to_string (Table.Bool true));
+  Alcotest.(check string) "whole float" "2.0" (Table.cell_to_string (Table.Float 2.));
+  Alcotest.(check string) "fraction" "0.25" (Table.cell_to_string (Table.Float 0.25))
+
+let test_get_float () =
+  let t = sample () in
+  Alcotest.(check (float 1e-9)) "float cell" 1.5 (Table.get_float t ~row:0 ~col:2);
+  Alcotest.(check (float 1e-9)) "int coerced" 12. (Table.get_float t ~row:1 ~col:1);
+  match Table.get_float t ~row:0 ~col:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "string cell read as float"
+
+let test_pp () =
+  let out = Format.asprintf "%a" Table.pp (sample ()) in
+  Alcotest.(check bool) "has title" true (contains out "== demo ==");
+  Alcotest.(check bool) "has header" true (contains out "name");
+  Alcotest.(check bool) "has data" true (contains out "beta")
+
+let test_csv () =
+  let csv = Table.to_csv (sample ()) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "name,n,value,ok" (List.hd lines)
+
+let test_csv_escaping () =
+  let t = Table.create ~title:"esc" ~columns:[ "a" ] in
+  Table.add_row t [ Table.Str "x,y" ];
+  Table.add_row t [ Table.Str "quote\"inside" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "comma quoted" true (contains csv "\"x,y\"");
+  Alcotest.(check bool) "quote doubled" true (contains csv "\"quote\"\"inside\"")
+
+let suite =
+  [
+    case "structure" test_structure;
+    case "row length" test_row_length_checked;
+    case "cell rendering" test_cell_rendering;
+    case "get_float" test_get_float;
+    case "pretty printing" test_pp;
+    case "csv" test_csv;
+    case "csv escaping" test_csv_escaping;
+  ]

@@ -1,0 +1,62 @@
+module Trace = Dsim.Trace
+
+let case name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_counters () =
+  let t = Trace.create () in
+  Trace.record t ~time:0. Trace.Send "a";
+  Trace.record t ~time:1. Trace.Send "b";
+  Trace.record t ~time:2. Trace.Deliver "c";
+  Alcotest.(check int) "sends" 2 (Trace.count t Trace.Send);
+  Alcotest.(check int) "delivers" 1 (Trace.count t Trace.Deliver);
+  Alcotest.(check int) "drops" 0 (Trace.count t Trace.Drop_no_edge);
+  Alcotest.(check int) "total" 3 (Trace.total t)
+
+let test_log_disabled_by_default () =
+  let t = Trace.create () in
+  Trace.record t ~time:0. Trace.Send "a";
+  Alcotest.(check int) "no entries retained" 0 (List.length (Trace.entries t))
+
+let test_log_limit () =
+  let t = Trace.create ~log_limit:2 () in
+  Trace.record t ~time:0. Trace.Send "a";
+  Trace.record t ~time:1. Trace.Send "b";
+  Trace.record t ~time:2. Trace.Send "c";
+  let entries = Trace.entries t in
+  Alcotest.(check int) "capped at 2" 2 (List.length entries);
+  Alcotest.(check (list string)) "oldest first" [ "a"; "b" ]
+    (List.map (fun e -> e.Trace.detail) entries);
+  Alcotest.(check int) "counter still 3" 3 (Trace.count t Trace.Send)
+
+let test_kind_names_distinct () =
+  let kinds =
+    [
+      Trace.Send; Trace.Deliver; Trace.Drop_no_edge; Trace.Drop_in_flight;
+      Trace.Edge_add; Trace.Edge_remove; Trace.Discover_add; Trace.Discover_remove;
+      Trace.Discover_stale; Trace.Timer_fire; Trace.Timer_stale;
+    ]
+  in
+  let names = List.map Trace.kind_to_string kinds in
+  Alcotest.(check int) "all distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_summary_prints () =
+  let t = Trace.create () in
+  Trace.record t ~time:0. Trace.Send "x";
+  let s = Format.asprintf "%a" Trace.pp_summary t in
+  Alcotest.(check bool) "mentions send" true (contains s "send");
+  Alcotest.(check bool) "omits zero counters" false (contains s "deliver")
+
+let suite =
+  [
+    case "counters" test_counters;
+    case "log disabled by default" test_log_disabled_by_default;
+    case "log limit" test_log_limit;
+    case "kind names distinct" test_kind_names_distinct;
+    case "summary printing" test_summary_prints;
+  ]

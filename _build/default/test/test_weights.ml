@@ -1,0 +1,98 @@
+module Weights = Gcs.Weights
+module Params = Gcs.Params
+
+let case name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.float 1e-9
+
+let test_distances_dijkstra () =
+  (* Square with a heavy diagonal: 0-1 (1), 1-2 (1), 2-3 (1), 0-3 (10),
+     0-2 (1.5). *)
+  let weighted = [ ((0, 1), 1.); ((1, 2), 1.); ((2, 3), 1.); ((0, 3), 10.); ((0, 2), 1.5) ] in
+  let d = Weights.distances ~n:4 weighted 0 in
+  Alcotest.check feq "d(0,0)" 0. d.(0);
+  Alcotest.check feq "d(0,1)" 1. d.(1);
+  Alcotest.check feq "d(0,2) via diagonal" 1.5 d.(2);
+  Alcotest.check feq "d(0,3) via 2" 2.5 d.(3)
+
+let test_unreachable () =
+  let d = Weights.distances ~n:3 [ ((0, 1), 1.) ] 0 in
+  Alcotest.(check bool) "node 2 unreachable" true (d.(2) = infinity)
+
+let test_effective_diameter () =
+  let weighted = [ ((0, 1), 2.); ((1, 2), 3.) ] in
+  Alcotest.check feq "diameter" 5. (Weights.effective_diameter ~n:3 weighted);
+  Alcotest.(check bool) "disconnected -> infinity" true
+    (Weights.effective_diameter ~n:3 [ ((0, 1), 1.) ] = infinity)
+
+let test_hop_diameter_weight () =
+  let p = Params.make ~n:8 () in
+  Alcotest.check feq "B0 * hops" (3. *. p.Params.b0) (Weights.hop_diameter_weight p 3)
+
+(* Live-node weights: run a small simulation and read weights off Gamma. *)
+let with_sim f =
+  let n = 4 in
+  let p = Params.make ~n () in
+  let cfg =
+    Gcs.Sim.config ~params:p
+      ~clocks:(Array.init n (fun _ -> Dsim.Hwclock.perfect))
+      ~delay:(Dsim.Delay.constant ~bound:p.Params.delay_bound 0.5)
+      ~initial_edges:(Topology.Static.path n) ()
+  in
+  let sim = Gcs.Sim.create cfg in
+  let nodes = Array.init n (fun i -> Option.get (Gcs.Sim.gradient_node sim i)) in
+  f sim nodes p
+
+let test_live_edge_weight () =
+  with_sim (fun sim nodes p ->
+      Gcs.Sim.run_until sim 5.;
+      (match Weights.edge_weight nodes 0 1 with
+      | Some w ->
+        (* Age ~5: the weight has started its linear decay but is far from
+           the B0 floor. *)
+        Alcotest.(check bool) "young edge weight inside the decay band" true
+          (w <= Params.b p 0. && w >= Params.b p 10.)
+      | None -> Alcotest.fail "edge not weighted after 5 time units");
+      Alcotest.(check bool) "non-adjacent pair has no weight" true
+        (Weights.edge_weight nodes 0 3 = None))
+
+let test_weight_anneals () =
+  with_sim (fun sim nodes p ->
+      Gcs.Sim.run_until sim 5.;
+      let w_young = Option.get (Weights.edge_weight nodes 0 1) in
+      Gcs.Sim.run_until sim (Params.stabilize_real p +. 20.);
+      let w_old = Option.get (Weights.edge_weight nodes 0 1) in
+      Alcotest.(check bool) "weight decays" true (w_old < w_young);
+      Alcotest.(check (float 1e-6)) "floors at B0" p.Params.b0 w_old)
+
+let test_weighted_edges_fallback () =
+  with_sim (fun sim nodes p ->
+      (* At time 0 nothing is in Gamma yet: the fallback birth weight is
+         used. *)
+      Gcs.Sim.run_until sim 0.;
+      let weighted = Weights.weighted_edges nodes (Topology.Static.path 4) in
+      List.iter
+        (fun (_, w) -> Alcotest.check feq "birth weight" (Params.b p 0.) w)
+        weighted)
+
+let test_effective_diameter_anneals_live () =
+  with_sim (fun sim nodes p ->
+      Gcs.Sim.run_until sim 5.;
+      let edges = Topology.Static.path 4 in
+      let early = Weights.effective_diameter ~n:4 (Weights.weighted_edges nodes edges) in
+      Gcs.Sim.run_until sim (Params.stabilize_real p +. 20.);
+      let late = Weights.effective_diameter ~n:4 (Weights.weighted_edges nodes edges) in
+      Alcotest.(check bool) "diameter shrinks" true (late < early);
+      Alcotest.(check (float 1e-6)) "annealed to B0 * hops" (3. *. p.Params.b0) late)
+
+let suite =
+  [
+    case "dijkstra distances" test_distances_dijkstra;
+    case "unreachable" test_unreachable;
+    case "effective diameter" test_effective_diameter;
+    case "hop diameter weight" test_hop_diameter_weight;
+    case "live edge weight" test_live_edge_weight;
+    case "weight anneals to B0" test_weight_anneals;
+    case "fallback for non-Gamma edges" test_weighted_edges_fallback;
+    case "live effective diameter anneals" test_effective_diameter_anneals_live;
+  ]
