@@ -14,8 +14,14 @@ let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 
 let only =
   let rec find i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--only" then
+      if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
+      else begin
+        prerr_endline "--only requires an experiment id (e.g. --only E4)";
+        prerr_endline "usage: main.exe [--quick] [--skip-micro] [--only ID]";
+        exit 2
+      end
     else find (i + 1)
   in
   find 1
@@ -64,6 +70,15 @@ let bench_pqueue =
          done;
          while not (Dsim.Pqueue.is_empty q) do
            ignore (Dsim.Pqueue.pop q)
+         done))
+
+let bench_trace_record =
+  (* Counters-only trace: the hot-path configuration of every experiment. *)
+  let tr = Dsim.Trace.create () in
+  Test.make ~name:"trace-record x100"
+    (Staged.stage (fun () ->
+         for i = 0 to 99 do
+           Dsim.Trace.record tr ~time:1.5 Dsim.Trace.Send i (i + 1) (-1)
          done))
 
 let bench_prng =
@@ -141,7 +156,7 @@ let bench_weighted_diameter =
 
 let microbenches =
   [
-    bench_pqueue; bench_prng; bench_clock_value; bench_params_b;
+    bench_pqueue; bench_trace_record; bench_prng; bench_clock_value; bench_params_b;
     bench_hetero_tolerance; bench_global_skew; bench_local_skew; bench_simulation;
     bench_flexible_distance; bench_weighted_diameter;
   ]

@@ -194,8 +194,13 @@ let sim_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Write the sampled timeline as CSV to $(docv).")
   in
+  let trace_csv =
+    Arg.(value & opt (some string) None
+         & info [ "trace-csv" ] ~docv:"FILE"
+             ~doc:"Retain the structured event log and write it as CSV to $(docv).")
+  in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv =
+      plot loss csv trace_csv =
     let params = make_params ~n ~rho ~b0 in
     let edges = build_topology topology ~n ~seed in
     let drift_spec =
@@ -218,7 +223,13 @@ let sim_cmd =
       if loss > 0. then Dsim.Delay.lossy (Dsim.Prng.of_int (seed + 3)) ~rate:loss delay_policy
       else delay_policy
     in
-    let trace = Dsim.Trace.create () in
+    let trace =
+      (* Entries are only retained (and only then formatted) when the log
+         is requested; otherwise the trace is counters-only and free. *)
+      match trace_csv with
+      | Some _ -> Dsim.Trace.create ~log_limit:1_000_000 ()
+      | None -> Dsim.Trace.create ()
+    in
     let cfg =
       Gcs.Sim.config ~algo ~params ~clocks ~delay:delay_policy ~initial_edges:edges
         ~trace ()
@@ -250,6 +261,15 @@ let sim_cmd =
     Format.printf "events=%d messages=%d jumps=%d@."
       (Dsim.Engine.events_processed engine)
       (Gcs.Sim.total_messages sim) (Gcs.Sim.total_jumps sim);
+    Format.printf "event counts:@.%a@." Dsim.Trace.pp_summary trace;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Dsim.Trace.to_csv trace);
+        close_out oc;
+        Format.printf "wrote %s (%d entries)@." path
+          (List.length (Dsim.Trace.entries trace)))
+      trace_csv;
     Format.printf "max global skew = %.4f (bound G(n) = %.4f)@."
       (Gcs.Metrics.max_global_skew recorder)
       (Gcs.Params.global_skew_bound params);
@@ -289,7 +309,8 @@ let sim_cmd =
       (fun path ->
         let table =
           Analysis.Table.create ~title:"timeline"
-            ~columns:[ "time"; "global_skew"; "local_skew"; "lmax_lag"; "clock_lag" ]
+            ~columns:
+              [ "time"; "global_skew"; "local_skew"; "lmax_lag"; "clock_lag"; "events" ]
         in
         List.iter
           (fun s ->
@@ -300,6 +321,7 @@ let sim_cmd =
                 Analysis.Table.Float s.Gcs.Metrics.local_skew;
                 Analysis.Table.Float s.Gcs.Metrics.lmax_lag;
                 Analysis.Table.Float s.Gcs.Metrics.clock_lag;
+                Analysis.Table.Int s.Gcs.Metrics.events;
               ])
           (Gcs.Metrics.samples recorder);
         let oc = open_out path in
@@ -321,7 +343,7 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
-      $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv)
+      $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv)
 
 (* ------------------------------- main ------------------------------ *)
 

@@ -46,6 +46,7 @@ type sample = {
   local_skew : float;
   lmax_lag : float;
   clock_lag : float;
+  events : int;
 }
 
 type recorder = {
@@ -62,6 +63,7 @@ let probe engine view recorder () =
       local_skew = local_skew view;
       lmax_lag = lmax_lag view;
       clock_lag = clock_lag view;
+      events = Engine.events_processed engine;
     }
     :: recorder.samples;
   Hashtbl.iter

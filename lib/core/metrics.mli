@@ -34,6 +34,7 @@ type sample = {
   local_skew : float;
   lmax_lag : float;
   clock_lag : float;
+  events : int;  (** engine events processed up to this sample *)
 }
 
 type recorder

@@ -82,6 +82,11 @@ let on_discover_add t v =
   adjust_clock t
 
 let on_discover_remove t v =
+  (* The lost-timer watches for silence on a live link; once the removal
+     is discovered, v has already left Γ, so letting it fire would only
+     produce a stale-timer event and a spurious AdjustClock. Cancel it,
+     mirroring the re-arm in [on_receive]. *)
+  Engine.cancel_timer t.ctx (Proto.Lost v);
   Hashtbl.remove t.gamma v;
   t.upsilon <- Int_set.remove v t.upsilon;
   adjust_clock t

@@ -84,6 +84,8 @@ let create cfg =
 
 let engine t = t.engine
 
+let trace t = Engine.trace t.engine
+
 let params t = t.cfg.params
 
 let run_until t horizon = Engine.run_until t.engine horizon

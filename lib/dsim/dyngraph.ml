@@ -1,47 +1,55 @@
-module Edge_tbl = Hashtbl.Make (struct
-  type t = int * int
-
-  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
-  let hash (a, b) = (a * 1_000_003) + b
-end)
-
 module Int_set = Set.Make (Int)
 
-type record = { mutable present : bool; mutable epoch : int; mutable since : float }
+(* Edge records are keyed by the packed int [u * n + v] with [u <= v], so
+   the engine's per-send lookups ([has_edge], [epoch]) hash an immediate
+   int instead of building an [(int * int)] tuple. The endpoints are kept
+   in the record for [edges]. Lookups go through [Hashtbl.find] with a
+   [Not_found] handler rather than [find_opt] to avoid the [Some]
+   allocation on the event hot path. *)
+type record = {
+  ru : int;
+  rv : int;
+  mutable present : bool;
+  mutable epoch : int;
+  mutable since : float;
+}
 
 type t = {
   node_count : int;
-  table : record Edge_tbl.t;
+  table : (int, record) Hashtbl.t;
   adjacency : Int_set.t array;
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Dyngraph.create: n must be positive";
-  { node_count = n; table = Edge_tbl.create 64; adjacency = Array.make n Int_set.empty }
+  { node_count = n; table = Hashtbl.create 64; adjacency = Array.make n Int_set.empty }
 
 let n g = g.node_count
 
 let normalize u v = if u <= v then (u, v) else (v, u)
+
+let key g u v = if u <= v then (u * g.node_count) + v else (v * g.node_count) + u
 
 let check_nodes g u v =
   if u < 0 || v < 0 || u >= g.node_count || v >= g.node_count then
     invalid_arg "Dyngraph: node out of range";
   if u = v then invalid_arg "Dyngraph: self-loop"
 
-let find g u v = Edge_tbl.find_opt g.table (normalize u v)
-
 let has_edge g u v =
-  match find g u v with Some r -> r.present | None -> false
+  match Hashtbl.find g.table (key g u v) with
+  | r -> r.present
+  | exception Not_found -> false
 
 let add_edge g ~now u v =
   check_nodes g u v;
-  let key = normalize u v in
+  let k = key g u v in
   let r =
-    match Edge_tbl.find_opt g.table key with
-    | Some r -> r
-    | None ->
-      let r = { present = false; epoch = 0; since = 0. } in
-      Edge_tbl.add g.table key r;
+    match Hashtbl.find g.table k with
+    | r -> r
+    | exception Not_found ->
+      let lo, hi = normalize u v in
+      let r = { ru = lo; rv = hi; present = false; epoch = 0; since = 0. } in
+      Hashtbl.add g.table k r;
       r
   in
   if r.present then false
@@ -57,30 +65,35 @@ let add_edge g ~now u v =
 let remove_edge g ~now u v =
   check_nodes g u v;
   ignore now;
-  match find g u v with
-  | Some r when r.present ->
+  match Hashtbl.find g.table (key g u v) with
+  | r when r.present ->
     r.present <- false;
     r.epoch <- r.epoch + 1;
     g.adjacency.(u) <- Int_set.remove v g.adjacency.(u);
     g.adjacency.(v) <- Int_set.remove u g.adjacency.(v);
     true
-  | Some _ | None -> false
+  | _ -> false
+  | exception Not_found -> false
 
-let epoch g u v = match find g u v with Some r -> r.epoch | None -> 0
+let epoch g u v =
+  match Hashtbl.find g.table (key g u v) with
+  | r -> r.epoch
+  | exception Not_found -> 0
 
 let since g u v =
-  match find g u v with
-  | Some r when r.present -> Some r.since
-  | Some _ | None -> None
+  match Hashtbl.find g.table (key g u v) with
+  | r when r.present -> Some r.since
+  | _ -> None
+  | exception Not_found -> None
 
 let neighbors g u = Int_set.elements g.adjacency.(u)
 
 let edges g =
-  Edge_tbl.fold (fun key r acc -> if r.present then key :: acc else acc) g.table []
+  Hashtbl.fold (fun _ r acc -> if r.present then (r.ru, r.rv) :: acc else acc) g.table []
   |> List.sort compare
 
 let edge_count g =
-  Edge_tbl.fold (fun _ r acc -> if r.present then acc + 1 else acc) g.table 0
+  Hashtbl.fold (fun _ r acc -> if r.present then acc + 1 else acc) g.table 0
 
 let degree g u = Int_set.cardinal g.adjacency.(u)
 

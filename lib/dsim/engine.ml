@@ -8,6 +8,13 @@ type ('msg, 'timer) event =
   | Timer of { node : int; timer : 'timer; gen : int }
   | Callback of (unit -> unit)
 
+(* FIFO floor of one directed link: the latest scheduled delivery time,
+   valid only for the edge epoch it was recorded under. A float-only
+   record has flat (unboxed) fields, so the per-send update mutates in
+   place without allocating; the epoch is stored as a float for that
+   reason (exact for any realistic change count). *)
+type fifo_cell = { mutable f_epoch : float; mutable f_deadline : float }
+
 type ('msg, 'timer) t = {
   n : int;
   clocks : Hwclock.t array;
@@ -19,7 +26,7 @@ type ('msg, 'timer) t = {
   handlers : ('msg, 'timer) handlers option array;
   timers : ('timer, int) Hashtbl.t array; (* label -> live generation *)
   absence_pending : (int, unit) Hashtbl.t array; (* node -> peers with a pending absence notice *)
-  fifo_last : (int * int, float) Hashtbl.t; (* directed edge -> last delivery time *)
+  fifo_last : (int, fifo_cell) Hashtbl.t; (* src * n + dst -> last delivery *)
   mutable next_gen : int;
   mutable now : float;
   mutable started : bool;
@@ -47,7 +54,7 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace () 
       delay;
       discovery_lag;
       graph = Dyngraph.create ~n;
-      queue = Pqueue.create ();
+      queue = Pqueue.create ~capacity:(max 64 (8 * n)) ();
       trace = (match trace with Some tr -> tr | None -> Trace.create ());
       handlers = Array.make n None;
       timers = Array.init n (fun _ -> Hashtbl.create 8);
@@ -93,30 +100,43 @@ let send ctx ~dst msg =
   let t = ctx.engine in
   let src = ctx.id in
   if dst < 0 || dst >= t.n || dst = src then invalid_arg "Engine.send: bad destination";
-  Trace.record t.trace ~time:t.now Send (Printf.sprintf "%d->%d" src dst);
+  Trace.record t.trace ~time:t.now Send src dst (-1);
   if Dyngraph.has_edge t.graph src dst then begin
     if t.delay.Delay.drop ~src ~dst ~now:t.now then
       (* Silent loss (outside the paper's reliable-link model): no
          delivery and no discovery; only the receiver's lost-timer will
          notice the silence. *)
-      Trace.record t.trace ~time:t.now Drop_lossy (Printf.sprintf "%d->%d" src dst)
+      Trace.record t.trace ~time:t.now Drop_lossy src dst (-1)
     else begin
-    let epoch = Dyngraph.epoch t.graph src dst in
-    let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
-    let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
-    let deliver_at = t.now +. d in
-    (* FIFO per directed link: never deliver before an earlier message. *)
-    let deliver_at =
-      match Hashtbl.find_opt t.fifo_last (src, dst) with
-      | Some last -> Float.max deliver_at last
-      | None -> deliver_at
-    in
-    Hashtbl.replace t.fifo_last (src, dst) deliver_at;
-    Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg })
+      let epoch = Dyngraph.epoch t.graph src dst in
+      let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
+      let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
+      let deliver_at = t.now +. d in
+      (* FIFO per directed link *and* edge epoch: never deliver before an
+         earlier message of the same epoch, but a floor recorded under a
+         previous life of the edge is dead — in-flight messages of that
+         epoch are dropped at delivery, so nothing can be overtaken. *)
+      let fe = float_of_int epoch in
+      let deliver_at =
+        let k = (src * t.n) + dst in
+        match Hashtbl.find t.fifo_last k with
+        | cell ->
+          let floor =
+            if cell.f_epoch = fe then Float.max deliver_at cell.f_deadline
+            else deliver_at
+          in
+          cell.f_epoch <- fe;
+          cell.f_deadline <- floor;
+          floor
+        | exception Not_found ->
+          Hashtbl.add t.fifo_last k { f_epoch = fe; f_deadline = deliver_at };
+          deliver_at
+      in
+      Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg })
     end
   end
   else begin
-    Trace.record t.trace ~time:t.now Drop_no_edge (Printf.sprintf "%d->%d" src dst);
+    Trace.record t.trace ~time:t.now Drop_no_edge src dst (-1);
     (* The model: the sender discovers the absence within D. Coalesce
        multiple failed sends into a single pending notification. *)
     if not (Hashtbl.mem t.absence_pending.(src) dst) then begin
@@ -145,6 +165,8 @@ let now t = t.now
 let graph t = t.graph
 
 let clock t i = t.clocks.(i)
+
+let trace t = t.trace
 
 let check_future t at =
   if at < t.now then invalid_arg "Engine: cannot schedule in the past"
@@ -176,12 +198,17 @@ let dispatch t event =
   match event with
   | Edge_add (u, v) ->
     if Dyngraph.add_edge t.graph ~now:t.now u v then begin
-      Trace.record t.trace ~time:t.now Edge_add (Printf.sprintf "{%d,%d}" u v);
+      Trace.record t.trace ~time:t.now Edge_add u v (-1);
       schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:true
     end
   | Edge_remove (u, v) ->
     if Dyngraph.remove_edge t.graph ~now:t.now u v then begin
-      Trace.record t.trace ~time:t.now Edge_remove (Printf.sprintf "{%d,%d}" u v);
+      Trace.record t.trace ~time:t.now Edge_remove u v (-1);
+      (* The FIFO floors of the removed edge belong to a finished epoch:
+         drop them so a later re-add starts fresh instead of queueing new
+         messages behind the dead epoch's last delivery time. *)
+      Hashtbl.remove t.fifo_last ((u * t.n) + v);
+      Hashtbl.remove t.fifo_last ((v * t.n) + u);
       schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
     end
   | Discover { node; peer; epoch; add } ->
@@ -190,37 +217,37 @@ let dispatch t event =
        discovery (transient changes need not be reported). *)
     if Dyngraph.epoch t.graph node peer = epoch then begin
       if add then begin
-        Trace.record t.trace ~time:t.now Discover_add (Printf.sprintf "%d:{%d,%d}" node node peer);
+        Trace.record t.trace ~time:t.now Discover_add node peer epoch;
         (handlers_of t node).on_discover_add peer
       end
       else begin
-        Trace.record t.trace ~time:t.now Discover_remove
-          (Printf.sprintf "%d:{%d,%d}" node node peer);
+        Trace.record t.trace ~time:t.now Discover_remove node peer epoch;
         (handlers_of t node).on_discover_remove peer
       end
     end
-    else Trace.record t.trace ~time:t.now Discover_stale (Printf.sprintf "%d:{%d,%d}" node node peer)
+    else Trace.record t.trace ~time:t.now Discover_stale node peer epoch
   | Absence { node; peer } ->
     Hashtbl.remove t.absence_pending.(node) peer;
     if not (Dyngraph.has_edge t.graph node peer) then begin
-      Trace.record t.trace ~time:t.now Discover_remove (Printf.sprintf "%d:{%d,%d}" node node peer);
+      Trace.record t.trace ~time:t.now Discover_remove node peer (-1);
       (handlers_of t node).on_discover_remove peer
     end
-    else Trace.record t.trace ~time:t.now Discover_stale (Printf.sprintf "%d:{%d,%d}" node node peer)
+    else Trace.record t.trace ~time:t.now Discover_stale node peer (-1)
   | Deliver { src; dst; epoch; msg } ->
-    if Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch then begin
-      Trace.record t.trace ~time:t.now Deliver (Printf.sprintf "%d->%d" src dst);
+    if Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch
+    then begin
+      Trace.record t.trace ~time:t.now Deliver src dst epoch;
       (handlers_of t dst).on_receive src msg
     end
-    else
-      Trace.record t.trace ~time:t.now Drop_in_flight (Printf.sprintf "%d->%d" src dst)
+    else Trace.record t.trace ~time:t.now Drop_in_flight src dst epoch
   | Timer { node; timer; gen } -> (
-    match Hashtbl.find_opt t.timers.(node) timer with
-    | Some live when live = gen ->
+    match Hashtbl.find t.timers.(node) timer with
+    | live when live = gen ->
       Hashtbl.remove t.timers.(node) timer;
-      Trace.record t.trace ~time:t.now Timer_fire (string_of_int node);
+      Trace.record t.trace ~time:t.now Timer_fire node (-1) (-1);
       (handlers_of t node).on_timer timer
-    | Some _ | None -> Trace.record t.trace ~time:t.now Timer_stale (string_of_int node))
+    | _ -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1)
+    | exception Not_found -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1))
   | Callback f -> f ()
 
 let start t =
@@ -234,18 +261,17 @@ let start t =
 let run_until t horizon =
   if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
   start t;
+  (* [next_time]/[pop_exn] instead of [peek_time]/[pop]: no option or
+     tuple allocation per event. *)
   let rec loop () =
-    match Pqueue.peek_time t.queue with
-    | Some time when time <= horizon ->
-      (match Pqueue.pop t.queue with
-      | Some (time, event) ->
-        assert (time >= t.now);
-        t.now <- time;
-        t.events_processed <- t.events_processed + 1;
-        dispatch t event
-      | None -> ());
+    let time = Pqueue.next_time t.queue in
+    if time <= horizon then begin
+      assert (time >= t.now);
+      t.now <- time;
+      t.events_processed <- t.events_processed + 1;
+      dispatch t (Pqueue.pop_exn t.queue);
       loop ()
-    | Some _ | None -> ()
+    end
   in
   loop ();
   t.now <- horizon

@@ -90,6 +90,10 @@ val graph : ('msg, 'timer) t -> Dyngraph.t
 
 val clock : ('msg, 'timer) t -> int -> Hwclock.t
 
+val trace : ('msg, 'timer) t -> Trace.t
+(** The trace the engine records into — the one passed to {!create}, or
+    the private counters-only trace it made otherwise. *)
+
 val schedule_edge_add : ('msg, 'timer) t -> at:float -> int -> int -> unit
 
 val schedule_edge_remove : ('msg, 'timer) t -> at:float -> int -> int -> unit

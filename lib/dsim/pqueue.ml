@@ -1,80 +1,149 @@
-type 'a cell = { time : float; seq : int; payload : 'a }
+(* Binary heap over three parallel arrays instead of an array of cells:
+   [times] is an unboxed [float array], so a push allocates nothing (the
+   old cell-per-push representation allocated a 4-word block per event and
+   kept popped cells — and therefore delivered payloads — live in the
+   heap array until they were overwritten by later pushes).
+
+   The payload array is typed [Obj.t] internally so vacated slots can be
+   reset to a sentinel ([dummy]) the moment an element leaves the heap;
+   without that, the queue retains the last max-size payloads against the
+   GC. The [Obj] casts never escape this module: every payload stored is
+   an ['a] boxed/immediate value belonging to the phantom parameter of
+   ['a t], and slots beyond [size] always hold [dummy]. *)
 
 type 'a t = {
-  mutable cells : 'a cell array; (* heap in [0, size) *)
+  mutable times : float array; (* heap order lives in [0, size) *)
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
 }
 
+let dummy : Obj.t = Obj.repr ()
+
 let create ?(capacity = 64) () =
-  { cells = [||]; size = 0; next_seq = 0 }
-  |> fun q ->
-  ignore capacity;
-  q
+  if capacity < 0 then invalid_arg "Pqueue.create: negative capacity";
+  let cap = max capacity 1 in
+  {
+    times = Array.make cap 0.;
+    seqs = Array.make cap 0;
+    payloads = Array.make cap dummy;
+    size = 0;
+    next_seq = 0;
+  }
 
 let is_empty q = q.size = 0
 
 let size q = q.size
 
+let capacity q = Array.length q.times
+
 let clear q =
-  q.cells <- [||];
-  q.size <- 0
+  (* Release every retained payload and restart the tie-break sequence so
+     a cleared queue behaves exactly like a fresh one. *)
+  Array.fill q.payloads 0 q.size dummy;
+  q.size <- 0;
+  q.next_seq <- 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow q cell =
-  let n = Array.length q.cells in
-  let cap = if n = 0 then 64 else 2 * n in
-  let cells = Array.make cap cell in
-  Array.blit q.cells 0 cells 0 q.size;
-  q.cells <- cells
+let grow q =
+  let n = Array.length q.times in
+  let cap = 2 * n in
+  let times = Array.make cap 0. in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap dummy in
+  Array.blit q.times 0 times 0 q.size;
+  Array.blit q.seqs 0 seqs 0 q.size;
+  Array.blit q.payloads 0 payloads 0 q.size;
+  q.times <- times;
+  q.seqs <- seqs;
+  q.payloads <- payloads
 
 let push q ~time payload =
   if not (Float.is_finite time) then invalid_arg "Pqueue.push: non-finite time";
-  let cell = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  if q.size >= Array.length q.cells then grow q cell;
-  (* Sift up. *)
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  if q.size >= Array.length q.times then grow q;
+  (* Sift a hole up from the end to the insertion point, then fill it. *)
   let i = ref q.size in
   q.size <- q.size + 1;
-  q.cells.(!i) <- cell;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before cell q.cells.(parent) then begin
-      q.cells.(!i) <- q.cells.(parent);
-      q.cells.(parent) <- cell;
+    let pt = q.times.(parent) in
+    if time < pt || (time = pt && seq < q.seqs.(parent)) then begin
+      q.times.(!i) <- pt;
+      q.seqs.(!i) <- q.seqs.(parent);
+      q.payloads.(!i) <- q.payloads.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  q.times.(!i) <- time;
+  q.seqs.(!i) <- seq;
+  q.payloads.(!i) <- Obj.repr payload
+
+(* Remove the root. Precondition: [q.size > 0]. The vacated slot (and, at
+   size 1, the root itself) is reset to [dummy] so the payload is
+   collectable as soon as the caller drops it. *)
+let remove_min q =
+  let payload = q.payloads.(0) in
+  let last = q.size - 1 in
+  q.size <- last;
+  if last = 0 then q.payloads.(0) <- dummy
+  else begin
+    let time = q.times.(last) and seq = q.seqs.(last) in
+    let pl = q.payloads.(last) in
+    q.payloads.(last) <- dummy;
+    (* Sift the hole down from the root, then drop the former last
+       element into it. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= last then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < last
+            && (q.times.(r) < q.times.(l)
+               || (q.times.(r) = q.times.(l) && q.seqs.(r) < q.seqs.(l)))
+          then r
+          else l
+        in
+        if q.times.(c) < time || (q.times.(c) = time && q.seqs.(c) < seq) then begin
+          q.times.(!i) <- q.times.(c);
+          q.seqs.(!i) <- q.seqs.(c);
+          q.payloads.(!i) <- q.payloads.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    q.times.(!i) <- time;
+    q.seqs.(!i) <- seq;
+    q.payloads.(!i) <- pl
+  end;
+  payload
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.cells.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      let last = q.cells.(q.size) in
-      q.cells.(0) <- last;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < q.size && before q.cells.(l) q.cells.(!smallest) then smallest := l;
-        if r < q.size && before q.cells.(r) q.cells.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = q.cells.(!i) in
-          q.cells.(!i) <- q.cells.(!smallest);
-          q.cells.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = q.times.(0) in
+    Some (time, Obj.obj (remove_min q))
   end
 
-let peek_time q = if q.size = 0 then None else Some q.cells.(0).time
+let pop_exn q =
+  if q.size = 0 then invalid_arg "Pqueue.pop_exn: empty queue";
+  Obj.obj (remove_min q)
+
+let peek_time q = if q.size = 0 then None else Some q.times.(0)
+
+let next_time q = if q.size = 0 then Float.infinity else q.times.(0)
+
+let drain q f =
+  while q.size > 0 do
+    let time = q.times.(0) in
+    let payload = Obj.obj (remove_min q) in
+    f ~time payload
+  done

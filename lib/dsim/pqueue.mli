@@ -2,11 +2,18 @@
 
     A binary heap ordered by [(time, sequence)]: events at equal times pop
     in insertion order, which gives the simulator a deterministic total
-    order and preserves FIFO delivery for zero-delay messages. *)
+    order and preserves FIFO delivery for zero-delay messages.
+
+    The implementation stores times in an unboxed float array and keeps no
+    reference to popped payloads, so the engine's push/pop cycle allocates
+    nothing beyond the payloads themselves. *)
 
 type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
+(** [create ?capacity ()] pre-allocates room for [capacity] events
+    (default 64); the heap still grows on demand past it. Raises
+    [Invalid_argument] on a negative capacity. *)
 
 val push : 'a t -> time:float -> 'a -> unit
 (** Insert an event at [time]. [time] must be finite. *)
@@ -14,11 +21,30 @@ val push : 'a t -> time:float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event, if any. *)
 
+val pop_exn : 'a t -> 'a
+(** Remove and return the earliest event's payload. Raises
+    [Invalid_argument] on an empty queue. Combined with {!next_time} this
+    is the allocation-free variant of {!pop}. *)
+
 val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
 
+val next_time : 'a t -> float
+(** Time of the earliest event, or [infinity] when the queue is empty.
+    Unlike {!peek_time} this allocates nothing. *)
+
+val drain : 'a t -> (time:float -> 'a -> unit) -> unit
+(** [drain q f] pops every event in order, calling [f ~time payload] on
+    each. The queue is empty afterwards (the tie-break sequence keeps
+    counting; use {!clear} to reset it). *)
+
 val size : 'a t -> int
+
+val capacity : 'a t -> int
+(** Current allocated room (≥ {!size}). *)
 
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+(** Drop all pending events, release their payloads to the GC, and reset
+    the tie-break sequence so the queue behaves like a fresh one. *)

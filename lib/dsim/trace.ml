@@ -46,31 +46,73 @@ let all_kinds =
   [ Send; Deliver; Drop_no_edge; Drop_in_flight; Drop_lossy; Edge_add; Edge_remove;
     Discover_add; Discover_remove; Discover_stale; Timer_fire; Timer_stale ]
 
-type entry = { time : float; kind : kind; detail : string }
+type entry = { time : float; kind : kind; a : int; b : int; c : int }
 
 type t = {
   counters : int array;
   log_limit : int;
+  verbosity : int;
+  sink : Format.formatter;
   mutable log : entry list; (* newest first *)
   mutable log_size : int;
 }
 
-let create ?(log_limit = 0) () =
-  { counters = Array.make kind_count 0; log_limit; log = []; log_size = 0 }
+let create ?(log_limit = 0) ?(verbosity = 0) ?(sink = Format.err_formatter) () =
+  {
+    counters = Array.make kind_count 0;
+    log_limit;
+    verbosity;
+    sink;
+    log = [];
+    log_size = 0;
+  }
 
-let record t ~time kind detail =
+(* Entry fields are formatted to match the free-form detail strings the
+   engine used to build eagerly: endpoints for message events, the edge
+   for topology events, the observing node for discovery and timers. *)
+let pp_detail fmt e =
+  match e.kind with
+  | Send | Deliver | Drop_no_edge | Drop_in_flight | Drop_lossy ->
+    Format.fprintf fmt "%d->%d" e.a e.b
+  | Edge_add | Edge_remove -> Format.fprintf fmt "{%d,%d}" e.a e.b
+  | Discover_add | Discover_remove | Discover_stale ->
+    Format.fprintf fmt "%d:{%d,%d}" e.a e.a e.b
+  | Timer_fire | Timer_stale -> Format.fprintf fmt "%d" e.a
+
+let detail e = Format.asprintf "%a" pp_detail e
+
+let pp_entry fmt e =
+  Format.fprintf fmt "@[<h>%12.6f  %-16s %a@]" e.time (kind_to_string e.kind)
+    pp_detail e
+
+let record t ~time kind a b c =
   let i = kind_index kind in
-  t.counters.(i) <- t.counters.(i) + 1;
+  Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1);
   if t.log_limit > 0 && t.log_size < t.log_limit then begin
-    t.log <- { time; kind; detail } :: t.log;
+    t.log <- { time; kind; a; b; c } :: t.log;
     t.log_size <- t.log_size + 1
-  end
+  end;
+  if t.verbosity > 0 then
+    Format.fprintf t.sink "%a@." pp_entry { time; kind; a; b; c }
 
 let count t kind = t.counters.(kind_index kind)
 
 let total t = Array.fold_left ( + ) 0 t.counters
 
+let counts t = List.map (fun k -> (k, count t k)) all_kinds
+
 let entries t = List.rev t.log
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,kind,a,b,c\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9g,%s,%d,%d,%d\n" e.time (kind_to_string e.kind) e.a
+           e.b e.c))
+    (entries t);
+  Buffer.contents buf
 
 let pp_summary fmt t =
   Format.fprintf fmt "@[<v>";

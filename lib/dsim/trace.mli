@@ -1,5 +1,10 @@
-(** Lightweight execution tracing: event counters plus an optional bounded
-    log of structured records for debugging and assertions in tests. *)
+(** Lightweight execution tracing: per-kind O(1) event counters plus an
+    optional bounded log of structured records.
+
+    Recording is allocation-free when the log is off (the default): a
+    record is a counter increment, and the human-readable rendering of an
+    event is derived lazily from its integer fields only when an entry is
+    actually retained ([log_limit > 0]) or streamed ([verbosity > 0]). *)
 
 type kind =
   | Send
@@ -17,21 +22,48 @@ type kind =
 
 val kind_to_string : kind -> string
 
-type entry = { time : float; kind : kind; detail : string }
+val all_kinds : kind list
+
+type entry = { time : float; kind : kind; a : int; b : int; c : int }
+(** A structured record: the event kind plus up to three integer fields
+    whose meaning depends on the kind — [(src, dst, epoch)] for message
+    events, [(u, v, -1)] for topology events, [(node, peer, epoch)] for
+    discovery events, [(node, -1, -1)] for timers. Unused fields are
+    [-1]. *)
 
 type t
 
-val create : ?log_limit:int -> unit -> t
-(** [log_limit] bounds the number of retained entries (default 0: counters
-    only). *)
+val create : ?log_limit:int -> ?verbosity:int -> ?sink:Format.formatter -> unit -> t
+(** [log_limit] bounds the number of retained entries (default 0:
+    counters only). [verbosity > 0] (default 0) additionally formats and
+    prints every entry to [sink] (default [Format.err_formatter]) as it
+    is recorded. *)
 
-val record : t -> time:float -> kind -> string -> unit
+val record : t -> time:float -> kind -> int -> int -> int -> unit
+(** [record t ~time kind a b c] bumps the kind's counter and, only if the
+    log or streaming is enabled, retains/prints the structured entry.
+    Pass [-1] for fields the kind does not use. *)
 
 val count : t -> kind -> int
 
 val total : t -> int
 
+val counts : t -> (kind * int) list
+(** All per-kind counters, in {!all_kinds} order. *)
+
 val entries : t -> entry list
 (** Retained entries, oldest first. *)
+
+val detail : entry -> string
+(** The entry's detail rendered as the engine's traditional short form,
+    e.g. ["3->4"], ["{0,1}"], ["2:{2,5}"]. *)
+
+val pp_detail : Format.formatter -> entry -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One line: time, kind, detail. *)
+
+val to_csv : t -> string
+(** Retained entries as CSV with header [time,kind,a,b,c]. *)
 
 val pp_summary : Format.formatter -> t -> unit

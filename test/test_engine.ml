@@ -110,6 +110,58 @@ let test_fifo_clamping () =
   Alcotest.(check (list string)) "FIFO order" [ "1:recv(0,first)"; "1:recv(0,second)" ]
     order
 
+let test_fifo_floor_not_inherited_across_epochs () =
+  (* A message with delay 5 sets the link's FIFO floor to t=5, then the
+     edge is removed (the message is dropped in flight) and re-added. A
+     message sent on the new epoch with delay 0.1 must arrive at
+     send-time + 0.1: the dead epoch's floor cannot delay it, because
+     every in-flight message of that epoch is dropped at delivery and so
+     nothing can be overtaken. *)
+  let sent = ref 0 in
+  let delay =
+    Delay.directed ~bound:5. (fun ~src:_ ~dst:_ ~now:_ ->
+        incr sent;
+        if !sent = 1 then 5.0 else 0.1)
+  in
+  let h =
+    make ~delay ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          Engine.send ctx ~dst:1 "old-epoch";
+          Engine.set_timer ctx ~after:3. "resend"
+        end)
+      ~on_timer:(fun ctx _ _ -> Engine.send ctx ~dst:1 "new-epoch")
+      ()
+  in
+  Engine.schedule_edge_remove h.engine ~at:1. 0 1;
+  Engine.schedule_edge_add h.engine ~at:2. 0 1;
+  Engine.run_until h.engine 10.;
+  Alcotest.(check bool) "old-epoch message dropped" false (has h "1:recv(0,old-epoch)");
+  Alcotest.check feq "new-epoch message not delayed behind the dead floor" 3.1
+    (time_of h "1:recv(0,new-epoch)")
+
+let test_fifo_floor_kept_within_epoch () =
+  (* Same shape but without the removal: the floor must still clamp. *)
+  let sent = ref 0 in
+  let delay =
+    Delay.directed ~bound:5. (fun ~src:_ ~dst:_ ~now:_ ->
+        incr sent;
+        if !sent = 1 then 5.0 else 0.1)
+  in
+  let h =
+    make ~delay ~initial_edges:[ (0, 1) ]
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          Engine.send ctx ~dst:1 "first";
+          Engine.set_timer ctx ~after:3. "resend"
+        end)
+      ~on_timer:(fun ctx _ _ -> Engine.send ctx ~dst:1 "second")
+      ()
+  in
+  Engine.run_until h.engine 10.;
+  Alcotest.check feq "first at 5.0" 5.0 (time_of h "1:recv(0,first)");
+  Alcotest.check feq "second clamped to 5.0" 5.0 (time_of h "1:recv(0,second)")
+
 let test_send_without_edge () =
   let trace = Trace.create () in
   let h =
@@ -373,6 +425,8 @@ let suite =
     case "event counters" test_event_counters;
     case "initial edges discovered at 0" test_initial_discovery_at_zero;
     case "FIFO clamping" test_fifo_clamping;
+    case "FIFO floor dies with its epoch" test_fifo_floor_not_inherited_across_epochs;
+    case "FIFO floor persists within an epoch" test_fifo_floor_kept_within_epoch;
     case "send without edge" test_send_without_edge;
     case "edge-add discovery lag" test_edge_add_discovery_lag;
     case "in-flight drop on removal" test_in_flight_drop;

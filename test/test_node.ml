@@ -16,19 +16,19 @@ let params n = Params.make ~n ()
 (* Builds a gradient-node simulation over the given edges and returns the
    node states for inspection. *)
 let build ?(n = 2) ?(clocks = None) ?(delay = None) ?(discovery_lag = 0.)
-    ?(initial_edges = [ (0, 1) ]) ?tolerance () =
-  let p = params n in
+    ?(initial_edges = [ (0, 1) ]) ?tolerance ?timeout ?params:p ?trace () =
+  let p = match p with Some p -> p | None -> params n in
   let clocks =
     match clocks with Some c -> c | None -> Array.init n (fun _ -> Hwclock.perfect)
   in
   let delay =
     match delay with Some d -> d | None -> Delay.constant ~bound:p.Params.delay_bound 0.5
   in
-  let engine = Engine.create ~clocks ~delay ~discovery_lag ~initial_edges () in
+  let engine = Engine.create ~clocks ~delay ~discovery_lag ~initial_edges ?trace () in
   let nodes = Array.make n None in
   for i = 0 to n - 1 do
     Engine.install engine i (fun ctx ->
-        let node = Node.create ?tolerance p ctx in
+        let node = Node.create ?tolerance ?timeout p ctx in
         nodes.(i) <- Some node;
         Node.handlers node)
   done;
@@ -205,6 +205,29 @@ let test_gamma_reentry_after_silence_only () =
   let age = Option.get (Node.peer_age nodes.(0) 1) in
   Alcotest.(check bool) "age restarted after silence" true (age < 6.)
 
+let test_discover_remove_cancels_lost_timer () =
+  (* Discovery of an edge removal drops the peer from Γ; the pending
+     Lost timer must be cancelled with it, or it later fires as a live
+     timer and churns AdjustClock for a peer that is long gone. Large ΔH
+     keeps Tick timers out of the window, so every Timer_fire below
+     would be a stale Lost firing. *)
+  let p =
+    Params.make ~n:2 ~delta_h:50. ()
+  in
+  let trace = Dsim.Trace.create () in
+  let engine, nodes, _ =
+    build ~params:p ~trace ~timeout:(fun ~peer:_ -> 3.) ()
+  in
+  Engine.schedule_edge_remove engine ~at:1. 0 1;
+  (* Updates exchanged at t=0 arrive at t=0.5 and arm Lost timers for
+     t=3.5; the removal is discovered at t=1. Run well past 3.5. *)
+  Engine.run_until engine 10.;
+  Alcotest.(check (list int)) "gamma cleared" [] (Node.gamma nodes.(0));
+  Alcotest.(check int) "no live timer fires after cancellation" 0
+    (Dsim.Trace.count trace Dsim.Trace.Timer_fire);
+  Alcotest.(check int) "both cancelled Lost timers pop as stale" 2
+    (Dsim.Trace.count trace Dsim.Trace.Timer_stale)
+
 let test_isolated_node_follows_own_clock () =
   let engine, nodes, _ = build ~n:2 ~initial_edges:[] () in
   Engine.run_until engine 10.;
@@ -228,5 +251,6 @@ let suite =
     case "jump and message counters" test_jump_counter;
     case "gamma re-entry resets the tolerance clock" test_gamma_reentry_resets_tolerance;
     case "gamma re-entry after pure silence" test_gamma_reentry_after_silence_only;
+    case "discover(remove) cancels the lost timer" test_discover_remove_cancels_lost_timer;
     case "isolated node follows own clock" test_isolated_node_follows_own_clock;
   ]

@@ -58,6 +58,88 @@ let test_clear () =
   Pqueue.clear q;
   Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q)
 
+let test_capacity_honored () =
+  Alcotest.(check int) "requested capacity pre-allocated" 128
+    (Pqueue.capacity (Pqueue.create ~capacity:128 ()));
+  Alcotest.(check int) "default capacity" 64 (Pqueue.capacity (Pqueue.create ()));
+  Alcotest.(check int) "zero clamps to one" 1 (Pqueue.capacity (Pqueue.create ~capacity:0 ()));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Pqueue.create: negative capacity") (fun () ->
+      ignore (Pqueue.create ~capacity:(-1) ()));
+  let q = Pqueue.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Pqueue.push q ~time:(float_of_int i) i
+  done;
+  Alcotest.(check bool) "grows past requested capacity" true (Pqueue.capacity q >= 10);
+  Alcotest.(check (list int)) "still sorted" (List.init 10 Fun.id)
+    (List.map snd (drain q))
+
+(* Popped slots must be reset: the heap array keeping popped cells alive
+   retained every delivered message and callback closure against the GC. *)
+let seed_and_pop q w =
+  let payload = Bytes.make 16 'x' in
+  Weak.set w 0 (Some payload);
+  Pqueue.push q ~time:1. payload;
+  Pqueue.push q ~time:2. (Bytes.make 16 'y');
+  match Pqueue.pop q with Some _ -> () | None -> ()
+
+let test_popped_payload_released () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  seed_and_pop q w;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
+  Alcotest.(check int) "remaining event untouched" 1 (Pqueue.size q)
+
+let seed_and_clear q w =
+  let payload = Bytes.make 16 'z' in
+  Weak.set w 0 (Some payload);
+  Pqueue.push q ~time:1. payload
+
+let test_cleared_payloads_released () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  seed_and_clear q w;
+  Pqueue.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" true (Weak.get w 0 = None)
+
+let test_clear_resets_sequence () =
+  (* After clear the queue must be indistinguishable from a fresh one:
+     same pop order for the same pushes (the tie-break sequence restarts). *)
+  let used = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.push used ~time:(float_of_int (i mod 3)) i
+  done;
+  Pqueue.clear used;
+  let fresh = Pqueue.create () in
+  List.iter
+    (fun q ->
+      List.iteri (fun i t -> Pqueue.push q ~time:t i) [ 2.; 1.; 2.; 1.; 0. ])
+    [ used; fresh ];
+  Alcotest.(check bool) "identical pop sequences" true (drain used = drain fresh)
+
+let test_drain () =
+  let q = Pqueue.create () in
+  List.iter (fun t -> Pqueue.push q ~time:t (int_of_float t)) [ 3.; 1.; 2. ];
+  let out = ref [] in
+  Pqueue.drain q (fun ~time v -> out := (time, v) :: !out);
+  Alcotest.(check (list (pair (float 1e-9) int))) "drained in order"
+    [ (1., 1); (2., 2); (3., 3) ]
+    (List.rev !out);
+  Alcotest.(check bool) "empty after drain" true (Pqueue.is_empty q)
+
+let test_next_time () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "infinity when empty" true (Pqueue.next_time q = Float.infinity);
+  Pqueue.push q ~time:4.5 ();
+  Alcotest.(check (float 1e-9)) "earliest time" 4.5 (Pqueue.next_time q);
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      let q : unit Pqueue.t = Pqueue.create () in
+      ignore (Pqueue.pop_exn q));
+  Alcotest.(check unit) "pop_exn returns payload" () (Pqueue.pop_exn q)
+
 let test_rejects_non_finite () =
   let q = Pqueue.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Pqueue.push: non-finite time")
@@ -113,7 +195,12 @@ let suite =
     case "peek" test_peek_does_not_remove;
     case "growth to 1000" test_grow;
     case "clear" test_clear;
-    case "rejects non-finite times" test_rejects_non_finite;
+    case "capacity honored" test_capacity_honored;
+    case "popped payloads released to the GC" test_popped_payload_released;
+    case "cleared payloads released to the GC" test_cleared_payloads_released;
+    case "clear resets the tie-break sequence" test_clear_resets_sequence;
+    case "drain" test_drain;
+    case "next_time and pop_exn" test_next_time;
     QCheck_alcotest.to_alcotest prop_sorted;
     QCheck_alcotest.to_alcotest prop_stability;
   ]
