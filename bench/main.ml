@@ -104,11 +104,15 @@ let bench_params_b =
 
 let skew_view =
   let clocks = Array.init 64 (fun i -> float_of_int (i * i mod 97)) in
+  let graph = Dsim.Dyngraph.create ~n:64 in
+  List.iter
+    (fun (u, v) -> ignore (Dsim.Dyngraph.add_edge graph ~now:0. u v))
+    (Topology.Static.path 64);
   {
     Gcs.Metrics.n = 64;
     clock_of = (fun i -> clocks.(i));
     lmax_of = (fun i -> clocks.(i) +. 1.);
-    edges = (fun () -> Topology.Static.path 64);
+    iter_edges = Dsim.Dyngraph.iter_edges graph;
   }
 
 let bench_global_skew =

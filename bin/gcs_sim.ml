@@ -199,8 +199,16 @@ let sim_cmd =
          & info [ "trace-csv" ] ~docv:"FILE"
              ~doc:"Retain the structured event log and write it as CSV to $(docv).")
   in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:
+               "Audit the execution: replay the trace against the model obligations \
+                (FIFO, delay <= T, discovery <= D, epochs) and sample the paper \
+                guarantees while running. Exits non-zero on any violation.")
+  in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv =
+      plot loss csv trace_csv audit =
     let params = make_params ~n ~rho ~b0 in
     let edges = build_topology topology ~n ~seed in
     let drift_spec =
@@ -226,9 +234,8 @@ let sim_cmd =
     let trace =
       (* Entries are only retained (and only then formatted) when the log
          is requested; otherwise the trace is counters-only and free. *)
-      match trace_csv with
-      | Some _ -> Dsim.Trace.create ~log_limit:1_000_000 ()
-      | None -> Dsim.Trace.create ()
+      if audit || trace_csv <> None then Dsim.Trace.create ~log_limit:2_000_000 ()
+      else Dsim.Trace.create ()
     in
     let cfg =
       Gcs.Sim.config ~algo ~params ~clocks ~delay:delay_policy ~initial_edges:edges
@@ -248,7 +255,15 @@ let sim_cmd =
       Gcs.Metrics.attach engine view ~every:(horizon /. 200.) ~until:horizon ~watch ()
     in
     let monitor =
-      Gcs.Invariant.attach engine view ~every:(horizon /. 200.) ~until:horizon ()
+      Gcs.Invariant.attach engine view ~params ~every:(horizon /. 200.) ~until:horizon ()
+    in
+    let guarantees =
+      if audit then
+        Some
+          (Audit.Guarantees.attach engine view ~params
+             ~check_envelope:(algo = Gcs.Sim.Gradient && loss = 0. && churn_rate = 0.)
+             ~every:(horizon /. 200.) ~until:horizon ())
+      else None
     in
     Gcs.Sim.run_until sim horizon;
     Format.printf "%a@.@." Gcs.Params.pp params;
@@ -297,6 +312,19 @@ let sim_cmd =
     List.iter
       (fun v -> Format.printf "  %a@." Gcs.Invariant.pp_violation v)
       (Gcs.Invariant.violations monitor);
+    Option.iter
+      (fun guarantees ->
+        let conformance =
+          Audit.Conformance.audit
+            (Audit.Conformance.of_params params ~horizon ~check_gaps:(loss = 0.) ())
+            (Dsim.Trace.entries trace)
+        in
+        let report =
+          Audit.Report.merge conformance (Audit.Guarantees.report guarantees)
+        in
+        Format.printf "audit: %a@." Audit.Report.pp report;
+        if not (Audit.Report.ok report && Gcs.Invariant.ok monitor) then exit 1)
+      guarantees;
     if timeline then begin
       Format.printf "@.%-10s %-12s %-12s %-12s@." "time" "global" "local" "lmax-lag";
       List.iter
@@ -343,11 +371,74 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
-      $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv)
+      $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
+      $ audit)
+
+(* ------------------------------- fuzz ------------------------------ *)
+
+let fuzz_cmd =
+  let doc =
+    "Fuzz the seeded scenario space with fully audited executions, or replay a stored \
+     spec."
+  in
+  let count =
+    Arg.(value & opt int 50
+         & info [ "fuzz" ] ~docv:"N" ~doc:"Number of scenarios to draw and audit.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SPEC"
+             ~doc:
+               "Skip fuzzing and replay this one-line scenario spec (as printed for a \
+                failure), e.g. 'n=8 topo=ring drift=split delay=uniform algo=gradient \
+                churn=1 seed=42 horizon=120'.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the shrunk replay specs of all failures to $(docv), one per line.")
+  in
+  let run seed count replay out =
+    match replay with
+    | Some spec -> (
+      match Audit.Scenario.of_spec spec with
+      | Error msg ->
+        Format.eprintf "bad replay spec: %s@." msg;
+        exit 2
+      | Ok scenario ->
+        let report = Audit.Scenario.run scenario in
+        Format.printf "replaying: %s@.%a@." (Audit.Scenario.to_spec scenario)
+          Audit.Report.pp report;
+        if not (Audit.Report.ok report) then exit 1)
+    | None ->
+      let outcome = Audit.Fuzz.run ~seed ~count in
+      Format.printf "fuzz: %d scenarios audited, %d failures@."
+        outcome.Audit.Fuzz.scenarios_run
+        (List.length outcome.Audit.Fuzz.failures);
+      List.iter
+        (fun f -> Format.printf "%a@." Audit.Fuzz.pp_failure f)
+        outcome.Audit.Fuzz.failures;
+      Option.iter
+        (fun path ->
+          match outcome.Audit.Fuzz.failures with
+          | [] -> ()
+          | failures ->
+            let oc = open_out path in
+            List.iter
+              (fun f ->
+                output_string oc (Audit.Scenario.to_spec f.Audit.Fuzz.shrunk);
+                output_char oc '\n')
+              failures;
+            close_out oc;
+            Format.printf "wrote %s@." path)
+        out;
+      if outcome.Audit.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed_arg $ count $ replay $ out)
 
 (* ------------------------------- main ------------------------------ *)
 
 let () =
   let doc = "Gradient clock synchronization in dynamic networks (SPAA 2009) simulator." in
   let info = Cmd.info "gcs_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; params_cmd; sim_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; params_cmd; sim_cmd; fuzz_cmd ]))

@@ -49,7 +49,9 @@ let () =
   let view = Gcs.Sim.view sim in
   Topology.Churn.schedule engine events;
   let recorder = Gcs.Metrics.attach engine view ~every:1. ~until:horizon () in
-  let monitor = Gcs.Invariant.attach engine view ~every:1. ~until:horizon () in
+  let monitor =
+    Gcs.Invariant.attach engine view ~params:(Gcs.Sim.params sim) ~every:1. ~until:horizon ()
+  in
   Gcs.Sim.run_until sim horizon;
 
   Format.printf "%8s  %12s  %12s@." "time" "global skew" "local skew";

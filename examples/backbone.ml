@@ -44,7 +44,7 @@ let () =
       ~initial_edges:(backbone @ access) ()
   in
   let view =
-    Gcs.Hetero.view nodes (fun () -> Dsim.Dyngraph.edges (Dsim.Engine.graph engine))
+    Gcs.Hetero.view nodes (Dsim.Dyngraph.iter_edges (Dsim.Engine.graph engine))
   in
   let recorder =
     Gcs.Metrics.attach engine view ~every:0.5 ~until:horizon

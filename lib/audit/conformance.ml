@@ -1,0 +1,306 @@
+module Trace = Dsim.Trace
+
+type config = {
+  delay_bound : float;
+  discovery_bound : float;
+  delta_t : float;
+  horizon : float;
+  check_gaps : bool;
+}
+
+let of_params params ~horizon ?(check_gaps = true) () =
+  {
+    delay_bound = params.Gcs.Params.delay_bound;
+    discovery_bound = params.Gcs.Params.discovery_bound;
+    delta_t = Gcs.Params.delta_t params;
+    horizon;
+    check_gaps;
+  }
+
+(* Float comparisons tolerate accumulation relative to the magnitudes
+   involved, mirroring Invariant's slack policy. *)
+let eps_abs = 1e-9
+let eps_rel = 1e-7
+let slack m = eps_abs +. (eps_rel *. Float.abs m)
+
+(* One outstanding discovery obligation: change [o_epoch] at [o_time]
+   must reach both endpoints by [o_deadline] unless superseded by a
+   newer change to the same edge first. *)
+type obligation = {
+  o_epoch : int;
+  o_time : float;
+  o_deadline : float;
+  o_add : bool;
+  mutable o_lo_seen : bool;  (* smaller endpoint notified *)
+  mutable o_hi_seen : bool;
+}
+
+type edge_state = {
+  e_lo : int;
+  e_hi : int;
+  mutable present : bool;
+  mutable epoch : int;
+  mutable obligations : obligation list;  (* newest first *)
+}
+
+type pending_send = { s_time : float; s_epoch : int }
+
+(* Directed-link replay state: the FIFO send queue plus the receipt-gap
+   anchor (last delivery time and the epoch it happened on). *)
+type link_state = {
+  sends : pending_send Queue.t;
+  mutable last_receipt : float;
+  mutable last_receipt_epoch : int;  (* -1: no anchor *)
+}
+
+type state = {
+  cfg : config;
+  edges : (int * int, edge_state) Hashtbl.t;
+  links : (int * int, link_state) Hashtbl.t;
+  mutable violations : Report.violation list;  (* newest first *)
+  mutable audited : int;
+}
+
+let violation st ~time rule detail = st.violations <- { Report.time; rule; detail } :: st.violations
+
+let violationf st ~time rule fmt = Printf.ksprintf (violation st ~time rule) fmt
+
+let edge_state st u v =
+  let k = Dsim.Dyngraph.normalize u v in
+  match Hashtbl.find_opt st.edges k with
+  | Some e -> e
+  | None ->
+    let e = { e_lo = fst k; e_hi = snd k; present = false; epoch = 0; obligations = [] } in
+    Hashtbl.add st.edges k e;
+    e
+
+let link_state st src dst =
+  match Hashtbl.find_opt st.links (src, dst) with
+  | Some l -> l
+  | None ->
+    let l = { sends = Queue.create (); last_receipt = 0.; last_receipt_epoch = -1 } in
+    Hashtbl.add st.links (src, dst) l;
+    l
+
+(* Remove and return the oldest queued send of the given epoch, keeping
+   older sends of other (dead) epochs in place: they are awaiting their
+   own Drop_in_flight. *)
+let take_send link epoch =
+  let keep = Queue.create () in
+  let found = ref None in
+  Queue.iter
+    (fun s ->
+      if !found = None && s.s_epoch = epoch then found := Some s else Queue.add s keep)
+    link.sends;
+  Queue.clear link.sends;
+  Queue.transfer keep link.sends;
+  !found
+
+let on_edge_change st ~time ~add u v =
+  let e = edge_state st u v in
+  if add && e.present then
+    violationf st ~time "edge-double-add" "{%d,%d} added while present" u v;
+  if (not add) && not e.present then
+    violationf st ~time "edge-double-remove" "{%d,%d} removed while absent" u v;
+  e.present <- add;
+  e.epoch <- e.epoch + 1;
+  (* A newer change supersedes every outstanding obligation: the old
+     change became transient and "may or may not" be discovered. *)
+  e.obligations <-
+    [
+      {
+        o_epoch = e.epoch;
+        o_time = time;
+        o_deadline = time +. st.cfg.discovery_bound;
+        o_add = add;
+        o_lo_seen = false;
+        o_hi_seen = false;
+      };
+    ]
+
+let on_discover st ~time ~add node peer epoch =
+  let e = edge_state st node peer in
+  if epoch < 0 then begin
+    (* Absence (re-)notification from a failed send: legal only while
+       the edge is really absent. *)
+    if add then
+      violationf st ~time "absence-notify-add" "%d:{%d,%d} absence notified as add" node
+        node peer
+    else if e.present then
+      violationf st ~time "absence-notify-present" "%d told {%d,%d} absent but it exists"
+        node node peer
+  end
+  else begin
+    match List.find_opt (fun o -> o.o_epoch = epoch) e.obligations with
+    | None ->
+      violationf st ~time "unsolicited-discovery"
+        "%d discovered {%d,%d} epoch %d with no outstanding change" node node peer epoch
+    | Some o ->
+      if o.o_add <> add then
+        violationf st ~time "discovery-kind-mismatch"
+          "{%d,%d} epoch %d changed to %s but discovered as %s" node peer epoch
+          (if o.o_add then "present" else "absent")
+          (if add then "present" else "absent");
+      if time > o.o_deadline +. slack time then
+        violationf st ~time "late-discovery"
+          "%d discovered {%d,%d} epoch %d at %.9g, deadline %.9g" node node peer epoch time
+          o.o_deadline;
+      if node = e.e_lo then o.o_lo_seen <- true else o.o_hi_seen <- true
+  end
+
+let on_send st ~time src dst epoch =
+  let e = edge_state st src dst in
+  if epoch < 0 then begin
+    if e.present then
+      violationf st ~time "send-misclassified-absent" "%d->%d dropped but {%d,%d} exists"
+        src dst src dst
+  end
+  else begin
+    if not e.present then
+      violationf st ~time "send-on-absent-edge" "%d->%d sent but {%d,%d} is absent" src dst
+        src dst
+    else if e.epoch <> epoch then
+      violationf st ~time "send-epoch-mismatch" "%d->%d sent on epoch %d, edge at %d" src
+        dst epoch e.epoch;
+    Queue.add { s_time = time; s_epoch = epoch } (link_state st src dst).sends
+  end
+
+let on_deliver st ~time src dst epoch =
+  let e = edge_state st src dst in
+  if not e.present then
+    violationf st ~time "deliver-on-absent-edge" "%d->%d delivered but {%d,%d} is absent"
+      src dst src dst
+  else if e.epoch <> epoch then
+    violationf st ~time "deliver-across-epochs"
+      "%d->%d delivered on epoch %d but edge is at epoch %d (in-flight messages of a \
+       changed edge must be dropped)"
+      src dst epoch e.epoch;
+  let link = link_state st src dst in
+  (match take_send link epoch with
+  | None ->
+    violationf st ~time "deliver-without-send"
+      "%d->%d delivery on epoch %d has no outstanding send (out-of-order or phantom)" src
+      dst epoch
+  | Some s ->
+    let delay = time -. s.s_time in
+    if delay > st.cfg.delay_bound +. slack time then
+      violationf st ~time "delay-exceeds-T" "%d->%d delay %.9g > T=%.9g" src dst delay
+        st.cfg.delay_bound;
+    if delay < -.slack time then
+      violationf st ~time "deliver-before-send" "%d->%d delivered %.9g before its send" src
+        dst (-.delay));
+  if st.cfg.check_gaps then begin
+    if link.last_receipt_epoch = epoch then begin
+      let gap = time -. link.last_receipt in
+      if gap > st.cfg.delta_t +. slack time then
+        violationf st ~time "receipt-gap-exceeds-dT"
+          "%d->%d silent for %.9g on an unchanged link, bound dT=%.9g" src dst gap
+          st.cfg.delta_t
+    end;
+    link.last_receipt <- time;
+    link.last_receipt_epoch <- epoch
+  end
+
+let on_drop_in_flight st ~time src dst epoch =
+  let e = edge_state st src dst in
+  if e.present && e.epoch = epoch then
+    violationf st ~time "drop-live-message"
+      "%d->%d epoch-%d message dropped though the edge never changed" src dst epoch;
+  match take_send (link_state st src dst) epoch with
+  | Some _ -> ()
+  | None ->
+    violationf st ~time "drop-without-send" "%d->%d in-flight drop with no outstanding send"
+      src dst
+
+let on_drop_lossy st ~time src dst epoch =
+  let link = link_state st src dst in
+  (match take_send link epoch with
+  | Some _ -> ()
+  | None ->
+    violationf st ~time "drop-without-send" "%d->%d lossy drop with no outstanding send" src
+      dst);
+  (* Loss breaks the receipt cadence through no fault of the engine:
+     reset the gap anchor rather than report a phantom silence. *)
+  link.last_receipt_epoch <- -1
+
+let finish st =
+  let horizon = st.cfg.horizon in
+  (* Undelivered messages whose delivery window closed before the end of
+     the run, on an edge that never changed under them. *)
+  Hashtbl.iter
+    (fun (src, dst) link ->
+      let e = edge_state st src dst in
+      Queue.iter
+        (fun s ->
+          if
+            e.present && e.epoch = s.s_epoch
+            && s.s_time +. st.cfg.delay_bound < horizon -. slack horizon
+          then
+            violationf st ~time:horizon "undelivered-within-T"
+              "%d->%d send at %.9g neither delivered nor dropped by %.9g" src dst s.s_time
+              (s.s_time +. st.cfg.delay_bound))
+        link.sends;
+      if st.cfg.check_gaps && link.last_receipt_epoch >= 0 then begin
+        let e = edge_state st src dst in
+        if e.present && e.epoch = link.last_receipt_epoch then begin
+          let gap = horizon -. link.last_receipt in
+          if gap > st.cfg.delta_t +. slack horizon then
+            violationf st ~time:horizon "receipt-gap-exceeds-dT"
+              "%d->%d silent for the last %.9g of the run, bound dT=%.9g" src dst gap
+              st.cfg.delta_t
+        end
+      end)
+    st.links;
+  (* Discovery obligations whose deadline passed unmet. *)
+  Hashtbl.iter
+    (fun _ e ->
+      List.iter
+        (fun o ->
+          if o.o_deadline < horizon -. slack horizon && not (o.o_lo_seen && o.o_hi_seen)
+          then
+            violationf st ~time:o.o_deadline "missed-discovery"
+              "{%d,%d} change at %.9g (epoch %d) undiscovered by %s by deadline %.9g"
+              e.e_lo e.e_hi o.o_time o.o_epoch
+              (match (o.o_lo_seen, o.o_hi_seen) with
+              | false, false -> "both endpoints"
+              | false, true -> Printf.sprintf "node %d" e.e_lo
+              | true, false -> Printf.sprintf "node %d" e.e_hi
+              | true, true -> assert false)
+              o.o_deadline)
+        e.obligations)
+    st.edges
+
+let audit cfg entries =
+  let st =
+    {
+      cfg;
+      edges = Hashtbl.create 64;
+      links = Hashtbl.create 64;
+      violations = [];
+      audited = 0;
+    }
+  in
+  List.iter
+    (fun { Trace.time; kind; a; b; c } ->
+      st.audited <- st.audited + 1;
+      match kind with
+      | Trace.Send -> on_send st ~time a b c
+      | Trace.Deliver -> on_deliver st ~time a b c
+      | Trace.Drop_no_edge ->
+        let e = edge_state st a b in
+        if e.present then
+          violationf st ~time "drop-no-edge-but-present" "%d->%d dropped as edgeless but {%d,%d} exists" a b a b
+      | Trace.Drop_in_flight -> on_drop_in_flight st ~time a b c
+      | Trace.Drop_lossy -> on_drop_lossy st ~time a b c
+      | Trace.Edge_add -> on_edge_change st ~time ~add:true a b
+      | Trace.Edge_remove -> on_edge_change st ~time ~add:false a b
+      | Trace.Discover_add -> on_discover st ~time ~add:true a b c
+      | Trace.Discover_remove -> on_discover st ~time ~add:false a b c
+      | Trace.Discover_stale | Trace.Timer_fire | Trace.Timer_stale -> ())
+    entries;
+  finish st;
+  {
+    Report.violations = List.rev st.violations;
+    events_audited = st.audited;
+    probes = 0;
+  }

@@ -1,0 +1,47 @@
+(** Offline conformance auditor: replays a structured trace and checks
+    every obligation the model of Section 3.2 places on the simulator.
+
+    The auditor reconstructs the dynamic edge set from [Edge_add] /
+    [Edge_remove] entries and a per-directed-link, per-epoch send queue
+    from [Send] entries, then verifies:
+
+    - {b FIFO delivery within the delay bound}: each [Deliver] consumes
+      the oldest outstanding send of its link and epoch; the implied
+      delay must lie in [[0, T]]. Out-of-order delivery surfaces either
+      as a delivery with no outstanding send or as a head-of-queue delay
+      exceeding [T].
+    - {b no delivery across epochs}: a [Deliver] whose epoch is not the
+      edge's current epoch, or whose edge is absent, is a violation —
+      in-flight messages must be dropped when their edge changes.
+    - {b drop justification}: [Drop_in_flight] is only legal if the
+      edge's epoch really did change since the send; [Drop_no_edge] and
+      absence notifications are only legal while the edge is absent.
+    - {b discovery within D}: every topology change obliges both
+      endpoints to observe a matching discovery within
+      [discovery_bound], unless a newer change to the same edge
+      supersedes it first (the paper's transient-change licence).
+    - {b liveness of surviving links} (optional, [check_gaps]): with
+      every algorithm broadcasting each [ΔH] of subjective time,
+      consecutive receipts on an unchanged link may be at most
+      [ΔT = T + ΔH/(1-ρ)] apart — the window that calibrates the
+      [ΔT'] lost-timeout (Section 5).
+
+    The trace must carry a structured log ([log_limit] > total events);
+    counters alone are not enough to audit. *)
+
+type config = {
+  delay_bound : float;  (** T *)
+  discovery_bound : float;  (** D *)
+  delta_t : float;  (** ΔT, the max gap between receipts on a live link *)
+  horizon : float;  (** end of the audited execution *)
+  check_gaps : bool;
+}
+
+val of_params : Gcs.Params.t -> horizon:float -> ?check_gaps:bool -> unit -> config
+(** [check_gaps] defaults to [true]; disable it for executions whose
+    algorithm does not broadcast every [ΔH] or whose delay policy drops
+    messages beyond what the trace records. *)
+
+val audit : config -> Dsim.Trace.entry list -> Report.t
+(** Replay the entries (which must be in time order, as recorded) and
+    return every violation found. *)

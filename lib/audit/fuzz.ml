@@ -1,0 +1,56 @@
+type failure = { original : Scenario.t; shrunk : Scenario.t; report : Report.t }
+
+type outcome = { scenarios_run : int; failures : failure list }
+
+let fails s = not (Report.ok (Scenario.run s))
+
+(* Candidate simplifications in priority order: each returns a strictly
+   "smaller" scenario or None if the knob is already minimal. The greedy
+   pass takes the first candidate that still fails and restarts, so a
+   given failing scenario always walks the same path to its fixpoint. *)
+let candidates s =
+  List.filter_map
+    (fun c -> c)
+    [
+      (if s.Scenario.churn then Some { s with Scenario.churn = false } else None);
+      (if s.Scenario.horizon > 30. then
+         Some { s with Scenario.horizon = Float.max 30. (s.Scenario.horizon /. 2.) }
+       else None);
+      (if s.Scenario.n > 4 then Some { s with Scenario.n = s.Scenario.n - 1 } else None);
+      (if s.Scenario.n > 4 then Some { s with Scenario.n = 4 } else None);
+      (if s.Scenario.drift <> 0 then Some { s with Scenario.drift = 0 } else None);
+      (if s.Scenario.delay <> 0 then Some { s with Scenario.delay = 0 } else None);
+      (if s.Scenario.topo <> 0 then Some { s with Scenario.topo = 0 } else None);
+    ]
+
+let shrink_with ~fails s =
+  if not (fails s) then s
+  else begin
+    let rec go s =
+      match List.find_opt fails (candidates s) with
+      | Some smaller -> go smaller
+      | None -> s
+    in
+    go s
+  end
+
+let shrink s = shrink_with ~fails s
+
+let run ~seed ~count =
+  let prng = Dsim.Prng.of_int seed in
+  let runs = ref 0 in
+  let failures = ref [] in
+  for _ = 1 to count do
+    let s = Scenario.generate prng in
+    incr runs;
+    let report = Scenario.run s in
+    if not (Report.ok report) then begin
+      let shrunk = shrink s in
+      failures := { original = s; shrunk; report = Scenario.run shrunk } :: !failures
+    end
+  done;
+  { scenarios_run = !runs; failures = List.rev !failures }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>replay spec: %s@,(original:  %s)@,%a@]"
+    (Scenario.to_spec f.shrunk) (Scenario.to_spec f.original) Report.pp f.report

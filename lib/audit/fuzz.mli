@@ -1,0 +1,35 @@
+(** Seeded scenario fuzzer with greedy shrinking.
+
+    [run ~seed ~count] draws [count] scenarios from the seeded space,
+    audits each ({!Scenario.run}) and, for every failure, greedily
+    shrinks the scenario — disable churn, halve the horizon, fewer
+    nodes, tamer drift, simpler delays, simpler topology — re-running
+    the audit after each candidate step and keeping it only if it still
+    fails. Shrinking is deterministic: the same failing scenario always
+    converges to the same minimal spec. *)
+
+type failure = {
+  original : Scenario.t;  (** the scenario as drawn *)
+  shrunk : Scenario.t;  (** greedy fixpoint that still fails *)
+  report : Report.t;  (** the shrunk scenario's audit report *)
+}
+
+type outcome = {
+  scenarios_run : int;  (** scenarios drawn and audited (shrink re-runs excluded) *)
+  failures : failure list;
+}
+
+val shrink_with : fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
+(** Greedy deterministic minimization against an arbitrary failure
+    predicate: repeatedly take the first simplification (drop churn,
+    halve horizon, fewer nodes, tamer drift, simpler delay, path
+    topology) that still satisfies [fails], until none does. Returns the
+    input unchanged if it does not fail. *)
+
+val shrink : Scenario.t -> Scenario.t
+(** [shrink_with] against the real audit verdict ([Scenario.run]). *)
+
+val run : seed:int -> count:int -> outcome
+
+val pp_failure : Format.formatter -> failure -> unit
+(** The shrunk replay spec on the first line, then the report. *)

@@ -1,0 +1,59 @@
+module Engine = Dsim.Engine
+
+type t = {
+  mutable violations : Report.violation list;  (* newest first *)
+  mutable probes : int;
+}
+
+let eps_abs = 1e-9
+let eps_rel = 1e-7
+let slack m = eps_abs +. (eps_rel *. Float.abs m)
+
+let probe engine view ~params ~check_envelope mon () =
+  let time = Engine.now engine in
+  mon.probes <- mon.probes + 1;
+  let add rule detail = mon.violations <- { Report.time; rule; detail } :: mon.violations in
+  let g_bound = Gcs.Params.global_skew_bound params in
+  let g = Gcs.Metrics.global_skew view in
+  if g > g_bound +. slack g_bound then
+    add "global-skew-bound" (Printf.sprintf "global skew %.9g > G(n)=%.9g" g g_bound);
+  let lag_bound =
+    (1. +. params.Gcs.Params.rho)
+    *. float_of_int (params.Gcs.Params.n - 1)
+    *. Gcs.Params.delta_t params
+  in
+  let lag = Gcs.Metrics.lmax_lag view in
+  if lag > lag_bound +. slack lag_bound then
+    add "lmax-propagation"
+      (Printf.sprintf "Lmax lag %.9g > (1+rho)(n-1)dT=%.9g" lag lag_bound);
+  if check_envelope then begin
+    let graph = Engine.graph engine in
+    Dsim.Dyngraph.fold_edges graph
+      (fun () u v ->
+        match Dsim.Dyngraph.since graph u v with
+        | None -> ()
+        | Some since ->
+          let age = time -. since in
+          let bound = Gcs.Params.dynamic_local_skew params age in
+          let skew = Gcs.Metrics.edge_skew view u v in
+          if skew > bound +. slack bound then
+            add "local-skew-envelope"
+              (Printf.sprintf "{%d,%d} age %.9g skew %.9g > s(n,age)=%.9g" u v age skew
+                 bound))
+      ()
+  end
+
+let attach engine view ~params ?(check_envelope = false) ~every ~until () =
+  if every <= 0. then invalid_arg "Guarantees.attach: period must be positive";
+  let mon = { violations = []; probes = 0 } in
+  let rec schedule time =
+    if time <= until then
+      Engine.at engine ~time (fun () ->
+          probe engine view ~params ~check_envelope mon ();
+          schedule (time +. every))
+  in
+  schedule (Engine.now engine);
+  mon
+
+let report mon =
+  { Report.violations = List.rev mon.violations; events_audited = 0; probes = mon.probes }

@@ -1,0 +1,33 @@
+(** Online monitor for the paper's quantitative guarantees, sampled
+    periodically while the execution runs (the envelope check needs live
+    edge ages, which the trace does not carry).
+
+    Checked at every probe:
+
+    - {b global skew} ≤ [G(n)] (Theorem 6.9); requires the scenario to
+      preserve interval connectivity, which the fuzzer's topologies and
+      backbone-preserving churn guarantee;
+    - {b max-estimate propagation} (Lemma 6.8): the worst-informed
+      node's [Lmax] trails the best by at most [(1+ρ)(n-1)ΔT] — the
+      true max grows at rate ≤ [1+ρ] while propagating one hop per
+      [ΔT];
+    - {b dynamic local-skew envelope} (Corollary 6.13, optional): every
+      present edge of real age [Δt] carries skew ≤ [s(n, Δt)]
+      ([Params.dynamic_local_skew]). Only the full gradient algorithm
+      guarantees this; disable for the flat and max-only baselines. *)
+
+type t
+
+val attach :
+  (Gcs.Proto.message, Gcs.Proto.timer) Dsim.Engine.t ->
+  Gcs.Metrics.view ->
+  params:Gcs.Params.t ->
+  ?check_envelope:bool ->
+  every:float ->
+  until:float ->
+  unit ->
+  t
+(** Schedule probes from the engine's current time to [until].
+    [check_envelope] defaults to [false]. *)
+
+val report : t -> Report.t

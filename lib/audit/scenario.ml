@@ -1,0 +1,157 @@
+type t = {
+  n : int;
+  topo : int;
+  drift : int;
+  delay : int;
+  algo : int;
+  churn : bool;
+  seed : int;
+  horizon : float;
+}
+
+let topo_names = [| "path"; "ring"; "tree"; "er" |]
+let drift_names = [| "perfect"; "split"; "alternating"; "walk" |]
+let delay_names = [| "maximal"; "zero"; "uniform" |]
+let algo_names = [| "gradient"; "flat"; "max" |]
+
+let to_spec s =
+  Printf.sprintf "n=%d topo=%s drift=%s delay=%s algo=%s churn=%d seed=%d horizon=%g" s.n
+    topo_names.(s.topo) drift_names.(s.drift) delay_names.(s.delay) algo_names.(s.algo)
+    (if s.churn then 1 else 0)
+    s.seed s.horizon
+
+let index_of names value =
+  let rec go i =
+    if i >= Array.length names then None else if names.(i) = value then Some i else go (i + 1)
+  in
+  go 0
+
+let of_spec spec =
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ' ' (String.trim spec) |> List.filter (fun f -> f <> "")
+  in
+  let lookup key =
+    let prefix = key ^ "=" in
+    match
+      List.find_opt (fun f -> String.length f > String.length prefix
+                              && String.sub f 0 (String.length prefix) = prefix)
+        fields
+    with
+    | Some f ->
+      Ok (String.sub f (String.length prefix) (String.length f - String.length prefix))
+    | None -> Error (Printf.sprintf "spec is missing %s=" key)
+  in
+  let int_field key =
+    let* v = lookup key in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s=%s is not an integer" key v)
+  in
+  let named_field key names =
+    let* v = lookup key in
+    match index_of names v with
+    | Some i -> Ok i
+    | None ->
+      Error
+        (Printf.sprintf "%s=%s (expected one of: %s)" key v
+           (String.concat ", " (Array.to_list names)))
+  in
+  let* n = int_field "n" in
+  let* topo = named_field "topo" topo_names in
+  let* drift = named_field "drift" drift_names in
+  let* delay = named_field "delay" delay_names in
+  let* algo = named_field "algo" algo_names in
+  let* churn = int_field "churn" in
+  let* seed = int_field "seed" in
+  let* horizon_s = lookup "horizon" in
+  let* horizon =
+    match float_of_string_opt horizon_s with
+    | Some h when h > 0. -> Ok h
+    | _ -> Error (Printf.sprintf "horizon=%s is not a positive number" horizon_s)
+  in
+  if n < 2 then Error "n must be >= 2"
+  else Ok { n; topo; drift; delay; algo; churn = churn <> 0; seed; horizon }
+
+let generate prng =
+  {
+    n = Dsim.Prng.int_in prng 4 14;
+    topo = Dsim.Prng.int prng 4;
+    drift = Dsim.Prng.int prng 4;
+    delay = Dsim.Prng.int prng 3;
+    algo = Dsim.Prng.int prng 3;
+    churn = Dsim.Prng.bool prng;
+    seed = Dsim.Prng.int prng 1_000_000;
+    horizon = 120.;
+  }
+
+let build_topology s =
+  match s.topo with
+  | 0 -> Topology.Static.path s.n
+  | 1 -> Topology.Static.ring s.n
+  | 2 -> Topology.Static.binary_tree s.n
+  | _ -> Topology.Static.erdos_renyi (Dsim.Prng.of_int s.seed) ~n:s.n ~p:0.5
+
+let run s =
+  let params = Gcs.Params.make ~n:s.n () in
+  let edges = build_topology s in
+  let drift =
+    match s.drift with
+    | 0 -> Gcs.Drift.Perfect
+    | 1 -> Gcs.Drift.Split_extremes
+    | 2 -> Gcs.Drift.Alternating 17.
+    | _ -> Gcs.Drift.Random_walk 9.
+  in
+  let bound = params.Gcs.Params.delay_bound in
+  let delay =
+    match s.delay with
+    | 0 -> Dsim.Delay.maximal ~bound
+    | 1 -> Dsim.Delay.zero ~bound
+    | _ -> Dsim.Delay.uniform (Dsim.Prng.of_int (s.seed + 1)) ~bound
+  in
+  let algo =
+    match s.algo with
+    | 0 -> Gcs.Sim.Gradient
+    | 1 -> Gcs.Sim.Flat_gradient
+    | _ -> Gcs.Sim.Max_only
+  in
+  let clocks = Gcs.Drift.assign params ~horizon:s.horizon ~seed:s.seed drift in
+  let trace = Dsim.Trace.create ~log_limit:2_000_000 () in
+  let cfg = Gcs.Sim.config ~algo ~params ~clocks ~delay ~trace ~initial_edges:edges () in
+  let sim = Gcs.Sim.create cfg in
+  let engine = Gcs.Sim.engine sim in
+  let view = Gcs.Sim.view sim in
+  let guarantees =
+    Guarantees.attach engine view ~params ~check_envelope:(s.algo = 0) ~every:1.
+      ~until:s.horizon ()
+  in
+  let invariants =
+    Gcs.Invariant.attach engine view ~params ~every:1. ~until:s.horizon ()
+  in
+  if s.churn then
+    Topology.Churn.schedule engine
+      (Topology.Churn.random_churn
+         (Dsim.Prng.of_int (s.seed + 2))
+         ~n:s.n ~base:edges ~rate:0.3 ~horizon:s.horizon);
+  Gcs.Sim.run_until sim s.horizon;
+  let conformance =
+    Conformance.audit
+      (Conformance.of_params params ~horizon:s.horizon ())
+      (Dsim.Trace.entries trace)
+  in
+  let validity =
+    {
+      Report.violations =
+        List.map
+          (fun v ->
+            {
+              Report.time = v.Gcs.Invariant.time;
+              rule = "validity-" ^ v.Gcs.Invariant.kind;
+              detail = Printf.sprintf "node %d: %s" v.Gcs.Invariant.node v.Gcs.Invariant.detail;
+            })
+          (Gcs.Invariant.violations invariants);
+      events_audited = 0;
+      probes = Gcs.Invariant.probes invariants;
+    }
+  in
+  Report.merge conformance (Report.merge (Guarantees.report guarantees) validity)

@@ -1,0 +1,38 @@
+(** The fuzzer's scenario space — a seeded point in
+    topology × drift × delay × churn × algorithm, serializable to a
+    one-line replay spec.
+
+    The space generalizes [test_random_scenarios.ml]: small connected
+    topologies, every drift pattern, every lossless delay policy, all
+    three algorithms, optional backbone-preserving churn. A spec string
+    like
+
+    {[ n=8 topo=ring drift=split delay=uniform algo=gradient churn=1 seed=42 horizon=120 ]}
+
+    round-trips through {!to_spec} / {!of_spec}, so a failing scenario
+    can be stored in a test or CI artifact and replayed byte-identically
+    (executions are deterministic given the spec). *)
+
+type t = {
+  n : int;  (** 2 .. *)
+  topo : int;  (** 0 path, 1 ring, 2 binary tree, 3 Erdős–Rényi *)
+  drift : int;  (** 0 perfect, 1 split, 2 alternating, 3 random walk *)
+  delay : int;  (** 0 maximal, 1 zero, 2 uniform *)
+  algo : int;  (** 0 gradient, 1 flat gradient, 2 max-only *)
+  churn : bool;
+  seed : int;
+  horizon : float;
+}
+
+val to_spec : t -> string
+
+val of_spec : string -> (t, string) result
+
+val generate : Dsim.Prng.t -> t
+(** Draw a scenario (n in 4–14, horizon 120, all knobs uniform). *)
+
+val run : t -> Report.t
+(** Build and run the scenario with a structured trace, then audit it:
+    conformance over the trace, guarantees ({!Guarantees}) and validity
+    ({!Gcs.Invariant}) sampled during the run. The local-skew envelope
+    is only asserted for the gradient algorithm. *)

@@ -80,10 +80,10 @@ let create_sim ?discovery_lag ~params ~clocks ~delay ~link_bound ~initial_edges 
   done;
   (engine, Array.map Option.get nodes)
 
-let view nodes edges =
+let view nodes iter_edges =
   {
     Metrics.n = Array.length nodes;
     clock_of = (fun i -> Node.logical_clock nodes.(i));
     lmax_of = (fun i -> Node.max_estimate nodes.(i));
-    edges;
+    iter_edges;
   }

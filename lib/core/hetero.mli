@@ -66,5 +66,5 @@ val create_sim :
 (** A full simulation of heterogeneous-link nodes; returns the engine and
     the node states. Validation mirrors {!Sim.config}. *)
 
-val view : Node.t array -> (unit -> (int * int) list) -> Metrics.view
+val view : Node.t array -> ((int -> int -> unit) -> unit) -> Metrics.view
 (** A metrics view over heterogeneous nodes. *)

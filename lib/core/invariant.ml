@@ -10,15 +10,20 @@ type monitor = {
   mutable primed : bool;
 }
 
-(* Absolute slack for float accumulation over long runs. *)
-let eps = 1e-6
+(* Float slack must scale with the magnitudes compared: clocks and probe
+   gaps grow with the horizon, and a fixed absolute epsilon both masks
+   real sub-epsilon deficits on short runs and fabricates violations on
+   multi-thousand-unit horizons where rounding alone exceeds it. *)
+let eps_abs = 1e-9
+let eps_rel = 1e-7
+let slack magnitude = eps_abs +. (eps_rel *. Float.abs magnitude)
 
 let probe view rate_floor monitor time =
   monitor.probes <- monitor.probes + 1;
   for i = 0 to view.Metrics.n - 1 do
     let l = view.Metrics.clock_of i in
     let lmax = view.Metrics.lmax_of i in
-    if lmax < l -. eps then
+    if lmax < l -. slack l then
       monitor.violations <-
         {
           time;
@@ -30,7 +35,7 @@ let probe view rate_floor monitor time =
     if monitor.primed then begin
       let dt = time -. monitor.prev_time in
       let dl = l -. monitor.prev_clock.(i) in
-      if dl < (rate_floor *. dt) -. eps then
+      if dl < (rate_floor *. dt) -. slack (Float.abs l +. dt) then
         monitor.violations <-
           {
             time;
@@ -45,8 +50,13 @@ let probe view rate_floor monitor time =
   monitor.prev_time <- time;
   monitor.primed <- true
 
-let attach engine view ~every ~until ?(rate_floor = 0.5) () =
+let attach engine view ~params ~every ~until ?rate_floor () =
   if every <= 0. then invalid_arg "Invariant.attach: period must be positive";
+  let rate_floor =
+    match rate_floor with
+    | Some f -> f
+    | None -> 1. -. params.Params.rho
+  in
   let monitor =
     {
       violations = [];

@@ -4,7 +4,7 @@ type view = {
   n : int;
   clock_of : int -> float;
   lmax_of : int -> float;
-  edges : unit -> (int * int) list;
+  iter_edges : (int -> int -> unit) -> unit;
 }
 
 let fold_clocks view f init =
@@ -22,7 +22,9 @@ let global_skew view =
 let edge_skew view u v = Float.abs (view.clock_of u -. view.clock_of v)
 
 let local_skew view =
-  List.fold_left (fun acc (u, v) -> Float.max acc (edge_skew view u v)) 0. (view.edges ())
+  let worst = ref 0. in
+  view.iter_edges (fun u v -> worst := Float.max !worst (edge_skew view u v));
+  !worst
 
 let lmax_lag view =
   let best = ref neg_infinity and worst = ref infinity in

@@ -8,7 +8,8 @@ type view = {
   n : int;
   clock_of : int -> float;      (** logical clock [L_u] now *)
   lmax_of : int -> float;       (** max estimate [Lmax_u] now *)
-  edges : unit -> (int * int) list;  (** edges present now *)
+  iter_edges : (int -> int -> unit) -> unit;
+      (** iterate over edges present now, without allocating *)
 }
 
 val global_skew : view -> float

@@ -107,7 +107,7 @@ let view t =
     Metrics.n = t.cfg.params.Params.n;
     clock_of = logical_clock t;
     lmax_of = lmax t;
-    edges = (fun () -> Dsim.Dyngraph.edges (Engine.graph t.engine));
+    iter_edges = (fun f -> Dsim.Dyngraph.iter_edges (Engine.graph t.engine) f);
   }
 
 let gradient_node t i =

@@ -92,6 +92,15 @@ let edges g =
   Hashtbl.fold (fun _ r acc -> if r.present then (r.ru, r.rv) :: acc else acc) g.table []
   |> List.sort compare
 
+(* Allocation-free traversals for periodic samplers: no list is built, so
+   a probe that runs every few time units costs nothing beyond the visit
+   itself. Order is unspecified (hash order), unlike [edges]. *)
+let iter_edges g f =
+  Hashtbl.iter (fun _ r -> if r.present then f r.ru r.rv) g.table
+
+let fold_edges g f init =
+  Hashtbl.fold (fun _ r acc -> if r.present then f acc r.ru r.rv else acc) g.table init
+
 let edge_count g =
   Hashtbl.fold (fun _ r acc -> if r.present then acc + 1 else acc) g.table 0
 

@@ -37,6 +37,15 @@ val neighbors : t -> int -> int list
 val edges : t -> (int * int) list
 (** Current edge list, normalized and sorted. *)
 
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f u v] (normalized, [u < v]) for every present
+    edge without allocating. Order is unspecified; use {!edges} when a
+    sorted list is needed. *)
+
+val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** Allocation-free fold over present edges, same visit contract as
+    {!iter_edges}. *)
+
 val edge_count : t -> int
 
 val degree : t -> int -> int

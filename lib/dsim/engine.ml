@@ -31,6 +31,8 @@ type ('msg, 'timer) t = {
   mutable now : float;
   mutable started : bool;
   mutable events_processed : int;
+  mutable live_timers : int; (* armed labels across all nodes *)
+  mutable stale_timer_entries : int; (* heap slots whose label was cancelled/re-armed *)
 }
 
 and ('msg, 'timer) handlers = {
@@ -64,12 +66,17 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace () 
       now = 0.;
       started = false;
       events_processed = 0;
+      live_timers = 0;
+      stale_timer_entries = 0;
     }
   in
   List.iter
     (fun (u, v) ->
       if Dyngraph.add_edge t.graph ~now:0. u v then begin
         let epoch = Dyngraph.epoch t.graph u v in
+        (* Record the initial topology so an offline trace replay knows the
+           full edge history, not just the changes scheduled later. *)
+        Trace.record t.trace ~time:0. Edge_add u v (-1);
         (* Initial topology is known immediately. *)
         Pqueue.push t.queue ~time:0. (Discover { node = u; peer = v; epoch; add = true });
         Pqueue.push t.queue ~time:0. (Discover { node = v; peer = u; epoch; add = true })
@@ -100,15 +107,17 @@ let send ctx ~dst msg =
   let t = ctx.engine in
   let src = ctx.id in
   if dst < 0 || dst >= t.n || dst = src then invalid_arg "Engine.send: bad destination";
-  Trace.record t.trace ~time:t.now Send src dst (-1);
   if Dyngraph.has_edge t.graph src dst then begin
+    let epoch = Dyngraph.epoch t.graph src dst in
+    (* The send carries its edge epoch so an offline auditor can pair it
+       with the matching deliver/drop under the per-epoch FIFO discipline. *)
+    Trace.record t.trace ~time:t.now Send src dst epoch;
     if t.delay.Delay.drop ~src ~dst ~now:t.now then
       (* Silent loss (outside the paper's reliable-link model): no
          delivery and no discovery; only the receiver's lost-timer will
          notice the silence. *)
-      Trace.record t.trace ~time:t.now Drop_lossy src dst (-1)
+      Trace.record t.trace ~time:t.now Drop_lossy src dst epoch
     else begin
-      let epoch = Dyngraph.epoch t.graph src dst in
       let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
       let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
       let deliver_at = t.now +. d in
@@ -136,6 +145,7 @@ let send ctx ~dst msg =
     end
   end
   else begin
+    Trace.record t.trace ~time:t.now Send src dst (-1);
     Trace.record t.trace ~time:t.now Drop_no_edge src dst (-1);
     (* The model: the sender discovers the absence within D. Coalesce
        multiple failed sends into a single pending notification. *)
@@ -153,10 +163,21 @@ let set_timer ctx ~after timer =
   let deadline = Hwclock.inverse clock (Hwclock.value clock t.now +. after) in
   let gen = t.next_gen in
   t.next_gen <- gen + 1;
+  (* A re-arm supersedes the pending entry: its heap slot goes stale and
+     will be discarded when it surfaces; the live count is unchanged. *)
+  if Hashtbl.mem t.timers.(ctx.id) timer then
+    t.stale_timer_entries <- t.stale_timer_entries + 1
+  else t.live_timers <- t.live_timers + 1;
   Hashtbl.replace t.timers.(ctx.id) timer gen;
   Pqueue.push t.queue ~time:deadline (Timer { node = ctx.id; timer; gen })
 
-let cancel_timer ctx timer = Hashtbl.remove ctx.engine.timers.(ctx.id) timer
+let cancel_timer ctx timer =
+  let t = ctx.engine in
+  if Hashtbl.mem t.timers.(ctx.id) timer then begin
+    Hashtbl.remove t.timers.(ctx.id) timer;
+    t.live_timers <- t.live_timers - 1;
+    t.stale_timer_entries <- t.stale_timer_entries + 1
+  end
 
 (* Harness-side API --------------------------------------------------- *)
 
@@ -185,7 +206,9 @@ let at t ~time f =
 
 let events_processed t = t.events_processed
 
-let pending_events t = Pqueue.size t.queue
+let pending_events t = Pqueue.size t.queue - t.stale_timer_entries
+
+let live_timers t = t.live_timers
 
 (* Event dispatch ----------------------------------------------------- *)
 
@@ -240,15 +263,23 @@ let dispatch t event =
       (handlers_of t dst).on_receive src msg
     end
     else Trace.record t.trace ~time:t.now Drop_in_flight src dst epoch
+  | Timer { node; timer; _ } ->
+    (* Staleness is resolved in the run loop; only live timers reach here. *)
+    Hashtbl.remove t.timers.(node) timer;
+    t.live_timers <- t.live_timers - 1;
+    Trace.record t.trace ~time:t.now Timer_fire node (-1) (-1);
+    (handlers_of t node).on_timer timer
+  | Callback f -> f ()
+
+(* Is this heap entry a cancelled or superseded timer? Those are discarded
+   at the top of the run loop — they are bookkeeping garbage, not events:
+   they don't count as processed and never reach a handler. *)
+let is_stale_timer t = function
   | Timer { node; timer; gen } -> (
     match Hashtbl.find t.timers.(node) timer with
-    | live when live = gen ->
-      Hashtbl.remove t.timers.(node) timer;
-      Trace.record t.trace ~time:t.now Timer_fire node (-1) (-1);
-      (handlers_of t node).on_timer timer
-    | _ -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1)
-    | exception Not_found -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1))
-  | Callback f -> f ()
+    | live -> live <> gen
+    | exception Not_found -> true)
+  | _ -> false
 
 let start t =
   if not t.started then begin
@@ -268,8 +299,17 @@ let run_until t horizon =
     if time <= horizon then begin
       assert (time >= t.now);
       t.now <- time;
-      t.events_processed <- t.events_processed + 1;
-      dispatch t (Pqueue.pop_exn t.queue);
+      let event = Pqueue.pop_exn t.queue in
+      if is_stale_timer t event then begin
+        t.stale_timer_entries <- t.stale_timer_entries - 1;
+        (match event with
+        | Timer { node; _ } -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1)
+        | _ -> assert false)
+      end
+      else begin
+        t.events_processed <- t.events_processed + 1;
+        dispatch t event
+      end;
       loop ()
     end
   in

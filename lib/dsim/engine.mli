@@ -107,5 +107,14 @@ val run_until : ('msg, 'timer) t -> float -> unit
     horizons. *)
 
 val events_processed : ('msg, 'timer) t -> int
+(** Events dispatched so far. Stale timer entries (cancelled or
+    superseded) are discarded when they surface in the queue and are
+    {e not} counted. *)
 
 val pending_events : ('msg, 'timer) t -> int
+(** Queued events that will actually dispatch: the heap size minus the
+    stale timer entries still awaiting lazy removal. *)
+
+val live_timers : ('msg, 'timer) t -> int
+(** Currently armed timer labels across all nodes (each cancel or re-arm
+    retires the previous entry). *)

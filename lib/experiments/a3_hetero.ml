@@ -29,11 +29,11 @@ let run ~quick =
   let engine, nodes =
     Hetero.create_sim ~params ~clocks ~delay ~link_bound ~initial_edges:edges ()
   in
-  let view = Hetero.view nodes (fun () -> Dsim.Dyngraph.edges (Dsim.Engine.graph engine)) in
+  let view = Hetero.view nodes (Dsim.Dyngraph.iter_edges (Dsim.Engine.graph engine)) in
   let recorder =
     Gcs.Metrics.attach engine view ~every:0.5 ~until:horizon ~watch:edges ()
   in
-  let monitor = Gcs.Invariant.attach engine view ~every:0.5 ~until:horizon () in
+  let monitor = Gcs.Invariant.attach engine view ~params ~every:0.5 ~until:horizon () in
   Dsim.Engine.run_until engine horizon;
   let steady_peak e =
     Analysis.Series.max_value

@@ -33,7 +33,10 @@ let launch ?(watch = []) ?(churn = []) ?(sample_every = 1.0) cfg ~horizon =
   let engine = Gcs.Sim.engine sim in
   let view = Gcs.Sim.view sim in
   let recorder = Gcs.Metrics.attach engine view ~every:sample_every ~until:horizon ~watch () in
-  let invariants = Gcs.Invariant.attach engine view ~every:sample_every ~until:horizon () in
+  let invariants =
+    Gcs.Invariant.attach engine view ~params:(Gcs.Sim.params sim) ~every:sample_every
+      ~until:horizon ()
+  in
   Topology.Churn.schedule engine churn;
   Gcs.Sim.run_until sim horizon;
   { sim; recorder; invariants }
@@ -43,6 +46,6 @@ let default_params ?(rho = 0.05) ?b0 ~n () = Gcs.Params.make ~rho ?b0 ~n ()
 let invariants_check run =
   let violations = Gcs.Invariant.violations run.invariants in
   check ~name:"logical-clock validity" ~pass:(violations = [])
-    "%d violations over %d probes (monotone, rate >= 1/2, L <= Lmax)"
+    "%d violations over %d probes (monotone, rate >= 1-rho, L <= Lmax)"
     (List.length violations)
     (Gcs.Invariant.probes run.invariants)

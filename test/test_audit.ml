@@ -1,0 +1,228 @@
+(* The conformance auditor must flag hand-broken traces — a "broken
+   engine" shim emitting out-of-order deliveries, late discoveries,
+   deliveries on absent edges, delays beyond T — and must stay silent on
+   a well-formed trace. Entries are built directly so each test controls
+   exactly what the faulty engine would have recorded. *)
+
+module Trace = Dsim.Trace
+module Conformance = Audit.Conformance
+module Report = Audit.Report
+
+let params = Gcs.Params.make ~n:4 ()
+
+(* Defaults: T = 1.0, D ~ 1.605, dT ~ 2.053. *)
+let t_bound = params.Gcs.Params.delay_bound
+let d_bound = params.Gcs.Params.discovery_bound
+let dt_bound = Gcs.Params.delta_t params
+
+let cfg ?(check_gaps = true) horizon =
+  Conformance.of_params params ~horizon ~check_gaps ()
+
+let e ?(a = -1) ?(b = -1) ?(c = -1) time kind = { Trace.time; kind; a; b; c }
+
+let rules report =
+  List.map (fun v -> v.Report.rule) report.Report.violations
+
+let has_rule report rule = List.mem rule (rules report)
+
+let check_flags report rule =
+  Alcotest.(check bool)
+    (Printf.sprintf "flags %s (got: %s)" rule (String.concat ", " (rules report)))
+    true (has_rule report rule)
+
+(* A well-formed exchange: edge up at 0, both endpoints discover in
+   time, one message each way inside the delay bound. *)
+let clean_trace =
+  [
+    e 0. Trace.Edge_add ~a:0 ~b:1;
+    e 0.1 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+    e 0.1 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+    e 1.0 Trace.Send ~a:0 ~b:1 ~c:1;
+    e 1.5 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    e 1.6 Trace.Send ~a:1 ~b:0 ~c:1;
+    e 1.9 Trace.Deliver ~a:1 ~b:0 ~c:1;
+  ]
+
+let test_clean_trace_passes () =
+  let report = Conformance.audit (cfg 2.0) clean_trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "no violations (got: %s)" (String.concat ", " (rules report)))
+    true (Report.ok report);
+  Alcotest.(check int) "every entry audited" (List.length clean_trace)
+    report.Report.events_audited
+
+let test_delay_exceeds_t () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.1 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.1 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 1.0 Trace.Send ~a:0 ~b:1 ~c:1;
+      e (1.0 +. t_bound +. 0.8) Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 3.0) trace) "delay-exceeds-T"
+
+(* True FIFO inversion is not directly observable (payload identity is
+   not traced), but it always shows up through head-of-epoch matching:
+   delivering the young send first pairs the delivery with the old one,
+   whose age then breaks the delay bound. *)
+let test_out_of_order_delivery () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.1 Trace.Send ~a:0 ~b:1 ~c:1;
+      e 1.9 Trace.Send ~a:0 ~b:1 ~c:1;
+      (* delivery of the SECOND send overtaking the first *)
+      e 2.0 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 2.05) trace) "delay-exceeds-T"
+
+let test_phantom_delivery () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.1 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.1 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.5 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 1.0) trace) "deliver-without-send"
+
+let test_deliver_on_absent_edge () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.1 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.1 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 1.0 Trace.Send ~a:0 ~b:1 ~c:1;
+      e 1.2 Trace.Edge_remove ~a:0 ~b:1;
+      (* in-flight message of a removed edge must be dropped, not delivered *)
+      e 1.5 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  let report = Conformance.audit (cfg ~check_gaps:false 2.0) trace in
+  check_flags report "deliver-on-absent-edge"
+
+let test_deliver_across_epochs () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.5 Trace.Send ~a:0 ~b:1 ~c:1;
+      e 0.6 Trace.Edge_remove ~a:0 ~b:1;
+      e 0.7 Trace.Edge_add ~a:0 ~b:1;
+      e 0.75 Trace.Discover_add ~a:0 ~b:1 ~c:3;
+      e 0.75 Trace.Discover_add ~a:1 ~b:0 ~c:3;
+      (* stale epoch-1 message surviving a down/up cycle *)
+      e 0.9 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 1.0) trace) "deliver-across-epochs"
+
+let test_send_on_absent_edge () =
+  let trace = [ e 0.5 Trace.Send ~a:0 ~b:1 ~c:1 ] in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 1.0) trace) "send-on-absent-edge"
+
+let test_late_discovery () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e (d_bound +. 0.5) Trace.Discover_add ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  let report = Conformance.audit (cfg ~check_gaps:false (d_bound +. 1.0)) trace in
+  check_flags report "late-discovery";
+  (* node 1 never hears of the edge at all *)
+  check_flags report "missed-discovery"
+
+let test_missed_discovery () =
+  let trace = [ e 0. Trace.Edge_add ~a:0 ~b:1 ] in
+  let report = Conformance.audit (cfg ~check_gaps:false (d_bound +. 1.0)) trace in
+  check_flags report "missed-discovery";
+  Alcotest.(check int) "exactly one violation" 1 (List.length report.Report.violations)
+
+let test_undelivered_within_t () =
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.1 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.1 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.2 Trace.Send ~a:0 ~b:1 ~c:1;
+      (* delivery window [0.2, 0.2+T] closes well before the horizon *)
+    ]
+  in
+  check_flags (Conformance.audit (cfg ~check_gaps:false 3.0) trace) "undelivered-within-T"
+
+let test_receipt_gap () =
+  let gap_start = 0.2 in
+  let gap_end = gap_start +. dt_bound +. 0.75 in
+  let trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e gap_start Trace.Send ~a:0 ~b:1 ~c:1;
+      e gap_start Trace.Deliver ~a:0 ~b:1 ~c:1;
+      e gap_end Trace.Send ~a:0 ~b:1 ~c:1;
+      e gap_end Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  let report = Conformance.audit (cfg ~check_gaps:true (gap_end +. 0.1)) trace in
+  check_flags report "receipt-gap-exceeds-dT";
+  (* the same trace audited without gap checking is quiet *)
+  let report' = Conformance.audit (cfg ~check_gaps:false (gap_end +. 0.1)) trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap check off => ok (got: %s)" (String.concat ", " (rules report')))
+    true (Report.ok report')
+
+let test_report_merge_and_render () =
+  let v t rule = { Report.time = t; rule; detail = "d" } in
+  let r1 = { Report.violations = [ v 1. "a"; v 3. "c" ]; events_audited = 10; probes = 2 } in
+  let r2 = { Report.violations = [ v 2. "b" ]; events_audited = 5; probes = 1 } in
+  let m = Report.merge r1 r2 in
+  Alcotest.(check (list string)) "chronological merge" [ "a"; "b"; "c" ] (rules m);
+  Alcotest.(check int) "summed events" 15 m.Report.events_audited;
+  Alcotest.(check int) "summed probes" 3 m.Report.probes;
+  Alcotest.(check bool) "merged not ok" false (Report.ok m);
+  Alcotest.(check string) "render is deterministic" (Report.render m) (Report.render m)
+
+(* End-to-end: the real engine, audited through the same pipeline the
+   fuzzer uses, produces a clean report. *)
+let test_real_engine_is_conformant () =
+  match
+    Audit.Scenario.of_spec
+      "n=6 topo=ring drift=split delay=uniform algo=gradient churn=1 seed=11 horizon=60"
+  with
+  | Error msg -> Alcotest.failf "spec did not parse: %s" msg
+  | Ok s ->
+    let report = Audit.Scenario.run s in
+    Alcotest.(check bool)
+      (Printf.sprintf "engine run audits clean (got: %s)"
+         (String.concat ", " (rules report)))
+      true (Report.ok report);
+    Alcotest.(check bool) "trace was actually replayed" true
+      (report.Report.events_audited > 100);
+    Alcotest.(check bool) "guarantees were actually probed" true
+      (report.Report.probes > 10)
+
+let suite =
+  [
+    Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
+    Alcotest.test_case "delay > T flagged" `Quick test_delay_exceeds_t;
+    Alcotest.test_case "out-of-order delivery flagged" `Quick test_out_of_order_delivery;
+    Alcotest.test_case "phantom delivery flagged" `Quick test_phantom_delivery;
+    Alcotest.test_case "deliver on absent edge flagged" `Quick test_deliver_on_absent_edge;
+    Alcotest.test_case "deliver across epochs flagged" `Quick test_deliver_across_epochs;
+    Alcotest.test_case "send on absent edge flagged" `Quick test_send_on_absent_edge;
+    Alcotest.test_case "late discovery flagged" `Quick test_late_discovery;
+    Alcotest.test_case "missed discovery flagged" `Quick test_missed_discovery;
+    Alcotest.test_case "undelivered within T flagged" `Quick test_undelivered_within_t;
+    Alcotest.test_case "receipt gap > dT flagged" `Quick test_receipt_gap;
+    Alcotest.test_case "report merge and render" `Quick test_report_merge_and_render;
+    Alcotest.test_case "real engine is conformant" `Quick test_real_engine_is_conformant;
+  ]

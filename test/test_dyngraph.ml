@@ -52,6 +52,20 @@ let test_edges_normalized () =
   Alcotest.(check (list (pair int int))) "normalized sorted" [ (0, 2); (1, 3) ]
     (Dyngraph.edges g)
 
+let test_iter_fold_edges () =
+  let g = Dyngraph.create ~n:4 in
+  ignore (Dyngraph.add_edge g ~now:0. 3 1);
+  ignore (Dyngraph.add_edge g ~now:0. 0 2);
+  ignore (Dyngraph.add_edge g ~now:0. 0 1);
+  ignore (Dyngraph.remove_edge g ~now:1. 0 1);
+  let seen = ref [] in
+  Dyngraph.iter_edges g (fun u v -> seen := (u, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "iter visits present edges, normalized" [ (0, 2); (1, 3) ]
+    (List.sort compare !seen);
+  Alcotest.(check int) "fold agrees with edge_count" (Dyngraph.edge_count g)
+    (Dyngraph.fold_edges g (fun acc _ _ -> acc + 1) 0)
+
 let test_connectivity () =
   let g = Dyngraph.create ~n:4 in
   Alcotest.(check bool) "empty disconnected" false (Dyngraph.is_connected g);
@@ -82,6 +96,7 @@ let suite =
     case "since timestamps" test_since;
     case "neighbors sorted" test_neighbors_sorted;
     case "edges normalized" test_edges_normalized;
+    case "iter/fold edges" test_iter_fold_edges;
     case "connectivity" test_connectivity;
     case "validation" test_validation;
     case "normalize" test_normalize;

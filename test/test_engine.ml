@@ -361,6 +361,50 @@ let test_zero_delay_timer () =
   Engine.run_until h.engine 1.;
   Alcotest.check feq "fires at once" 0. (time_of h "0:timer(now)")
 
+(* Regression for the stale-timer leak: every cancel or re-arm used to
+   leave a dead heap slot that inflated pending_events until its old
+   deadline and was then dispatched (and counted) as a no-op. Stale
+   entries must be invisible to pending_events, discarded rather than
+   dispatched, and excluded from events_processed. *)
+let test_stale_timers_not_counted () =
+  let trace = Trace.create () in
+  let rearms = 50 in
+  let h =
+    make ~trace
+      ~on_init:(fun ctx i ->
+        if i = 0 then begin
+          (* cancel churn: arm and immediately cancel *)
+          for _ = 1 to rearms do
+            Engine.set_timer ctx ~after:100. "lost";
+            Engine.cancel_timer ctx "lost"
+          done;
+          (* re-arm churn: each set supersedes the previous *)
+          for _ = 1 to rearms do
+            Engine.set_timer ctx ~after:50. "beat"
+          done
+        end)
+      ()
+  in
+  (* After init (t=10 < both deadlines): only the one live "beat" timer
+     is actually pending, despite the 100 stale heap slots behind it. *)
+  Engine.run_until h.engine 10.;
+  Alcotest.(check int) "one live timer" 1 (Engine.live_timers h.engine);
+  Alcotest.(check int) "pending sees through stale entries" 1
+    (Engine.pending_events h.engine);
+  Engine.run_until h.engine 200.;
+  let fires = List.filter (fun (_, e) -> e = "0:timer(beat)") (entries h) in
+  Alcotest.(check int) "beat fires once" 1 (List.length fires);
+  Alcotest.(check bool) "lost never fires" false (has h "0:timer(lost)");
+  Alcotest.(check int) "no live timers left" 0 (Engine.live_timers h.engine);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending_events h.engine);
+  (* The single real timer fire; the stale entries are traced but not
+     processed. *)
+  Alcotest.(check int) "stale entries excluded from events_processed" 1
+    (Engine.events_processed h.engine);
+  Alcotest.(check int) "stale discards traced"
+    (2 * rearms - 1)
+    (Trace.count trace Trace.Timer_stale)
+
 let test_event_counters () =
   let h =
     make ~initial_edges:[ (0, 1) ]
@@ -423,6 +467,7 @@ let suite =
     case "same-time add then remove" test_same_time_add_then_remove;
     case "zero-delay timer" test_zero_delay_timer;
     case "event counters" test_event_counters;
+    case "stale timers not counted" test_stale_timers_not_counted;
     case "initial edges discovered at 0" test_initial_discovery_at_zero;
     case "FIFO clamping" test_fifo_clamping;
     case "FIFO floor dies with its epoch" test_fifo_floor_not_inherited_across_epochs;

@@ -1,0 +1,105 @@
+(* Scenario specs must round-trip, shrinking must be deterministic and
+   converge to a fixpoint, and replaying a stored spec must reproduce a
+   byte-identical audit verdict. *)
+
+module Scenario = Audit.Scenario
+module Fuzz = Audit.Fuzz
+module Report = Audit.Report
+
+let scenario_t =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Scenario.to_spec s))
+    ( = )
+
+let sample =
+  {
+    Scenario.n = 8;
+    topo = 1;
+    drift = 2;
+    delay = 2;
+    algo = 0;
+    churn = true;
+    seed = 42;
+    horizon = 120.;
+  }
+
+let test_spec_roundtrip () =
+  let prng = Dsim.Prng.of_int 99 in
+  for _ = 1 to 25 do
+    let s = Scenario.generate prng in
+    match Scenario.of_spec (Scenario.to_spec s) with
+    | Ok s' -> Alcotest.check scenario_t "roundtrip" s s'
+    | Error msg -> Alcotest.failf "roundtrip failed on %S: %s" (Scenario.to_spec s) msg
+  done
+
+let test_spec_errors () =
+  let expect_error spec =
+    match Scenario.of_spec spec with
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+    | Error _ -> ()
+  in
+  expect_error "";
+  expect_error "n=8 topo=ring";
+  expect_error "n=8 topo=moebius drift=split delay=uniform algo=gradient churn=1 seed=1 horizon=60";
+  expect_error "n=one topo=ring drift=split delay=uniform algo=gradient churn=1 seed=1 horizon=60";
+  expect_error "n=8 topo=ring drift=split delay=uniform algo=gradient churn=1 seed=1 horizon=-5";
+  expect_error "n=1 topo=ring drift=split delay=uniform algo=gradient churn=1 seed=1 horizon=60"
+
+let test_generate_deterministic () =
+  let draw seed =
+    let prng = Dsim.Prng.of_int seed in
+    List.init 10 (fun _ -> Scenario.generate prng)
+  in
+  Alcotest.(check (list scenario_t)) "same seed, same scenarios" (draw 7) (draw 7)
+
+(* Against a synthetic failure predicate the greedy pass must walk the
+   documented candidate order to the same fixpoint every time. *)
+let test_shrink_converges_deterministically () =
+  let fails s = s.Scenario.n >= 6 in
+  let big = { sample with Scenario.n = 12; drift = 3; delay = 2; topo = 2 } in
+  let expected =
+    { big with Scenario.n = 6; churn = false; horizon = 30.; drift = 0; delay = 0; topo = 0 }
+  in
+  let shrunk = Fuzz.shrink_with ~fails big in
+  Alcotest.check scenario_t "minimal spec" expected shrunk;
+  Alcotest.check scenario_t "re-shrinking is identical" shrunk (Fuzz.shrink_with ~fails big);
+  Alcotest.check scenario_t "fixpoint: shrinking the minimum is a no-op" shrunk
+    (Fuzz.shrink_with ~fails shrunk);
+  Alcotest.(check bool) "minimum still fails" true (fails shrunk)
+
+let test_shrink_identity_on_pass () =
+  let fails _ = false in
+  Alcotest.check scenario_t "non-failing scenario is untouched" sample
+    (Fuzz.shrink_with ~fails sample)
+
+let test_replay_byte_identical () =
+  let spec = "n=7 topo=tree drift=walk delay=uniform algo=flat churn=1 seed=5 horizon=45" in
+  match Scenario.of_spec spec with
+  | Error msg -> Alcotest.failf "spec did not parse: %s" msg
+  | Ok s ->
+    let first = Report.render (Scenario.run s) in
+    let second = Report.render (Scenario.run s) in
+    Alcotest.(check string) "two replays render identically" first second;
+    Alcotest.(check bool) "replay is non-trivial" true (String.length first > 0)
+
+let test_fuzz_run_clean () =
+  let outcome = Fuzz.run ~seed:3 ~count:5 in
+  Alcotest.(check int) "all scenarios audited" 5 outcome.Fuzz.scenarios_run;
+  Alcotest.(check int)
+    (Printf.sprintf "no failures (got: %s)"
+       (String.concat "; "
+          (List.map (fun f -> Scenario.to_spec f.Fuzz.shrunk) outcome.Fuzz.failures)))
+    0
+    (List.length outcome.Fuzz.failures)
+
+let suite =
+  [
+    Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec error cases" `Quick test_spec_errors;
+    Alcotest.test_case "generate is deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "shrink converges deterministically" `Quick
+      test_shrink_converges_deterministically;
+    Alcotest.test_case "shrink is identity on pass" `Quick test_shrink_identity_on_pass;
+    Alcotest.test_case "replay is byte-identical" `Quick test_replay_byte_identical;
+    Alcotest.test_case "fuzz run on clean engine" `Quick test_fuzz_run_clean;
+  ]

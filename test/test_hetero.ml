@@ -106,7 +106,7 @@ let test_view () =
       ~initial_edges:(Topology.Static.path n) ()
   in
   Dsim.Engine.run_until engine 20.;
-  let view = Hetero.view nodes (fun () -> Dsim.Dyngraph.edges (Dsim.Engine.graph engine)) in
+  let view = Hetero.view nodes (Dsim.Dyngraph.iter_edges (Dsim.Engine.graph engine)) in
   Alcotest.(check int) "n" 3 view.Gcs.Metrics.n;
   Alcotest.(check bool) "clocks advanced" true (view.Gcs.Metrics.clock_of 0 > 19.);
   Alcotest.(check bool) "skew tiny with perfect clocks" true

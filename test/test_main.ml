@@ -33,6 +33,8 @@ let () =
       ("analysis-plot", Test_plot.suite);
       ("weights", Test_weights.suite);
       ("random-scenarios", Test_random_scenarios.suite);
+      ("audit", Test_audit.suite);
+      ("fuzz", Test_fuzz.suite);
       ("golden", Test_golden.suite);
       ("experiments", Test_experiments.suite);
     ]

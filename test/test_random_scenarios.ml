@@ -51,7 +51,9 @@ let run_scenario (n, topo_kind, drift_kind, delay_kind, algo_kind, churn, seed) 
   let engine = Gcs.Sim.engine sim in
   let view = Gcs.Sim.view sim in
   let recorder = Gcs.Metrics.attach engine view ~every:1. ~until:horizon () in
-  let monitor = Gcs.Invariant.attach engine view ~every:1. ~until:horizon () in
+  let monitor =
+    Gcs.Invariant.attach engine view ~params:(Gcs.Sim.params sim) ~every:1. ~until:horizon ()
+  in
   (* Backbone-preserving churn keeps every instant connected, so the
      interval-connectivity premise of Theorem 6.9 holds. *)
   if churn then

@@ -102,7 +102,9 @@ let test_deterministic_replay () =
 
 let test_larger_network_scales () =
   (* Deterministic scale guard: a 200-node path runs to completion with
-     the expected event volume and keeps its guarantees. *)
+     the expected event volume and keeps its guarantees. Stale timer
+     entries (cancelled or superseded) are discarded, not dispatched, so
+     they do not count towards the volume. *)
   let n = 200 in
   let params = Params.make ~n () in
   let cfg =
@@ -116,7 +118,7 @@ let test_larger_network_scales () =
   let sim = Sim.create cfg in
   Sim.run_until sim 50.;
   let events = Dsim.Engine.events_processed (Sim.engine sim) in
-  Alcotest.(check bool) "plausible event volume" true (events > 30_000 && events < 300_000);
+  Alcotest.(check bool) "plausible event volume" true (events > 25_000 && events < 300_000);
   Alcotest.(check bool) "global skew within bound" true
     (Gcs.Metrics.global_skew (Sim.view sim) <= Params.global_skew_bound params)
 
