@@ -6,25 +6,40 @@
    2. runs Bechamel microbenchmarks of the simulator's hot paths.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --skip-micro]
-          dune exec bench/main.exe -- --only E4 *)
+          dune exec bench/main.exe -- --only E4
+          dune exec bench/main.exe -- --quick --jobs 4 *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 
-let only =
+let flag_value name =
   let rec find i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--only" then
+    else if Sys.argv.(i) = name then
       if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
       else begin
-        prerr_endline "--only requires an experiment id (e.g. --only E4)";
-        prerr_endline "usage: main.exe [--quick] [--skip-micro] [--only ID]";
+        Printf.eprintf "%s requires a value (e.g. --only E4, --jobs 4)\n" name;
+        prerr_endline "usage: main.exe [--quick] [--skip-micro] [--only ID] [--jobs N]";
         exit 2
       end
     else find (i + 1)
   in
   find 1
+
+let only = flag_value "--only"
+
+(* Worker domains for the experiment sweeps (results are byte-identical
+   for every value; only the wall clock moves). *)
+let () =
+  match flag_value "--jobs" with
+  | None -> ()
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> Runner.set_default_jobs j
+    | Some _ | None ->
+      Printf.eprintf "--jobs requires a positive integer (got %s)\n" v;
+      exit 2)
 
 (* ------------------------------------------------------------------ *)
 (* Experiment tables                                                    *)

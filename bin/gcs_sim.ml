@@ -25,7 +25,49 @@ let b0_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel runs (0 = one per recommended core). Output \
+           is byte-identical for every value.")
+
+(* Resolve --jobs, install it as the ambient pool size (grid sweeps inside
+   experiments pick it up), and return it for the explicit fan-outs. *)
+let resolve_jobs jobs =
+  let jobs = if jobs <= 0 then Runner.default_jobs () else jobs in
+  Runner.set_default_jobs jobs;
+  jobs
+
 let make_params ~n ~rho ~b0 = Gcs.Params.make ~rho ?b0 ~n ()
+
+(* ------------------------- output plumbing ------------------------- *)
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      Fmt.failwith "output directory %s exists but is not a directory" dir
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    (* Another process may have won the race; only re-check, don't fail. *)
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  (* The happy path closes inside the protected body so flush failures
+     surface; the finally is the backstop that keeps a failed write from
+     leaking the descriptor (double close is harmless). *)
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      close_out oc)
 
 (* ------------------------------ list ------------------------------- *)
 
@@ -55,7 +97,8 @@ let exp_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
   in
-  let run ids quick csv =
+  let run ids quick csv jobs =
+    let jobs = resolve_jobs jobs in
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -67,31 +110,31 @@ let exp_cmd =
             | None -> Fmt.failwith "unknown experiment id %s (try 'list')" id)
           ids
     in
+    let results =
+      Runner.map ~jobs (fun (e : Experiments.Registry.entry) -> e.run ~quick) entries
+    in
     let failed = ref 0 in
-    List.iter
-      (fun (e : Experiments.Registry.entry) ->
-        let result = e.run ~quick in
+    List.iter2
+      (fun (e : Experiments.Registry.entry) result ->
         Format.printf "%a@." Experiments.Common.pp_result result;
         if not (Experiments.Common.all_pass result) then incr failed;
         Option.iter
           (fun dir ->
-            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            mkdir_p dir;
             List.iteri
               (fun i table ->
                 let path =
                   Filename.concat dir
                     (Printf.sprintf "%s_table%d.csv" (String.lowercase_ascii e.id) i)
                 in
-                let oc = open_out path in
-                output_string oc (Analysis.Table.to_csv table);
-                close_out oc;
+                write_file path (Analysis.Table.to_csv table);
                 Format.printf "wrote %s@." path)
               result.Experiments.Common.tables)
           csv)
-      entries;
+      entries results;
     if !failed > 0 then exit 1
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ ids $ quick $ csv)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ ids $ quick $ csv $ jobs_arg)
 
 (* ------------------------------ params ----------------------------- *)
 
@@ -279,9 +322,7 @@ let sim_cmd =
     Format.printf "event counts:@.%a@." Dsim.Trace.pp_summary trace;
     Option.iter
       (fun path ->
-        let oc = open_out path in
-        output_string oc (Dsim.Trace.to_csv trace);
-        close_out oc;
+        write_file path (Dsim.Trace.to_csv trace);
         Format.printf "wrote %s (%d entries)@." path
           (List.length (Dsim.Trace.entries trace)))
       trace_csv;
@@ -352,9 +393,7 @@ let sim_cmd =
                 Analysis.Table.Int s.Gcs.Metrics.events;
               ])
           (Gcs.Metrics.samples recorder);
-        let oc = open_out path in
-        output_string oc (Analysis.Table.to_csv table);
-        close_out oc;
+        write_file path (Analysis.Table.to_csv table);
         Format.printf "wrote %s@." path)
       csv;
     if plot then begin
@@ -398,7 +437,8 @@ let fuzz_cmd =
          & info [ "out" ] ~docv:"FILE"
              ~doc:"Write the shrunk replay specs of all failures to $(docv), one per line.")
   in
-  let run seed count replay out =
+  let run seed count replay out jobs =
+    let jobs = resolve_jobs jobs in
     match replay with
     | Some spec -> (
       match Audit.Scenario.of_spec spec with
@@ -411,7 +451,7 @@ let fuzz_cmd =
           Audit.Report.pp report;
         if not (Audit.Report.ok report) then exit 1)
     | None ->
-      let outcome = Audit.Fuzz.run ~seed ~count in
+      let outcome = Audit.Fuzz.run ~jobs ~seed ~count () in
       Format.printf "fuzz: %d scenarios audited, %d failures@."
         outcome.Audit.Fuzz.scenarios_run
         (List.length outcome.Audit.Fuzz.failures);
@@ -423,18 +463,19 @@ let fuzz_cmd =
           match outcome.Audit.Fuzz.failures with
           | [] -> ()
           | failures ->
-            let oc = open_out path in
+            let buf = Buffer.create 256 in
             List.iter
               (fun f ->
-                output_string oc (Audit.Scenario.to_spec f.Audit.Fuzz.shrunk);
-                output_char oc '\n')
+                Buffer.add_string buf (Audit.Scenario.to_spec f.Audit.Fuzz.shrunk);
+                Buffer.add_char buf '\n')
               failures;
-            close_out oc;
+            write_file path (Buffer.contents buf);
             Format.printf "wrote %s@." path)
         out;
       if outcome.Audit.Fuzz.failures <> [] then exit 1
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed_arg $ count $ replay $ out)
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ count $ replay $ out $ jobs_arg)
 
 (* ------------------------------- main ------------------------------ *)
 

@@ -36,20 +36,32 @@ let shrink_with ~fails s =
 
 let shrink s = shrink_with ~fails s
 
-let run ~seed ~count =
-  let prng = Dsim.Prng.of_int seed in
-  let runs = ref 0 in
-  let failures = ref [] in
-  for _ = 1 to count do
-    let s = Scenario.generate prng in
-    incr runs;
-    let report = Scenario.run s in
-    if not (Report.ok report) then begin
-      let shrunk = shrink s in
-      failures := { original = s; shrunk; report = Scenario.run shrunk } :: !failures
-    end
-  done;
-  { scenarios_run = !runs; failures = List.rev !failures }
+let run ?jobs ~seed ~count () =
+  (* Scenarios are drawn serially from the one seeded stream (explicit
+     recursion: the draw order is the spec), so the scenario set — every
+     per-scenario seed included — is identical whatever the pool size.
+     Audits and shrinks then fan out; Runner.map returns results in draw
+     order, so the failure list (the order failures are reported and
+     shrunk in) matches the serial path byte for byte. *)
+  let scenarios =
+    let prng = Dsim.Prng.of_int seed in
+    let rec draw acc k =
+      if k = 0 then List.rev acc else draw (Scenario.generate prng :: acc) (k - 1)
+    in
+    draw [] count
+  in
+  let failures =
+    Runner.map ?jobs
+      (fun s ->
+        let report = Scenario.run s in
+        if Report.ok report then None
+        else
+          let shrunk = shrink s in
+          Some { original = s; shrunk; report = Scenario.run shrunk })
+      scenarios
+    |> List.filter_map Fun.id
+  in
+  { scenarios_run = count; failures }
 
 let pp_failure fmt f =
   Format.fprintf fmt "@[<v>replay spec: %s@,(original:  %s)@,%a@]"

@@ -29,7 +29,11 @@ val shrink_with : fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
 val shrink : Scenario.t -> Scenario.t
 (** [shrink_with] against the real audit verdict ([Scenario.run]). *)
 
-val run : seed:int -> count:int -> outcome
+val run : ?jobs:int -> seed:int -> count:int -> unit -> outcome
+(** Scenarios are drawn serially from the seeded stream, then audited
+    (and any failures shrunk) on {!Runner.map}'s domain pool — [jobs]
+    defaults to {!Runner.default_jobs}. Failures are reported in draw
+    order, so the outcome is byte-identical for every [jobs]. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 (** The shrunk replay spec on the first line, then the report. *)

@@ -29,11 +29,16 @@ let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   if bound <= 1 lsl 30 then begin
-    (* Rejection sampling for exact uniformity on small bounds. *)
-    let mask = (1 lsl 30) - 1 in
-    let limit = mask / bound * bound in
+    (* Rejection sampling for exact uniformity on small bounds. The
+       acceptance limit must derive from the number of distinct 30-bit
+       draws (2^30), not the largest draw (2^30 - 1): dividing the latter
+       yields limit = 0 when bound = 2^30 (every draw rejected — an
+       infinite loop) and needlessly rejects the top values whenever
+       bound divides 2^30. *)
+    let range = 1 lsl 30 in
+    let limit = range / bound * bound in
     let rec draw () =
-      let v = bits30 g land mask in
+      let v = bits30 g in
       if v < limit then v mod bound else draw ()
     in
     draw ()

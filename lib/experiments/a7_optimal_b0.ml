@@ -38,10 +38,11 @@ let run ~quick =
       ~title:(Printf.sprintf "Optimal B0 vs n (rho=%.2f): B0* = sqrt(8 rho G tau)" rho0)
       ~columns:[ "n"; "B0* (grid)"; "B0* (analytic)"; "S(B0*)"; "S(B0*)/sqrt(n)" ]
   in
+  (* The grid searches fan out over the domain pool; rows are added
+     serially afterwards so table order never depends on scheduling. *)
   let n_points =
     List.map
-      (fun n ->
-        let b0_grid, s_min = grid_minimizer ~n ~rho:rho0 in
+      (fun (n, (b0_grid, s_min)) ->
         let b0_formula = analytic_minimizer ~n ~rho:rho0 in
         Table.add_row table_n
           [
@@ -52,7 +53,7 @@ let run ~quick =
             Table.Float (s_min /. sqrt (float_of_int n));
           ];
         (float_of_int n, b0_grid, b0_formula))
-      ns
+      (Runner.sweep (fun n -> grid_minimizer ~n ~rho:rho0) ns)
   in
   (* rho sweep at fixed n *)
   let n_fixed = 256 in
@@ -64,12 +65,11 @@ let run ~quick =
   in
   let rho_points =
     List.map
-      (fun rho ->
-        let b0_grid, s_min = grid_minimizer ~n:n_fixed ~rho in
+      (fun (rho, (b0_grid, s_min)) ->
         Table.add_row table_rho
           [ Table.Float rho; Table.Float b0_grid; Table.Float s_min ];
         (rho, b0_grid))
-      rhos
+      (Runner.sweep (fun rho -> grid_minimizer ~n:n_fixed ~rho) rhos)
   in
   let slope_n = loglog_slope (List.map (fun (n, b, _) -> (n, b)) n_points) in
   let max_rel_err =

@@ -41,10 +41,12 @@ let run ~quick =
   let b0_base = Common.default_params ~n:n_fixed () in
   let min_b0 = Gcs.Params.min_b0 b0_base in
   let b0_factors = if quick then [ 1.2; 2.5; 5.0 ] else [ 1.2; 2.5; 5.0; 10.0 ] in
-  let b0_sweep = List.map (fun f -> scenario ~n:n_fixed ~b0:(f *. min_b0)) b0_factors in
+  let b0_sweep =
+    List.map snd (Runner.sweep (fun f -> scenario ~n:n_fixed ~b0:(f *. min_b0)) b0_factors)
+  in
   let ns = if quick then [ 32; 48; 64 ] else [ 32; 64; 96; 128 ] in
   let b0_fixed = 1.5 *. min_b0 in
-  let n_sweep = List.map (fun n -> scenario ~n ~b0:b0_fixed) ns in
+  let n_sweep = List.map snd (Runner.sweep (fun n -> scenario ~n ~b0:b0_fixed) ns) in
   let table_b0 =
     Table.create
       ~title:(Printf.sprintf "Settle time vs B0 (path + new edge, n=%d)" n_fixed)

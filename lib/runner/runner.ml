@@ -1,0 +1,120 @@
+(* Fixed-size domain pool with a Mutex/Condition task queue and an
+   order-preserving merge. See runner.mli for the determinism contract. *)
+
+let default =
+  let initial =
+    match Sys.getenv_opt "GCS_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  Atomic.make initial
+
+let default_jobs () = Atomic.get default
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Runner.set_default_jobs: jobs must be >= 1";
+  Atomic.set default jobs
+
+let live = Atomic.make 0
+
+let live_domains () = Atomic.get live
+
+(* One pool per map call: the queue holds item indices; it is filled and
+   closed before the workers start, so [Condition.wait] only matters for
+   future producers (none today) — workers drain until empty-and-closed.
+   Each slot of [results] is written by exactly one worker and read by
+   the caller only after joining that worker, so the array never races. *)
+type 'b pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : int Queue.t;
+  mutable closed : bool;
+  results : ('b, exn * Printexc.raw_backtrace) result option array;
+}
+
+let rec take pool =
+  if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+  else if pool.closed then None
+  else begin
+    Condition.wait pool.nonempty pool.mutex;
+    take pool
+  end
+
+let worker pool f =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let item = take pool in
+    Mutex.unlock pool.mutex;
+    match item with
+    | None -> ()
+    | Some i ->
+      (pool.results.(i) <-
+        Some
+          (match f i with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+      loop ()
+  in
+  loop ()
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> invalid_arg "Runner: jobs must be >= 1"
+
+let map_indexed ?jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = min (resolve_jobs jobs) n in
+  if jobs <= 1 then List.mapi (fun i x -> f i x) items
+  else begin
+    let pool =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        results = Array.make n None;
+      }
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.push i pool.queue
+    done;
+    pool.closed <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    let domains =
+      List.init jobs (fun _ ->
+          Atomic.incr live;
+          Domain.spawn (fun () -> worker pool (fun i -> f i arr.(i))))
+    in
+    List.iter
+      (fun d ->
+        Domain.join d;
+        Atomic.decr live)
+      domains;
+    (* Deterministic error choice: the smallest failing index wins. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      pool.results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         pool.results)
+  end
+
+let map ?jobs f items = map_indexed ?jobs (fun _ x -> f x) items
+
+let map_prng ?jobs prng f items =
+  (* Split serially, in item order, before any fan-out: the streams (and
+     the parent's final state) are independent of jobs and scheduling. *)
+  let streams = Array.of_list (List.map (fun _ -> Dsim.Prng.split prng) items) in
+  map_indexed ?jobs (fun i x -> f streams.(i) x) items
+
+let sweep ?jobs f points = map ?jobs (fun p -> (p, f p)) points

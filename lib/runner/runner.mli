@@ -1,0 +1,63 @@
+(** Deterministic multicore fan-out over a fixed-size domain pool.
+
+    The simulator's three embarrassingly parallel workloads — the
+    experiment registry, the audit fuzzer's seed sweep, and grid-style
+    parameter sweeps inside individual experiments — are independently
+    seeded: no run reads another run's state. {!map} exploits that on an
+    OCaml 5 runtime by distributing items over worker domains while
+    keeping the results indistinguishable from the serial path.
+
+    {2 Determinism contract}
+
+    - {b Order-preserving merge.} Results come back in submission order,
+      whatever order the workers finished in. [map ~jobs f items] equals
+      [List.map f items] element for element, so any output derived from
+      it (reports, tables, CSV) is byte-identical for every [jobs].
+    - {b Per-item split streams.} {!map_prng} derives one child stream
+      per item by calling {!Dsim.Prng.split} on the parent serially, in
+      item order, {e before} any work is distributed. Child streams — and
+      the parent's state afterwards — therefore depend only on the parent
+      seed and the number of items, never on [jobs] or scheduling.
+    - {b No shared mutable state.} The pool hands each worker the item
+      and (for {!map_prng}) its private stream; workers may not touch
+      anything else that is mutable. All code run under the pool must be
+      domain-safe, which every experiment and scenario audit in this
+      repository is (each builds its own engine, trace and tables).
+
+    Exceptions raised by [f] are caught per item; the pool always drains
+    the queue and joins every domain, then re-raises the exception of the
+    smallest failing item index (again independent of scheduling). *)
+
+val default_jobs : unit -> int
+(** Ambient pool size used when [?jobs] is omitted. Initially the value
+    of the [GCS_JOBS] environment variable if it parses as a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the ambient pool size ([gcs_sim]'s [--jobs] does this).
+    Raises [Invalid_argument] if the value is not positive. *)
+
+val live_domains : unit -> int
+(** Number of worker domains currently spawned and not yet joined, over
+    all pools. Always [0] outside a {!map} call — including after a call
+    that re-raised a worker exception; the test suite asserts this. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item on a pool of [jobs]
+    worker domains and returns the results in submission order. With
+    [jobs = 1] (or fewer items than that) no domain is spawned and the
+    call is exactly [List.map f items]. [jobs] defaults to
+    {!default_jobs}. Raises [Invalid_argument] on [jobs < 1]. *)
+
+val map_prng :
+  ?jobs:int -> Dsim.Prng.t -> (Dsim.Prng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_prng ~jobs prng f items] is {!map}, with each item assigned its
+    own {!Dsim.Prng.split} child of [prng] (split serially in item order
+    before fan-out, advancing [prng] once per item). [f] must draw only
+    from the stream it is handed. *)
+
+val sweep : ?jobs:int -> ('a -> 'b) -> 'a list -> ('a * 'b) list
+(** [sweep ~jobs f points] runs [f] on every grid point in parallel and
+    pairs each point with its result, in submission order — the shape
+    wanted by parameter sweeps that tabulate [point -> measurement]
+    rows (E3's B0/n sweeps, A7's optimal-B0 grids). *)

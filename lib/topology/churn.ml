@@ -47,8 +47,11 @@ let final_edges ~initial events =
 let flapping ~extra ~period ~up_for ~horizon =
   if period <= 0. || up_for < 0. || up_for >= period then
     invalid_arg "Churn.flapping: need 0 <= up_for < period";
+  (* Hoisted: recomputing the length inside per_edge made the generator
+     quadratic in the number of flapping edges. *)
+  let edge_count = float_of_int (Stdlib.max 1 (List.length extra)) in
   let per_edge i (u, v) =
-    let phase = period *. float_of_int i /. float_of_int (Stdlib.max 1 (List.length extra)) in
+    let phase = period *. float_of_int i /. edge_count in
     let rec cycle t acc =
       if t >= horizon then acc
       else

@@ -28,6 +28,40 @@ let test_final_edges () =
   Alcotest.(check (list (pair int int))) "net effect" [ (0, 1) ]
     (Churn.final_edges ~initial:[ (0, 1) ] events)
 
+let test_same_time_tie_break () =
+  (* Documented behavior, not an accident: at equal timestamps on the
+     same edge, Add sorts (and is applied) before Remove, so the edge
+     ends down — whatever order the events were built in. *)
+  let add = { Churn.time = 5.; op = Churn.Add; u = 1; v = 0 } in
+  let remove = { Churn.time = 5.; op = Churn.Remove; u = 0; v = 1 } in
+  List.iter
+    (fun events ->
+      (match Churn.normalize events with
+      | [ first; second ] ->
+        Alcotest.(check bool) "Add first" true (first.Churn.op = Churn.Add);
+        Alcotest.(check bool) "Remove second" true (second.Churn.op = Churn.Remove)
+      | _ -> Alcotest.fail "expected both events to survive normalize");
+      Alcotest.(check (list (pair int int))) "edge ends down (initially present)" []
+        (Churn.final_edges ~initial:[ (0, 1) ] events);
+      Alcotest.(check (list (pair int int))) "edge ends down (initially absent)" []
+        (Churn.final_edges ~initial:[] events))
+    [ [ add; remove ]; [ remove; add ] ]
+
+let test_flapping_many_edges_linearish () =
+  (* Regression guard for the hoisted List.length: generating a schedule
+     over many flapping edges must stay well under quadratic work. This
+     is a smoke test (it finishes fast either way at this size) plus a
+     shape check that every edge still gets its staggered phase. *)
+  let extra = List.init 400 (fun i -> (2 * i, (2 * i) + 1)) in
+  let events = Churn.flapping ~extra ~period:10. ~up_for:5. ~horizon:20. in
+  let distinct_times =
+    List.sort_uniq compare (List.map (fun e -> e.Churn.time) events)
+  in
+  Alcotest.(check bool) "phases remain staggered" true
+    (List.length distinct_times > 100);
+  Alcotest.(check bool) "events generated for every edge" true
+    (List.length events >= 400)
+
 let test_flapping_cycle () =
   let events = Churn.flapping ~extra:[ (0, 1) ] ~period:10. ~up_for:6. ~horizon:30. in
   (* Edge starts present: remove at 6, add at 10, remove at 16, add at 20,
@@ -172,6 +206,8 @@ let suite =
     case "final edges" test_final_edges;
     case "flapping cycle" test_flapping_cycle;
     case "flapping staggered phases" test_flapping_phases_differ;
+    case "same-timestamp Add/Remove tie-break" test_same_time_tie_break;
+    case "flapping over many edges" test_flapping_many_edges_linearish;
     case "random churn preserves backbone" test_random_churn_preserves_backbone;
     case "random churn keeps connectivity" test_random_churn_connectivity_invariant;
     case "periodic partition" test_periodic_partition;

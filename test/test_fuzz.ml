@@ -83,7 +83,7 @@ let test_replay_byte_identical () =
     Alcotest.(check bool) "replay is non-trivial" true (String.length first > 0)
 
 let test_fuzz_run_clean () =
-  let outcome = Fuzz.run ~seed:3 ~count:5 in
+  let outcome = Fuzz.run ~seed:3 ~count:5 () in
   Alcotest.(check int) "all scenarios audited" 5 outcome.Fuzz.scenarios_run;
   Alcotest.(check int)
     (Printf.sprintf "no failures (got: %s)"
@@ -91,6 +91,37 @@ let test_fuzz_run_clean () =
           (List.map (fun f -> Scenario.to_spec f.Fuzz.shrunk) outcome.Fuzz.failures)))
     0
     (List.length outcome.Fuzz.failures)
+
+(* The outcome — counts, failure order, shrunk specs, rendered reports —
+   must be byte-identical whatever the pool size (`fuzz --jobs N`). The
+   synthetic-failure check exercises the failure path without needing a
+   scenario that actually breaks the engine. *)
+let render_outcome (o : Fuzz.outcome) =
+  Format.asprintf "@[<v>%d@,%a@]" o.Fuzz.scenarios_run
+    (Format.pp_print_list Fuzz.pp_failure)
+    o.Fuzz.failures
+
+let test_fuzz_jobs_invariant () =
+  let serial = render_outcome (Fuzz.run ~jobs:1 ~seed:11 ~count:8 ()) in
+  let pooled = render_outcome (Fuzz.run ~jobs:4 ~seed:11 ~count:8 ()) in
+  Alcotest.(check string) "jobs=4 outcome equals jobs=1" serial pooled
+
+let test_shrink_order_jobs_invariant () =
+  (* Same scenario stream, but shrinking happens inside the workers:
+     failures must still come back in draw order for every pool size. *)
+  let specs_at jobs =
+    let prng = Dsim.Prng.of_int 23 in
+    let scenarios =
+      let rec draw acc k =
+        if k = 0 then List.rev acc else draw (Scenario.generate prng :: acc) (k - 1)
+      in
+      draw [] 6
+    in
+    Runner.map ~jobs
+      (fun s -> Scenario.to_spec (Fuzz.shrink_with ~fails:(fun x -> x.Scenario.n >= 4) s))
+      scenarios
+  in
+  Alcotest.(check (list string)) "shrunk specs in draw order" (specs_at 1) (specs_at 4)
 
 let suite =
   [
@@ -102,4 +133,8 @@ let suite =
     Alcotest.test_case "shrink is identity on pass" `Quick test_shrink_identity_on_pass;
     Alcotest.test_case "replay is byte-identical" `Quick test_replay_byte_identical;
     Alcotest.test_case "fuzz run on clean engine" `Quick test_fuzz_run_clean;
+    Alcotest.test_case "fuzz outcome identical across jobs" `Quick
+      test_fuzz_jobs_invariant;
+    Alcotest.test_case "shrunk failures stay in draw order" `Quick
+      test_shrink_order_jobs_invariant;
   ]

@@ -5,6 +5,7 @@ let () =
   Alcotest.run "gradient_clock_sync"
     [
       ("prng", Test_prng.suite);
+      ("runner", Test_runner.suite);
       ("pqueue", Test_pqueue.suite);
       ("hwclock", Test_hwclock.suite);
       ("delay", Test_delay.suite);

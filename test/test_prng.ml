@@ -48,6 +48,30 @@ let test_int_covers_range () =
   done;
   Alcotest.(check bool) "all residues appear" true (Array.for_all Fun.id seen)
 
+let test_int_power_of_two_bounds () =
+  (* Regression: bound = 2^30 used to derive the rejection limit from
+     2^30 - 1, making it 0 — every draw rejected, an infinite loop. Any
+     power-of-two bound also needlessly rejected its top values. *)
+  let g = Prng.of_int 16 in
+  for _ = 1 to 200 do
+    let v = Prng.int g (1 lsl 30) in
+    Alcotest.(check bool) "0 <= v < 2^30" true (v >= 0 && v < 1 lsl 30)
+  done;
+  for _ = 1 to 200 do
+    let v = Prng.int g (1 lsl 29) in
+    Alcotest.(check bool) "0 <= v < 2^29" true (v >= 0 && v < 1 lsl 29)
+  done;
+  (* The top half of [0, 2^30) must be reachable: with the broken limit
+     arithmetic the largest accepted value for bound 2^30 was none at
+     all, and for smaller powers of two the top draws were discarded. *)
+  let g = Prng.of_int 17 in
+  let high = ref 0 in
+  for _ = 1 to 2_000 do
+    high := max !high (Prng.int g (1 lsl 30))
+  done;
+  Alcotest.(check bool) "upper half of the range appears" true
+    (!high >= 1 lsl 29)
+
 let test_int_in () =
   let g = Prng.of_int 5 in
   for _ = 1 to 200 do
@@ -133,6 +157,7 @@ let suite =
     case "split diverges" test_split_diverges;
     case "int bounds" test_int_bounds;
     case "int covers range" test_int_covers_range;
+    case "int at power-of-two bounds (2^30 regression)" test_int_power_of_two_bounds;
     case "int_in bounds" test_int_in;
     case "float bounds" test_float_bounds;
     case "float_in bounds" test_float_in;

@@ -1,0 +1,140 @@
+(* The runner's determinism contract: order-preserving merge (results
+   byte-identical for every pool size), per-item split streams that
+   depend only on the parent seed and item order, and a pool that joins
+   every domain even when the work raises. *)
+
+module Prng = Dsim.Prng
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A task whose completion order under a real pool differs from its
+   submission order: early items spin longest. *)
+let lopsided i =
+  let spins = (20 - i) * 10_000 in
+  let acc = ref ((i + 1) * 7919) in
+  for _ = 1 to spins do
+    acc := !acc * 48271 mod 0x7fffffff
+  done;
+  (i, !acc)
+
+let test_map_matches_serial () =
+  let items = List.init 20 Fun.id in
+  let serial = List.map lopsided items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "jobs=%d equals serial" jobs)
+        serial
+        (Runner.map ~jobs lopsided items))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Runner.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Runner.map ~jobs:4 (fun x -> x * 9) [ 1 ])
+
+let test_sweep_pairs_points () =
+  let points = [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (list (pair int int)))
+    "each point paired with its result, in order"
+    (List.map (fun p -> (p, p * p)) points)
+    (Runner.sweep ~jobs:4 (fun p -> p * p) points)
+
+let test_map_prng_jobs_invariant () =
+  let draw jobs =
+    let parent = Prng.of_int 2024 in
+    let results =
+      Runner.map_prng ~jobs parent
+        (fun g item -> (item, Prng.int g 1_000_000, Prng.int g 1_000_000))
+        (List.init 12 Fun.id)
+    in
+    (* The parent must have advanced identically too: one split per item. *)
+    (results, Prng.next_int64 parent)
+  in
+  let serial = draw 1 in
+  Alcotest.(check bool) "jobs=4 equals jobs=1 (streams and parent state)" true
+    (draw 4 = serial);
+  Alcotest.(check bool) "jobs=3 equals jobs=1" true (draw 3 = serial)
+
+let test_map_prng_streams_distinct () =
+  (* Child streams are pairwise distinct and also avoid the parent's
+     subsequent output (split smoke test over the first draws). *)
+  let parent = Prng.of_int 7 in
+  let children = Runner.map_prng ~jobs:1 parent (fun g _ -> g) (List.init 8 Fun.id) in
+  let streams =
+    List.map (fun g -> List.init 50 (fun _ -> Prng.next_int64 g)) children
+  in
+  let parent_stream = List.init 50 (fun _ -> Prng.next_int64 parent) in
+  let all = parent_stream :: streams in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            List.iter
+              (fun v ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "streams %d and %d share no values" i j)
+                  false (List.mem v sj))
+              si)
+        all)
+    all
+
+exception Boom of int
+
+let test_pool_joins_on_raise () =
+  Alcotest.(check int) "no live domains before" 0 (Runner.live_domains ());
+  let raised =
+    match
+      Runner.map ~jobs:4
+        (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+        (List.init 12 Fun.id)
+    with
+    | _ -> None
+    | exception Boom i -> Some i
+  in
+  (* Deterministic choice: the smallest failing index, not whichever
+     worker lost the race. *)
+  Alcotest.(check (option int)) "smallest failing item re-raised" (Some 1) raised;
+  Alcotest.(check int) "all domains joined after the raise" 0 (Runner.live_domains ());
+  Alcotest.(check (list int)) "pool still works afterwards" [ 0; 2; 4 ]
+    (Runner.map ~jobs:2 (fun i -> 2 * i) [ 0; 1; 2 ])
+
+let test_registry_output_jobs_invariant () =
+  (* `exp` byte-identical between --jobs 1 and --jobs 4, at the library
+     layer the CLI prints from: render a cheap registry subset. *)
+  let entries =
+    List.filter_map Experiments.Registry.find [ "E1"; "A7" ]
+  in
+  Alcotest.(check int) "both experiments found" 2 (List.length entries);
+  let render jobs =
+    Runner.map ~jobs
+      (fun (e : Experiments.Registry.entry) -> e.run ~quick:true)
+      entries
+    |> List.map (Format.asprintf "%a" Experiments.Common.pp_result)
+    |> String.concat "\n"
+  in
+  let serial = render 1 in
+  Alcotest.(check string) "rendered reports identical for jobs=4" serial (render 4);
+  Alcotest.(check bool) "reports are non-trivial" true (String.length serial > 100)
+
+let test_default_jobs () =
+  let saved = Runner.default_jobs () in
+  Alcotest.(check bool) "default is positive" true (saved >= 1);
+  Runner.set_default_jobs 3;
+  Alcotest.(check int) "override visible" 3 (Runner.default_jobs ());
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Runner.set_default_jobs: jobs must be >= 1") (fun () ->
+      Runner.set_default_jobs 0);
+  Runner.set_default_jobs saved
+
+let suite =
+  [
+    case "map equals serial for every pool size" test_map_matches_serial;
+    case "map on empty and singleton lists" test_map_empty_and_singleton;
+    case "sweep pairs grid points with results" test_sweep_pairs_points;
+    case "map_prng is jobs-invariant" test_map_prng_jobs_invariant;
+    case "split streams do not overlap" test_map_prng_streams_distinct;
+    case "pool joins all domains when work raises" test_pool_joins_on_raise;
+    case "registry output identical across jobs" test_registry_output_jobs_invariant;
+    case "default jobs override" test_default_jobs;
+  ]
