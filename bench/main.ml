@@ -5,13 +5,20 @@
       tables and their pass/fail checks;
    2. runs Bechamel microbenchmarks of the simulator's hot paths.
 
+   3. with --scale, runs ONLY the large-n scaling sweep (ns/event and
+      minor-words/event at n in {64 .. 4096}, both schedulers; see
+      bench/scale.ml) so CI can smoke it without the full suite.
+
    Usage: dune exec bench/main.exe [-- --quick] [-- --skip-micro]
           dune exec bench/main.exe -- --only E4
-          dune exec bench/main.exe -- --quick --jobs 4 *)
+          dune exec bench/main.exe -- --quick --jobs 4
+          dune exec bench/main.exe -- --scale --quick --scale-out out.json *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+
+let scale = Array.exists (( = ) "--scale") Sys.argv
 
 let flag_value name =
   let rec find i =
@@ -76,16 +83,23 @@ let run_experiments () =
 open Bechamel
 open Toolkit
 
-let bench_pqueue =
-  Test.make ~name:"pqueue push+pop x100"
+(* The queue is created and sized once, OUTSIDE the staged closure, and
+   fully drained each run: the benchmark measures steady-state push/pop,
+   not [create] (a fresh queue per run used to dominate the number). *)
+let bench_pqueue_n ~name ~elems =
+  let q = Dsim.Pqueue.create ~capacity:(2 * elems) () in
+  Test.make ~name
     (Staged.stage (fun () ->
-         let q = Dsim.Pqueue.create () in
-         for i = 0 to 99 do
-           Dsim.Pqueue.push q ~time:(float_of_int ((i * 7919) mod 100)) i
+         for i = 0 to elems - 1 do
+           Dsim.Pqueue.push q ~time:(float_of_int ((i * 7919) mod elems)) i
          done;
          while not (Dsim.Pqueue.is_empty q) do
            ignore (Dsim.Pqueue.pop q)
          done))
+
+let bench_pqueue = bench_pqueue_n ~name:"pqueue push+pop x100" ~elems:100
+
+let bench_pqueue_10k = bench_pqueue_n ~name:"pqueue push+pop x10k" ~elems:10_000
 
 let bench_trace_record =
   (* Counters-only trace: the hot-path configuration of every experiment. *)
@@ -175,7 +189,8 @@ let bench_weighted_diameter =
 
 let microbenches =
   [
-    bench_pqueue; bench_trace_record; bench_prng; bench_clock_value; bench_params_b;
+    bench_pqueue; bench_pqueue_10k; bench_trace_record; bench_prng; bench_clock_value;
+    bench_params_b;
     bench_hetero_tolerance; bench_global_skew; bench_local_skew; bench_simulation;
     bench_flexible_distance; bench_weighted_diameter;
   ]
@@ -217,6 +232,17 @@ let run_micro () =
 let () =
   Format.printf "gradient-clock-sync benchmark harness (%s mode)@.@."
     (if quick then "quick" else "full");
+  if scale then begin
+    let failures = Scale.run ~quick ~out:(flag_value "--scale-out") () in
+    if failures > 0 then begin
+      Format.printf "@.%d scaling check(s) failed@." failures;
+      exit 1
+    end
+    else begin
+      Format.printf "@.all scaling checks passed@.";
+      exit 0
+    end
+  end;
   let failures = run_experiments () in
   if not skip_micro then run_micro ();
   if failures > 0 then begin

@@ -1,0 +1,169 @@
+(* n-sweep scaling bench: end-to-end simulations at n in {64 .. 4096} on
+   a path and on the same path under random churn, run under BOTH
+   schedulers (event-heap timers vs the timer wheel), reporting ns/event
+   and minor-words/event. The two schedulers execute byte-identical
+   traces (pinned by test_parity), so the event counts must agree and
+   only the costs differ.
+
+   Run standalone via [bench/main.exe -- --scale [--quick] [--scale-out
+   FILE]]; quick mode caps the sweep at n = 1024. The sweep ends with an
+   E1-style check that the global skew bound G(n) — linear in n — still
+   holds end-to-end at n = 1024. *)
+
+module Table = Analysis.Table
+
+type row = {
+  topo : string;  (* "path" or "churn" *)
+  n : int;
+  scheduler : Gcs.Sim.scheduler;
+  events : int;
+  ns_per_event : float;
+  words_per_event : float;
+  wall_s : float;
+}
+
+let horizon = 60.
+
+let sizes ~quick = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ]
+
+let build ~scheduler ~n ~churn =
+  let params = Gcs.Params.make ~n () in
+  let edges = Topology.Static.path n in
+  let clocks = Gcs.Drift.assign params ~horizon ~seed:1 Gcs.Drift.Split_extremes in
+  let delay = Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound in
+  let cfg = Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges () in
+  let sim = Gcs.Sim.create cfg in
+  if churn then
+    Topology.Churn.schedule (Gcs.Sim.engine sim)
+      (Topology.Churn.random_churn (Dsim.Prng.of_int 7) ~n ~base:edges
+         ~rate:(float_of_int n /. 256.) ~horizon);
+  sim
+
+let measure ~scheduler ~n ~churn =
+  let sim = build ~scheduler ~n ~churn in
+  Gc.full_major ();
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Gcs.Sim.run_until sim horizon;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  let events = Dsim.Engine.events_processed (Gcs.Sim.engine sim) in
+  let per ev x = x /. float_of_int ev in
+  {
+    topo = (if churn then "churn" else "path");
+    n;
+    scheduler;
+    events;
+    ns_per_event = per events (wall_s *. 1e9);
+    words_per_event = per events minor;
+    wall_s;
+  }
+
+(* E1-style end-of-sweep check: the paper's G(n) bound is linear in n;
+   verify the measured max global skew still sits under it at n = 1024
+   (sampled every horizon/20, separate from the timed runs so the
+   recorder's probes do not pollute the cost numbers). *)
+let g_linearity_check () =
+  let n = 1024 in
+  let sim = build ~scheduler:Gcs.Sim.Wheel ~n ~churn:false in
+  let params = Gcs.Sim.params sim in
+  let recorder =
+    Gcs.Metrics.attach (Gcs.Sim.engine sim) (Gcs.Sim.view sim)
+      ~every:(horizon /. 20.) ~until:horizon ()
+  in
+  Gcs.Sim.run_until sim horizon;
+  let max_skew = Gcs.Metrics.max_global_skew recorder in
+  let bound = Gcs.Params.global_skew_bound params in
+  (n, max_skew, bound, max_skew <= bound)
+
+let scheduler_of_row r = Gcs.Sim.scheduler_to_string r.scheduler
+
+let write_json path ~quick rows (gn, gskew, gbound, gpass) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"description\": \"n-sweep scaling: end-to-end sim cost per event, \
+     heap vs wheel scheduler, path and churned topologies\",\n";
+  Printf.bprintf buf "  \"horizon\": %g,\n" horizon;
+  Printf.bprintf buf "  \"quick\": %b,\n" quick;
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"topo\": %S, \"n\": %d, \"scheduler\": %S, \"events\": %d, \
+         \"ns_per_event\": %.1f, \"minor_words_per_event\": %.2f, \
+         \"wall_s\": %.3f}%s\n"
+        r.topo r.n (scheduler_of_row r) r.events r.ns_per_event r.words_per_event
+        r.wall_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"g_linearity_check\": {\"n\": %d, \"max_global_skew\": %.4f, \
+     \"bound\": %.4f, \"pass\": %b}\n"
+    gn gskew gbound gpass;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run ~quick ~out () =
+  Format.printf "scaling sweep (horizon=%g, %s mode; both schedulers)@.@."
+    horizon
+    (if quick then "quick" else "full");
+  let rows =
+    List.concat_map
+      (fun churn ->
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun scheduler -> measure ~scheduler ~n ~churn)
+              [ Gcs.Sim.Heap; Gcs.Sim.Wheel ])
+          (sizes ~quick))
+      [ false; true ]
+  in
+  let table =
+    Table.create ~title:"End-to-end cost per event, heap vs wheel scheduler"
+      ~columns:
+        [ "topology"; "n"; "scheduler"; "events"; "ns/event"; "words/event"; "wall s" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Table.Str r.topo;
+          Table.Int r.n;
+          Table.Str (scheduler_of_row r);
+          Table.Int r.events;
+          Table.Float r.ns_per_event;
+          Table.Float r.words_per_event;
+          Table.Float r.wall_s;
+        ])
+    rows;
+  Format.printf "%a@." Table.pp table;
+  (* Same-(topo, n) pairs run back to back, heap first: fold into a
+     speedup summary and check event-count parity while at it. *)
+  let parity_ok = ref true in
+  let speedups = Table.create ~title:"Wheel speedup" ~columns:[ "topology"; "n"; "heap/wheel" ] in
+  let rec pair = function
+    | ({ scheduler = Gcs.Sim.Heap; _ } as h) :: ({ scheduler = Gcs.Sim.Wheel; _ } as w) :: rest ->
+      if h.events <> w.events then parity_ok := false;
+      Table.add_row speedups
+        [ Table.Str h.topo; Table.Int h.n; Table.Float (h.ns_per_event /. w.ns_per_event) ];
+      pair rest
+    | _ -> ()
+  in
+  pair rows;
+  Format.printf "%a@." Table.pp speedups;
+  let ((gn, gskew, gbound, gpass) as g) = g_linearity_check () in
+  Format.printf "G(n) linearity at n=%d: max global skew %.4f vs bound %.4f -> %s@."
+    gn gskew gbound
+    (if gpass then "PASS" else "FAIL");
+  Format.printf "event-count parity across schedulers: %s@."
+    (if !parity_ok then "PASS" else "FAIL");
+  Option.iter
+    (fun path ->
+      write_json path ~quick rows g;
+      Format.printf "wrote %s@." path)
+    out;
+  (if gpass then 0 else 1) + if !parity_ok then 0 else 1

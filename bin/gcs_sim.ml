@@ -178,6 +178,8 @@ type delay_kind = Ymax | Yzero | Yuniform
 
 let delay_conv = Arg.enum [ ("max", Ymax); ("zero", Yzero); ("uniform", Yuniform) ]
 
+let scheduler_conv = Arg.enum [ ("heap", Gcs.Sim.Heap); ("wheel", Gcs.Sim.Wheel) ]
+
 let build_topology kind ~n ~seed =
   let module S = Topology.Static in
   match kind with
@@ -250,8 +252,15 @@ let sim_cmd =
                 (FIFO, delay <= T, discovery <= D, epochs) and sample the paper \
                 guarantees while running. Exits non-zero on any violation.")
   in
+  let scheduler =
+    Arg.(value & opt scheduler_conv Gcs.Sim.Wheel
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:
+               "Timer scheduler: wheel (default) or heap. Both produce the same \
+                execution; heap is the reference path.")
+  in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv audit =
+      plot loss csv trace_csv audit scheduler =
     let params = make_params ~n ~rho ~b0 in
     let edges = build_topology topology ~n ~seed in
     let drift_spec =
@@ -281,8 +290,8 @@ let sim_cmd =
       else Dsim.Trace.create ()
     in
     let cfg =
-      Gcs.Sim.config ~algo ~params ~clocks ~delay:delay_policy ~initial_edges:edges
-        ~trace ()
+      Gcs.Sim.config ~algo ~scheduler ~params ~clocks ~delay:delay_policy
+        ~initial_edges:edges ~trace ()
     in
     let sim = Gcs.Sim.create cfg in
     let engine = Gcs.Sim.engine sim in
@@ -310,8 +319,9 @@ let sim_cmd =
     in
     Gcs.Sim.run_until sim horizon;
     Format.printf "%a@.@." Gcs.Params.pp params;
-    Format.printf "algo=%s topology=%s n=%d horizon=%g seed=%d@."
+    Format.printf "algo=%s scheduler=%s topology=%s n=%d horizon=%g seed=%d@."
       (Gcs.Sim.algo_to_string algo)
+      (Gcs.Sim.scheduler_to_string scheduler)
       (match topology with
       | Path -> "path" | Ring -> "ring" | Star -> "star" | Grid -> "grid"
       | Complete -> "complete" | Tree -> "tree" | Er -> "er" | Geometric -> "geometric")
@@ -411,7 +421,7 @@ let sim_cmd =
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
       $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
-      $ audit)
+      $ audit $ scheduler)
 
 (* ------------------------------- fuzz ------------------------------ *)
 

@@ -4,17 +4,24 @@ type config = {
   delay_bound : float;
   discovery_bound : float;
   delta_t : float;
+  min_lost_gap : float;
   horizon : float;
   check_gaps : bool;
+  check_lost_timers : bool;
 }
 
-let of_params params ~horizon ?(check_gaps = true) () =
+let of_params params ~horizon ?(check_gaps = true) ?(check_lost_timers = true) () =
   {
     delay_bound = params.Gcs.Params.delay_bound;
     discovery_bound = params.Gcs.Params.discovery_bound;
     delta_t = Gcs.Params.delta_t params;
+    (* A lost(v) timer is armed for subjective ΔT' at every receipt from
+       v; a clock runs at most (1+ρ) fast, so the fire can come no
+       earlier than ΔT'/(1+ρ) real time after the arming delivery. *)
+    min_lost_gap = Gcs.Params.delta_t' params /. (1. +. params.Gcs.Params.rho);
     horizon;
     check_gaps;
+    check_lost_timers;
   }
 
 (* Float comparisons tolerate accumulation relative to the magnitudes
@@ -189,16 +196,34 @@ let on_deliver st ~time src dst epoch =
     if delay < -.slack time then
       violationf st ~time "deliver-before-send" "%d->%d delivered %.9g before its send" src
         dst (-.delay));
-  if st.cfg.check_gaps then begin
-    if link.last_receipt_epoch = epoch then begin
+  if st.cfg.check_gaps && link.last_receipt_epoch = epoch then begin
+    let gap = time -. link.last_receipt in
+    if gap > st.cfg.delta_t +. slack time then
+      violationf st ~time "receipt-gap-exceeds-dT"
+        "%d->%d silent for %.9g on an unchanged link, bound dT=%.9g" src dst gap
+        st.cfg.delta_t
+  end;
+  (* The anchor also dates the arming of dst's lost(src) timer, so keep
+     it current even when gap checking is off. *)
+  link.last_receipt <- time;
+  link.last_receipt_epoch <- epoch
+
+(* [label] >= 1 encodes lost(v) with v = label - 1 (Tick is 0; -1 means
+   the trace predates timer labels). Every receipt from v re-arms the
+   timer for subjective ΔT', so a live fire earlier than [min_lost_gap]
+   after the last delivery v -> node means the engine fired it early or
+   dropped a re-arm. *)
+let on_timer_fire st ~time node label =
+  if st.cfg.check_lost_timers && label >= 1 then begin
+    let v = label - 1 in
+    match Hashtbl.find_opt st.links (v, node) with
+    | Some link when link.last_receipt_epoch >= 0 ->
       let gap = time -. link.last_receipt in
-      if gap > st.cfg.delta_t +. slack time then
-        violationf st ~time "receipt-gap-exceeds-dT"
-          "%d->%d silent for %.9g on an unchanged link, bound dT=%.9g" src dst gap
-          st.cfg.delta_t
-    end;
-    link.last_receipt <- time;
-    link.last_receipt_epoch <- epoch
+      if gap < st.cfg.min_lost_gap -. slack time then
+        violationf st ~time "premature-lost-timer"
+          "%d's lost(%d) fired %.9g after the last receipt, minimum gap %.9g" node v gap
+          st.cfg.min_lost_gap
+    | _ -> ()
   end
 
 let on_drop_in_flight st ~time src dst epoch =
@@ -296,7 +321,8 @@ let audit cfg entries =
       | Trace.Edge_remove -> on_edge_change st ~time ~add:false a b
       | Trace.Discover_add -> on_discover st ~time ~add:true a b c
       | Trace.Discover_remove -> on_discover st ~time ~add:false a b c
-      | Trace.Discover_stale | Trace.Timer_fire | Trace.Timer_stale -> ())
+      | Trace.Timer_fire -> on_timer_fire st ~time a b
+      | Trace.Discover_stale | Trace.Timer_stale -> ())
     entries;
   finish st;
   {

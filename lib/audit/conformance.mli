@@ -25,6 +25,12 @@
       consecutive receipts on an unchanged link may be at most
       [ΔT = T + ΔH/(1-ρ)] apart — the window that calibrates the
       [ΔT'] lost-timeout (Section 5).
+    - {b lost-timer cadence} (optional, [check_lost_timers]): a
+      [Timer_fire] whose label encodes [lost(v)] (label [v + 1], see
+      {!Gcs.Proto.timer_label}) must come at least [ΔT'/(1+ρ)] real time
+      after the last delivery from [v] — each receipt re-arms the timer
+      for subjective [ΔT'], and a clock runs at most [(1+ρ)] fast.
+      Traces recorded without timer labels (label [-1]) are skipped.
 
     The trace must carry a structured log ([log_limit] > total events);
     counters alone are not enough to audit. *)
@@ -33,14 +39,20 @@ type config = {
   delay_bound : float;  (** T *)
   discovery_bound : float;  (** D *)
   delta_t : float;  (** ΔT, the max gap between receipts on a live link *)
+  min_lost_gap : float;
+      (** ΔT'/(1+ρ), the min real time from a receipt to a lost-fire *)
   horizon : float;  (** end of the audited execution *)
   check_gaps : bool;
+  check_lost_timers : bool;
 }
 
-val of_params : Gcs.Params.t -> horizon:float -> ?check_gaps:bool -> unit -> config
+val of_params :
+  Gcs.Params.t -> horizon:float -> ?check_gaps:bool -> ?check_lost_timers:bool -> unit -> config
 (** [check_gaps] defaults to [true]; disable it for executions whose
     algorithm does not broadcast every [ΔH] or whose delay policy drops
-    messages beyond what the trace records. *)
+    messages beyond what the trace records. [check_lost_timers] defaults
+    to [true]; disable it for algorithms with per-peer timeouts shorter
+    than [ΔT'] (e.g. {!Gcs.Hetero}). *)
 
 val audit : config -> Dsim.Trace.entry list -> Report.t
 (** Replay the entries (which must be in time order, as recorded) and

@@ -53,7 +53,8 @@ type sample = {
 
 type recorder = {
   mutable samples : sample list; (* newest first *)
-  traces : (int * int, (float * float) list ref) Hashtbl.t;
+  r_n : int; (* packs a watched pair (u, v) as the int u * r_n + v *)
+  traces : (int, (float * float) list ref) Hashtbl.t;
 }
 
 let probe engine view recorder () =
@@ -68,16 +69,20 @@ let probe engine view recorder () =
       events = Engine.events_processed engine;
     }
     :: recorder.samples;
+  (* Keys are packed ints, so the per-sample iteration hashes immediates
+     instead of allocating an (int * int) tuple per watched pair. *)
   Hashtbl.iter
-    (fun (u, v) trace -> trace := (time, edge_skew view u v) :: !trace)
+    (fun k trace ->
+      trace := (time, edge_skew view (k / recorder.r_n) (k mod recorder.r_n)) :: !trace)
     recorder.traces
 
 let attach engine view ~every ~until ?(watch = []) () =
   if every <= 0. then invalid_arg "Metrics.attach: sampling period must be positive";
-  let recorder = { samples = []; traces = Hashtbl.create 4 } in
+  let recorder = { samples = []; r_n = view.n; traces = Hashtbl.create 4 } in
   List.iter
     (fun (u, v) ->
-      Hashtbl.replace recorder.traces (Dsim.Dyngraph.normalize u v) (ref []))
+      let u, v = Dsim.Dyngraph.normalize u v in
+      Hashtbl.replace recorder.traces ((u * recorder.r_n) + v) (ref []))
     watch;
   let rec schedule time =
     if time <= until then
@@ -91,7 +96,8 @@ let attach engine view ~every ~until ?(watch = []) () =
 let samples recorder = List.rev recorder.samples
 
 let pair_trace recorder (u, v) =
-  match Hashtbl.find_opt recorder.traces (Dsim.Dyngraph.normalize u v) with
+  let u, v = Dsim.Dyngraph.normalize u v in
+  match Hashtbl.find_opt recorder.traces ((u * recorder.r_n) + v) with
   | Some trace -> List.rev !trace
   | None -> []
 

@@ -1,18 +1,29 @@
 module Engine = Dsim.Engine
-module Int_set = Set.Make (Int)
 
-type peer = {
-  mutable c : float;      (* C^v_u: hardware clock when v last entered Γ *)
-  estimate : Estimate.t;  (* L^v_u, drifting at u's hardware rate *)
-}
+(* All-float record, so the field lives unboxed and the running minimum
+   in [adjust_clock] can be updated without allocating (a [float ref] or
+   a mutable float field in a mixed record would box every store). *)
+type scratch = { mutable acc : float }
 
+(* Peer state lives in parallel arrays sorted by peer id — one slot per
+   peer currently in Υ or Γ, flat floats instead of a Hashtbl of boxed
+   cells, so the per-event [AdjustClock] minimum is a cache-linear loop
+   and membership updates are a binary search plus a blit. The estimate
+   [L^v_u] is stored inline as (value, anchor) with
+   [get at = value +. (at -. anchor)], exactly {!Estimate}'s arithmetic. *)
 type t = {
   ctx : Proto.ctx;
   params : Params.t;
   tolerance : peer:int -> float -> float;
   timeout : peer:int -> float;
-  gamma : (int, peer) Hashtbl.t;
-  mutable upsilon : Int_set.t;
+  mutable p_id : int array;
+  mutable p_gamma : bool array; (* v ∈ Γ: heard from within subjective ΔT' *)
+  mutable p_upsilon : bool array; (* v ∈ Υ: edge believed present *)
+  mutable p_c : float array; (* C^v_u: hardware clock when v last entered Γ *)
+  mutable p_val : float array; (* L^v_u estimate value ... *)
+  mutable p_anchor : float array; (* ... anchored at this hardware time *)
+  mutable p_len : int;
+  scratch : scratch;
   l : Estimate.t;
   lmax : Estimate.t;
   mutable discrete_jumps : int;
@@ -21,7 +32,12 @@ type t = {
 
 let create ?tolerance ?timeout params ctx =
   let tolerance =
-    match tolerance with Some f -> f | None -> fun ~peer:_ -> Params.b params
+    (* Two-argument eta-expansion on purpose: a full application of a
+       binary closure doesn't allocate, while [fun ~peer:_ -> Params.b
+       params] would build a fresh partial application per call. *)
+    match tolerance with
+    | Some f -> f
+    | None -> fun ~peer:_ dt -> Params.b params dt
   in
   let timeout =
     match timeout with Some f -> f | None -> fun ~peer:_ -> Params.delta_t' params
@@ -31,8 +47,14 @@ let create ?tolerance ?timeout params ctx =
     params;
     tolerance;
     timeout;
-    gamma = Hashtbl.create 8;
-    upsilon = Int_set.empty;
+    p_id = [||];
+    p_gamma = [||];
+    p_upsilon = [||];
+    p_c = [||];
+    p_val = [||];
+    p_anchor = [||];
+    p_len = 0;
+    scratch = { acc = 0. };
     l = Estimate.create ~value:0. ~anchor:0.;
     lmax = Estimate.create ~value:0. ~anchor:0.;
     discrete_jumps = 0;
@@ -49,20 +71,89 @@ let logical_clock t = Estimate.get t.l ~at:(hardware_clock t)
 
 let max_estimate t = Estimate.get t.lmax ~at:(hardware_clock t)
 
+(* Slot management ---------------------------------------------------- *)
+
+(* Index of peer [v], or [lnot] of its insertion point when absent. *)
+let find t v =
+  let lo = ref 0 and hi = ref t.p_len in
+  let ids = t.p_id in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ids.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.p_len && ids.(!lo) = v then !lo else lnot !lo
+
+let grow t =
+  let cap = max 4 (2 * Array.length t.p_id) in
+  let ids = Array.make cap 0
+  and ga = Array.make cap false
+  and up = Array.make cap false
+  and c = Array.make cap 0.
+  and vl = Array.make cap 0.
+  and an = Array.make cap 0. in
+  Array.blit t.p_id 0 ids 0 t.p_len;
+  Array.blit t.p_gamma 0 ga 0 t.p_len;
+  Array.blit t.p_upsilon 0 up 0 t.p_len;
+  Array.blit t.p_c 0 c 0 t.p_len;
+  Array.blit t.p_val 0 vl 0 t.p_len;
+  Array.blit t.p_anchor 0 an 0 t.p_len;
+  t.p_id <- ids;
+  t.p_gamma <- ga;
+  t.p_upsilon <- up;
+  t.p_c <- c;
+  t.p_val <- vl;
+  t.p_anchor <- an
+
+(* Insert a fresh (non-Γ, non-Υ) slot for [v] at position [at]. *)
+let insert t ~at v =
+  if t.p_len >= Array.length t.p_id then grow t;
+  let tail = t.p_len - at in
+  Array.blit t.p_id at t.p_id (at + 1) tail;
+  Array.blit t.p_gamma at t.p_gamma (at + 1) tail;
+  Array.blit t.p_upsilon at t.p_upsilon (at + 1) tail;
+  Array.blit t.p_c at t.p_c (at + 1) tail;
+  Array.blit t.p_val at t.p_val (at + 1) tail;
+  Array.blit t.p_anchor at t.p_anchor (at + 1) tail;
+  t.p_id.(at) <- v;
+  t.p_gamma.(at) <- false;
+  t.p_upsilon.(at) <- false;
+  t.p_c.(at) <- 0.;
+  t.p_val.(at) <- 0.;
+  t.p_anchor.(at) <- 0.;
+  t.p_len <- t.p_len + 1
+
+(* Drop slot [i] once the peer is in neither Γ nor Υ. *)
+let drop_if_empty t i =
+  if (not t.p_gamma.(i)) && not t.p_upsilon.(i) then begin
+    let tail = t.p_len - i - 1 in
+    Array.blit t.p_id (i + 1) t.p_id i tail;
+    Array.blit t.p_gamma (i + 1) t.p_gamma i tail;
+    Array.blit t.p_upsilon (i + 1) t.p_upsilon i tail;
+    Array.blit t.p_c (i + 1) t.p_c i tail;
+    Array.blit t.p_val (i + 1) t.p_val i tail;
+    Array.blit t.p_anchor (i + 1) t.p_anchor i tail;
+    t.p_len <- t.p_len - 1
+  end
+
+(* Algorithm 2 -------------------------------------------------------- *)
+
 (* Procedure AdjustClock:
    L <- max{L, min{Lmax, min_{v in Gamma}(L^v + B(H - C^v))}}. *)
 let adjust_clock t =
   let h = hardware_clock t in
   let l = Estimate.get t.l ~at:h in
   let lmax = Estimate.get t.lmax ~at:h in
-  let constraint_cap =
-    Hashtbl.fold
-      (fun v peer acc ->
-        Float.min acc
-          (Estimate.get peer.estimate ~at:h +. t.tolerance ~peer:v (h -. peer.c)))
-      t.gamma infinity
-  in
-  let target = Float.max l (Float.min lmax constraint_cap) in
+  t.scratch.acc <- infinity;
+  for i = 0 to t.p_len - 1 do
+    if t.p_gamma.(i) then begin
+      let cap =
+        t.p_val.(i) +. (h -. t.p_anchor.(i))
+        +. t.tolerance ~peer:t.p_id.(i) (h -. t.p_c.(i))
+      in
+      if cap < t.scratch.acc then t.scratch.acc <- cap
+    end
+  done;
+  let target = Float.max l (Float.min lmax t.scratch.acc) in
   if target > l then begin
     t.discrete_jumps <- t.discrete_jumps + 1;
     Estimate.set t.l ~at:h target
@@ -78,7 +169,12 @@ let on_init t () = Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.T
 
 let on_discover_add t v =
   send_update t v;
-  t.upsilon <- Int_set.add v t.upsilon;
+  (let i = find t v in
+   if i >= 0 then t.p_upsilon.(i) <- true
+   else begin
+     insert t ~at:(lnot i) v;
+     t.p_upsilon.(lnot i) <- true
+   end);
   adjust_clock t
 
 let on_discover_remove t v =
@@ -87,35 +183,59 @@ let on_discover_remove t v =
      produce a stale-timer event and a spurious AdjustClock. Cancel it,
      mirroring the re-arm in [on_receive]. *)
   Engine.cancel_timer t.ctx (Proto.Lost v);
-  Hashtbl.remove t.gamma v;
-  t.upsilon <- Int_set.remove v t.upsilon;
+  (let i = find t v in
+   if i >= 0 then begin
+     t.p_gamma.(i) <- false;
+     t.p_upsilon.(i) <- false;
+     drop_if_empty t i
+   end);
   adjust_clock t
 
 let on_receive t v { Proto.l = l_v; lmax = lmax_v } =
   Engine.cancel_timer t.ctx (Proto.Lost v);
   let h = hardware_clock t in
-  (match Hashtbl.find_opt t.gamma v with
-  | Some peer ->
+  let i = find t v in
+  let i =
+    if i >= 0 then i
+    else begin
+      let at = lnot i in
+      insert t ~at v;
+      at
+    end
+  in
+  if t.p_gamma.(i) then begin
     (* Line 20: the estimate is refreshed on every receipt; C^v only when
        v (re-)enters Gamma (lines 17-19, cf. Lemma 6.10). *)
-    Estimate.set peer.estimate ~at:h l_v
-  | None ->
-    Hashtbl.replace t.gamma v { c = h; estimate = Estimate.create ~value:l_v ~anchor:h });
+    t.p_val.(i) <- l_v;
+    t.p_anchor.(i) <- h
+  end
+  else begin
+    t.p_gamma.(i) <- true;
+    t.p_c.(i) <- h;
+    t.p_val.(i) <- l_v;
+    t.p_anchor.(i) <- h
+  end;
   (* A message can only arrive on an edge the environment delivered on, so
      v belongs in Upsilon even if the discover(add) was suppressed as
      transient. *)
-  t.upsilon <- Int_set.add v t.upsilon;
+  t.p_upsilon.(i) <- true;
   ignore (Estimate.raise_to t.lmax ~at:h lmax_v);
   adjust_clock t;
   Engine.set_timer t.ctx ~after:(t.timeout ~peer:v) (Proto.Lost v)
 
 let on_timer t = function
   | Proto.Tick ->
-    Int_set.iter (fun v -> send_update t v) t.upsilon;
+    for i = 0 to t.p_len - 1 do
+      if t.p_upsilon.(i) then send_update t t.p_id.(i)
+    done;
     adjust_clock t;
     Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
   | Proto.Lost v ->
-    Hashtbl.remove t.gamma v;
+    (let i = find t v in
+     if i >= 0 then begin
+       t.p_gamma.(i) <- false;
+       drop_if_empty t i
+     end);
     adjust_clock t
 
 let handlers t =
@@ -129,29 +249,50 @@ let handlers t =
 
 (* Introspection ------------------------------------------------------ *)
 
-let gamma t = Hashtbl.fold (fun v _ acc -> v :: acc) t.gamma [] |> List.sort compare
+let members t which =
+  let out = ref [] in
+  for i = t.p_len - 1 downto 0 do
+    if which.(i) then out := t.p_id.(i) :: !out
+  done;
+  !out
 
-let upsilon t = Int_set.elements t.upsilon
+let gamma t = members t t.p_gamma
+
+let upsilon t = members t t.p_upsilon
+
+let in_gamma t v =
+  let i = find t v in
+  if i >= 0 && t.p_gamma.(i) then i else -1
 
 let peer_estimate t v =
-  Option.map
-    (fun peer -> Estimate.get peer.estimate ~at:(hardware_clock t))
-    (Hashtbl.find_opt t.gamma v)
+  let i = in_gamma t v in
+  if i < 0 then None
+  else Some (t.p_val.(i) +. (hardware_clock t -. t.p_anchor.(i)))
 
 let peer_age t v =
-  Option.map (fun peer -> hardware_clock t -. peer.c) (Hashtbl.find_opt t.gamma v)
+  let i = in_gamma t v in
+  if i < 0 then None else Some (hardware_clock t -. t.p_c.(i))
 
-let peer_tolerance t v = Option.map (t.tolerance ~peer:v) (peer_age t v)
+let peer_tolerance t v =
+  let i = in_gamma t v in
+  if i < 0 then None
+  else Some (t.tolerance ~peer:v (hardware_clock t -. t.p_c.(i)))
 
 let is_blocked t =
   let h = hardware_clock t in
   let l = Estimate.get t.l ~at:h in
-  Estimate.get t.lmax ~at:h > l
-  && Hashtbl.fold
-       (fun v peer acc ->
-         acc
-         || l -. Estimate.get peer.estimate ~at:h > t.tolerance ~peer:v (h -. peer.c))
-       t.gamma false
+  if Estimate.get t.lmax ~at:h <= l then false
+  else begin
+    let blocked = ref false in
+    for i = 0 to t.p_len - 1 do
+      if
+        t.p_gamma.(i)
+        && l -. (t.p_val.(i) +. (h -. t.p_anchor.(i)))
+           > t.tolerance ~peer:t.p_id.(i) (h -. t.p_c.(i))
+      then blocked := true
+    done;
+    !blocked
+  end
 
 let discrete_jumps t = t.discrete_jumps
 

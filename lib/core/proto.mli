@@ -9,6 +9,10 @@ type timer =
   | Lost of int   (** [lost(v)]: armed on each receipt from [v], fires
                       after subjective [ΔT'] of silence *)
 
+val timer_label : timer -> int
+(** Injective int encoding for the engine's timer tables and trace
+    records: [Tick] is [0], [Lost v] is [v + 1]. *)
+
 type ctx = (message, timer) Dsim.Engine.ctx
 
 type handlers = (message, timer) Dsim.Engine.handlers

@@ -8,6 +8,10 @@ let algo_to_string = function
   | Flat_gradient -> "flat-gradient"
   | Max_only -> "max-only"
 
+type scheduler = Heap | Wheel
+
+let scheduler_to_string = function Heap -> "heap" | Wheel -> "wheel"
+
 type config = {
   params : Params.t;
   clocks : Hwclock.t array;
@@ -16,10 +20,11 @@ type config = {
   initial_edges : (int * int) list;
   algo : algo;
   trace : Dsim.Trace.t option;
+  scheduler : scheduler;
 }
 
-let config ?(algo = Gradient) ?discovery_lag ?trace ~params ~clocks ~delay ~initial_edges
-    () =
+let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel) ~params ~clocks
+    ~delay ~initial_edges () =
   let discovery_lag =
     match discovery_lag with
     | Some lag -> lag
@@ -36,7 +41,7 @@ let config ?(algo = Gradient) ?discovery_lag ?trace ~params ~clocks ~delay ~init
     clocks;
   if delay.Dsim.Delay.bound > params.Params.delay_bound then
     invalid_arg "Sim.config: delay policy bound exceeds params.delay_bound";
-  { params; clocks; delay; discovery_lag; initial_edges; algo; trace }
+  { params; clocks; delay; discovery_lag; initial_edges; algo; trace; scheduler }
 
 type impl = Gradient_node of Node.t | Max_node of Baseline_max.t
 
@@ -47,9 +52,18 @@ type t = {
 }
 
 let create cfg =
+  let scheduler =
+    match cfg.scheduler with
+    | Heap -> `Heap
+    (* Level-0 buckets a fraction of the shortest timer period (ΔH), so
+       consecutive ticks land in distinct granules and the cursor does a
+       handful of cheap slot scans per fire. *)
+    | Wheel -> `Wheel (cfg.params.Params.delta_h /. 16.)
+  in
   let engine =
     Engine.create ~clocks:cfg.clocks ~delay:cfg.delay ~discovery_lag:cfg.discovery_lag
-      ~initial_edges:cfg.initial_edges ?trace:cfg.trace ()
+      ~initial_edges:cfg.initial_edges ?trace:cfg.trace
+      ~timer_label:Proto.timer_label ~scheduler ()
   in
   let n = cfg.params.Params.n in
   (* Build node implementations while installing handlers: the ctx only

@@ -15,6 +15,14 @@ type algo =
 
 val algo_to_string : algo -> string
 
+type scheduler =
+  | Heap  (** timers share the engine's event heap *)
+  | Wheel
+      (** timers live in a hierarchical timer wheel (granularity
+          [ΔH / 16]); identical executions, lower cost at large [n] *)
+
+val scheduler_to_string : scheduler -> string
+
 type config = {
   params : Params.t;
   clocks : Dsim.Hwclock.t array;
@@ -23,12 +31,14 @@ type config = {
   initial_edges : (int * int) list;
   algo : algo;
   trace : Dsim.Trace.t option;
+  scheduler : scheduler;
 }
 
 val config :
   ?algo:algo ->
   ?discovery_lag:float ->
   ?trace:Dsim.Trace.t ->
+  ?scheduler:scheduler ->
   params:Params.t ->
   clocks:Dsim.Hwclock.t array ->
   delay:Dsim.Delay.t ->
@@ -38,7 +48,9 @@ val config :
 (** [discovery_lag] defaults to [0.9 *. params.discovery_bound]; it must
     not exceed [params.discovery_bound]. Raises [Invalid_argument] if the
     clocks violate the drift bound or the array length differs from
-    [params.n]. *)
+    [params.n]. [scheduler] defaults to [Wheel]; both schedulers produce
+    the same execution (pinned by a byte-identical-trace parity test), so
+    the choice is purely a performance one. *)
 
 type t
 

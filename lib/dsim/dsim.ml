@@ -11,6 +11,10 @@ module Prng = Prng
 module Pqueue = Pqueue
 (** Timestamped event queue (binary heap, FIFO at equal times). *)
 
+module Timewheel = Timewheel
+(** Hierarchical timer wheel the engine can keep armed timers in instead
+    of the event heap. *)
+
 module Hwclock = Hwclock
 (** Piecewise-linear drifting hardware clocks with exact inverses. *)
 

@@ -28,6 +28,12 @@ let n g = g.node_count
 
 let normalize u v = if u <= v then (u, v) else (v, u)
 
+(* Lexicographic on the int endpoints: what polymorphic [compare] would
+   compute, minus the generic-comparison dispatch per element. *)
+let compare_edge (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
+
 let key g u v = if u <= v then (u * g.node_count) + v else (v * g.node_count) + u
 
 let check_nodes g u v =
@@ -90,7 +96,7 @@ let neighbors g u = Int_set.elements g.adjacency.(u)
 
 let edges g =
   Hashtbl.fold (fun _ r acc -> if r.present then (r.ru, r.rv) :: acc else acc) g.table []
-  |> List.sort compare
+  |> List.sort compare_edge
 
 (* Allocation-free traversals for periodic samplers: no list is built, so
    a probe that runs every few time units costs nothing beyond the visit

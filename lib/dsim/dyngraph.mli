@@ -16,6 +16,10 @@ val n : t -> int
 val normalize : int -> int -> int * int
 (** Order an edge's endpoints as [(min, max)]. *)
 
+val compare_edge : int * int -> int * int -> int
+(** Lexicographic [Int.compare] on the endpoints (the order {!edges}
+    returns). *)
+
 val has_edge : t -> int -> int -> bool
 
 val add_edge : t -> now:float -> int -> int -> bool

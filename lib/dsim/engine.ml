@@ -8,12 +8,152 @@ type ('msg, 'timer) event =
   | Timer of { node : int; timer : 'timer; gen : int }
   | Callback of (unit -> unit)
 
-(* FIFO floor of one directed link: the latest scheduled delivery time,
-   valid only for the edge epoch it was recorded under. A float-only
-   record has flat (unboxed) fields, so the per-send update mutates in
-   place without allocating; the epoch is stored as a float for that
-   reason (exact for any realistic change count). *)
-type fifo_cell = { mutable f_epoch : float; mutable f_deadline : float }
+(* Binary search in the first [len] cells of sorted [keys]: the index of
+   [k], or [lnot] of its insertion point when absent (always negative).
+   The per-node tables below are keyed by peer/label ids and are
+   degree-bounded, so a branchless-ish search plus an [Array.blit] shift
+   beats hashing — no key boxing, no bucket chains, cache-linear. *)
+let bfind (keys : int array) len k =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  if !lo < len && keys.(!lo) = k then !lo else lnot !lo
+
+(* FIFO floor of one source's outgoing links, sorted by destination:
+   latest scheduled delivery time per dst, valid only for the edge epoch
+   it was recorded under. Replaces a global int-keyed Hashtbl — the send
+   path now touches one small per-source table instead of hashing
+   [src * n + dst] into a structure shared by all n^2 directed pairs. *)
+module Fifo_store = struct
+  type t = {
+    mutable dst : int array;
+    mutable epoch : int array;
+    mutable deadline : float array;
+    mutable len : int;
+  }
+
+  let create () = { dst = [||]; epoch = [||]; deadline = [||]; len = 0 }
+
+  let grow s =
+    let cap = max 4 (2 * Array.length s.dst) in
+    let d = Array.make cap 0
+    and e = Array.make cap 0
+    and dl = Array.make cap 0. in
+    Array.blit s.dst 0 d 0 s.len;
+    Array.blit s.epoch 0 e 0 s.len;
+    Array.blit s.deadline 0 dl 0 s.len;
+    s.dst <- d;
+    s.epoch <- e;
+    s.deadline <- dl
+
+  let insert s ~at dst epoch deadline =
+    if s.len >= Array.length s.dst then grow s;
+    let tail = s.len - at in
+    Array.blit s.dst at s.dst (at + 1) tail;
+    Array.blit s.epoch at s.epoch (at + 1) tail;
+    Array.blit s.deadline at s.deadline (at + 1) tail;
+    s.dst.(at) <- dst;
+    s.epoch.(at) <- epoch;
+    s.deadline.(at) <- deadline;
+    s.len <- s.len + 1
+
+  let remove s dst =
+    let i = bfind s.dst s.len dst in
+    if i >= 0 then begin
+      let tail = s.len - i - 1 in
+      Array.blit s.dst (i + 1) s.dst i tail;
+      Array.blit s.epoch (i + 1) s.epoch i tail;
+      Array.blit s.deadline (i + 1) s.deadline i tail;
+      s.len <- s.len - 1
+    end
+end
+
+(* Sorted set of peers with a pending absence notice (per node). *)
+module Iset = struct
+  type t = { mutable keys : int array; mutable len : int }
+
+  let create () = { keys = [||]; len = 0 }
+
+  let mem s k = bfind s.keys s.len k >= 0
+
+  (* Add [k]; no-op when present. *)
+  let add s k =
+    let i = bfind s.keys s.len k in
+    if i < 0 then begin
+      let at = lnot i in
+      if s.len >= Array.length s.keys then begin
+        let cap = max 4 (2 * Array.length s.keys) in
+        let ks = Array.make cap 0 in
+        Array.blit s.keys 0 ks 0 s.len;
+        s.keys <- ks
+      end;
+      Array.blit s.keys at s.keys (at + 1) (s.len - at);
+      s.keys.(at) <- k;
+      s.len <- s.len + 1
+    end
+
+  let remove s k =
+    let i = bfind s.keys s.len k in
+    if i >= 0 then begin
+      Array.blit s.keys (i + 1) s.keys i (s.len - i - 1);
+      s.len <- s.len - 1
+    end
+end
+
+(* One node's armed timers under the wheel scheduler, sorted by encoded
+   label: the live generation plus the ['timer] value to hand back to
+   [on_timer] when the wheel entry surfaces. Values are [Obj.t] so a
+   retired slot can be reset to a sentinel, exactly as in [Pqueue]; the
+   casts never escape: every stored value is a ['timer] of the owning
+   engine and slots at or beyond [len] always hold [dummy]. *)
+module Armed = struct
+  type t = {
+    mutable labels : int array;
+    mutable gens : int array;
+    mutable vals : Obj.t array;
+    mutable len : int;
+  }
+
+  let dummy : Obj.t = Obj.repr ()
+
+  let create () = { labels = [||]; gens = [||]; vals = [||]; len = 0 }
+
+  let find s label = bfind s.labels s.len label
+
+  let insert s ~at label gen v =
+    if s.len >= Array.length s.labels then begin
+      let cap = max 4 (2 * Array.length s.labels) in
+      let ls = Array.make cap 0
+      and gs = Array.make cap 0
+      and vs = Array.make cap dummy in
+      Array.blit s.labels 0 ls 0 s.len;
+      Array.blit s.gens 0 gs 0 s.len;
+      Array.blit s.vals 0 vs 0 s.len;
+      s.labels <- ls;
+      s.gens <- gs;
+      s.vals <- vs
+    end;
+    let tail = s.len - at in
+    Array.blit s.labels at s.labels (at + 1) tail;
+    Array.blit s.gens at s.gens (at + 1) tail;
+    Array.blit s.vals at s.vals (at + 1) tail;
+    s.labels.(at) <- label;
+    s.gens.(at) <- gen;
+    s.vals.(at) <- v;
+    s.len <- s.len + 1
+
+  let remove_at s i =
+    let tail = s.len - i - 1 in
+    Array.blit s.labels (i + 1) s.labels i tail;
+    Array.blit s.gens (i + 1) s.gens i tail;
+    Array.blit s.vals (i + 1) s.vals i tail;
+    s.len <- s.len - 1;
+    s.vals.(s.len) <- dummy
+end
+
+type sched = Heap | Wheel of Timewheel.t
 
 type ('msg, 'timer) t = {
   n : int;
@@ -24,15 +164,20 @@ type ('msg, 'timer) t = {
   queue : ('msg, 'timer) event Pqueue.t;
   trace : Trace.t;
   handlers : ('msg, 'timer) handlers option array;
-  timers : ('timer, int) Hashtbl.t array; (* label -> live generation *)
-  absence_pending : (int, unit) Hashtbl.t array; (* node -> peers with a pending absence notice *)
-  fifo_last : (int, fifo_cell) Hashtbl.t; (* src * n + dst -> last delivery *)
+  timer_label : ('timer -> int) option;
+      (* Encodes a label for Timer_fire/Timer_stale trace records; the
+         wheel scheduler additionally keys its dense tables by it. *)
+  sched : sched;
+  timers : ('timer, int) Hashtbl.t array; (* heap mode: label -> live generation *)
+  armed : Armed.t array; (* wheel mode: per-node armed-label table *)
+  absence_pending : Iset.t array; (* node -> peers with a pending absence notice *)
+  fifo : Fifo_store.t array; (* src -> per-destination delivery floors *)
   mutable next_gen : int;
   mutable now : float;
   mutable started : bool;
   mutable events_processed : int;
   mutable live_timers : int; (* armed labels across all nodes *)
-  mutable stale_timer_entries : int; (* heap slots whose label was cancelled/re-armed *)
+  mutable stale_timer_entries : int; (* heap/wheel slots whose label was cancelled/re-armed *)
 }
 
 and ('msg, 'timer) handlers = {
@@ -45,10 +190,19 @@ and ('msg, 'timer) handlers = {
 
 type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int }
 
-let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace () =
+let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
+    ?timer_label ?(scheduler = `Heap) () =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Engine.create: no nodes";
   if discovery_lag < 0. then invalid_arg "Engine.create: negative discovery lag";
+  let sched =
+    match scheduler with
+    | `Heap -> Heap
+    | `Wheel granularity ->
+      if timer_label = None then
+        invalid_arg "Engine.create: the wheel scheduler needs ~timer_label";
+      Wheel (Timewheel.create ~granularity ())
+  in
   let t =
     {
       n;
@@ -59,9 +213,18 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace () 
       queue = Pqueue.create ~capacity:(max 64 (8 * n)) ();
       trace = (match trace with Some tr -> tr | None -> Trace.create ());
       handlers = Array.make n None;
-      timers = Array.init n (fun _ -> Hashtbl.create 8);
-      absence_pending = Array.init n (fun _ -> Hashtbl.create 4);
-      fifo_last = Hashtbl.create 64;
+      timer_label;
+      sched;
+      timers =
+        (match sched with
+        | Heap -> Array.init n (fun _ -> Hashtbl.create 8)
+        | Wheel _ -> [||]);
+      armed =
+        (match sched with
+        | Heap -> [||]
+        | Wheel _ -> Array.init n (fun _ -> Armed.create ()));
+      absence_pending = Array.init n (fun _ -> Iset.create ());
+      fifo = Array.init n (fun _ -> Fifo_store.create ());
       next_gen = 0;
       now = 0.;
       started = false;
@@ -95,6 +258,9 @@ let handlers_of t i =
   | Some h -> h
   | None -> invalid_arg (Printf.sprintf "Engine: node %d has no handlers installed" i)
 
+let trace_label t timer =
+  match t.timer_label with Some encode -> encode timer | None -> -1
+
 (* Node-side API ----------------------------------------------------- *)
 
 let node_id ctx = ctx.id
@@ -125,21 +291,23 @@ let send ctx ~dst msg =
          earlier message of the same epoch, but a floor recorded under a
          previous life of the edge is dead — in-flight messages of that
          epoch are dropped at delivery, so nothing can be overtaken. *)
-      let fe = float_of_int epoch in
+      let fs = t.fifo.(src) in
+      let i = bfind fs.Fifo_store.dst fs.Fifo_store.len dst in
       let deliver_at =
-        let k = (src * t.n) + dst in
-        match Hashtbl.find t.fifo_last k with
-        | cell ->
+        if i >= 0 then begin
           let floor =
-            if cell.f_epoch = fe then Float.max deliver_at cell.f_deadline
+            if fs.Fifo_store.epoch.(i) = epoch then
+              Float.max deliver_at fs.Fifo_store.deadline.(i)
             else deliver_at
           in
-          cell.f_epoch <- fe;
-          cell.f_deadline <- floor;
+          fs.Fifo_store.epoch.(i) <- epoch;
+          fs.Fifo_store.deadline.(i) <- floor;
           floor
-        | exception Not_found ->
-          Hashtbl.add t.fifo_last k { f_epoch = fe; f_deadline = deliver_at };
+        end
+        else begin
+          Fifo_store.insert fs ~at:(lnot i) dst epoch deliver_at;
           deliver_at
+        end
       in
       Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg })
     end
@@ -149,8 +317,8 @@ let send ctx ~dst msg =
     Trace.record t.trace ~time:t.now Drop_no_edge src dst (-1);
     (* The model: the sender discovers the absence within D. Coalesce
        multiple failed sends into a single pending notification. *)
-    if not (Hashtbl.mem t.absence_pending.(src) dst) then begin
-      Hashtbl.replace t.absence_pending.(src) dst ();
+    if not (Iset.mem t.absence_pending.(src) dst) then begin
+      Iset.add t.absence_pending.(src) dst;
       Pqueue.push t.queue ~time:(t.now +. t.discovery_lag)
         (Absence { node = src; peer = dst })
     end
@@ -163,21 +331,51 @@ let set_timer ctx ~after timer =
   let deadline = Hwclock.inverse clock (Hwclock.value clock t.now +. after) in
   let gen = t.next_gen in
   t.next_gen <- gen + 1;
-  (* A re-arm supersedes the pending entry: its heap slot goes stale and
-     will be discarded when it surfaces; the live count is unchanged. *)
-  if Hashtbl.mem t.timers.(ctx.id) timer then
-    t.stale_timer_entries <- t.stale_timer_entries + 1
-  else t.live_timers <- t.live_timers + 1;
-  Hashtbl.replace t.timers.(ctx.id) timer gen;
-  Pqueue.push t.queue ~time:deadline (Timer { node = ctx.id; timer; gen })
+  (* A re-arm supersedes the pending entry: its heap or wheel slot goes
+     stale and will be discarded when it surfaces; the live count is
+     unchanged. *)
+  match t.sched with
+  | Heap ->
+    if Hashtbl.mem t.timers.(ctx.id) timer then
+      t.stale_timer_entries <- t.stale_timer_entries + 1
+    else t.live_timers <- t.live_timers + 1;
+    Hashtbl.replace t.timers.(ctx.id) timer gen;
+    Pqueue.push t.queue ~time:deadline (Timer { node = ctx.id; timer; gen })
+  | Wheel w ->
+    let label = trace_label t timer in
+    let s = t.armed.(ctx.id) in
+    let i = Armed.find s label in
+    if i >= 0 then begin
+      t.stale_timer_entries <- t.stale_timer_entries + 1;
+      s.Armed.gens.(i) <- gen;
+      s.Armed.vals.(i) <- Obj.repr timer
+    end
+    else begin
+      t.live_timers <- t.live_timers + 1;
+      Armed.insert s ~at:(lnot i) label gen (Obj.repr timer)
+    end;
+    (* Draw the tie-break rank from the queue's counter so wheel timers
+       keep the exact (time, seq) position a heap push would have had. *)
+    let seq = Pqueue.alloc_seq t.queue in
+    Timewheel.arm w ~node:ctx.id ~label ~gen ~seq ~deadline
 
 let cancel_timer ctx timer =
   let t = ctx.engine in
-  if Hashtbl.mem t.timers.(ctx.id) timer then begin
-    Hashtbl.remove t.timers.(ctx.id) timer;
-    t.live_timers <- t.live_timers - 1;
-    t.stale_timer_entries <- t.stale_timer_entries + 1
-  end
+  match t.sched with
+  | Heap ->
+    if Hashtbl.mem t.timers.(ctx.id) timer then begin
+      Hashtbl.remove t.timers.(ctx.id) timer;
+      t.live_timers <- t.live_timers - 1;
+      t.stale_timer_entries <- t.stale_timer_entries + 1
+    end
+  | Wheel _ ->
+    let s = t.armed.(ctx.id) in
+    let i = Armed.find s (trace_label t timer) in
+    if i >= 0 then begin
+      Armed.remove_at s i;
+      t.live_timers <- t.live_timers - 1;
+      t.stale_timer_entries <- t.stale_timer_entries + 1
+    end
 
 (* Harness-side API --------------------------------------------------- *)
 
@@ -206,7 +404,11 @@ let at t ~time f =
 
 let events_processed t = t.events_processed
 
-let pending_events t = Pqueue.size t.queue - t.stale_timer_entries
+let queue_depth t = Pqueue.size t.queue
+
+let pending_events t =
+  let wheel_entries = match t.sched with Heap -> 0 | Wheel w -> Timewheel.size w in
+  Pqueue.size t.queue + wheel_entries - t.stale_timer_entries
 
 let live_timers t = t.live_timers
 
@@ -230,8 +432,8 @@ let dispatch t event =
       (* The FIFO floors of the removed edge belong to a finished epoch:
          drop them so a later re-add starts fresh instead of queueing new
          messages behind the dead epoch's last delivery time. *)
-      Hashtbl.remove t.fifo_last ((u * t.n) + v);
-      Hashtbl.remove t.fifo_last ((v * t.n) + u);
+      Fifo_store.remove t.fifo.(u) v;
+      Fifo_store.remove t.fifo.(v) u;
       schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
     end
   | Discover { node; peer; epoch; add } ->
@@ -250,7 +452,7 @@ let dispatch t event =
     end
     else Trace.record t.trace ~time:t.now Discover_stale node peer epoch
   | Absence { node; peer } ->
-    Hashtbl.remove t.absence_pending.(node) peer;
+    Iset.remove t.absence_pending.(node) peer;
     if not (Dyngraph.has_edge t.graph node peer) then begin
       Trace.record t.trace ~time:t.now Discover_remove node peer (-1);
       (handlers_of t node).on_discover_remove peer
@@ -264,10 +466,11 @@ let dispatch t event =
     end
     else Trace.record t.trace ~time:t.now Drop_in_flight src dst epoch
   | Timer { node; timer; _ } ->
-    (* Staleness is resolved in the run loop; only live timers reach here. *)
+    (* Heap mode only (the wheel keeps timers out of the queue entirely).
+       Staleness is resolved in the run loop; only live timers reach here. *)
     Hashtbl.remove t.timers.(node) timer;
     t.live_timers <- t.live_timers - 1;
-    Trace.record t.trace ~time:t.now Timer_fire node (-1) (-1);
+    Trace.record t.trace ~time:t.now Timer_fire node (trace_label t timer) (-1);
     (handlers_of t node).on_timer timer
   | Callback f -> f ()
 
@@ -289,29 +492,88 @@ let start t =
     done
   end
 
+(* A wheel entry just surfaced: fire it if it still holds the armed
+   generation for its label, otherwise it was superseded or cancelled
+   after being armed — same lazy discard, and at the same instant, as the
+   heap path's stale-slot check, which is what keeps the two schedulers'
+   traces byte-identical. *)
+let wheel_timer t ~node ~label ~gen =
+  let s = t.armed.(node) in
+  let i = Armed.find s label in
+  if i >= 0 && s.Armed.gens.(i) = gen then begin
+    let timer = Obj.obj s.Armed.vals.(i) in
+    Armed.remove_at s i;
+    t.live_timers <- t.live_timers - 1;
+    t.events_processed <- t.events_processed + 1;
+    Trace.record t.trace ~time:t.now Timer_fire node label (-1);
+    (handlers_of t node).on_timer timer
+  end
+  else begin
+    t.stale_timer_entries <- t.stale_timer_entries - 1;
+    Trace.record t.trace ~time:t.now Timer_stale node label (-1)
+  end
+
+let run_queue_event t event =
+  if is_stale_timer t event then begin
+    t.stale_timer_entries <- t.stale_timer_entries - 1;
+    match event with
+    | Timer { node; timer; _ } ->
+      Trace.record t.trace ~time:t.now Timer_stale node (trace_label t timer) (-1)
+    | _ -> assert false
+  end
+  else begin
+    t.events_processed <- t.events_processed + 1;
+    dispatch t event
+  end
+
 let run_until t horizon =
   if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
   start t;
-  (* [next_time]/[pop_exn] instead of [peek_time]/[pop]: no option or
-     tuple allocation per event. *)
-  let rec loop () =
-    let time = Pqueue.next_time t.queue in
-    if time <= horizon then begin
-      assert (time >= t.now);
-      t.now <- time;
-      let event = Pqueue.pop_exn t.queue in
-      if is_stale_timer t event then begin
-        t.stale_timer_entries <- t.stale_timer_entries - 1;
-        (match event with
-        | Timer { node; _ } -> Trace.record t.trace ~time:t.now Timer_stale node (-1) (-1)
-        | _ -> assert false)
+  (match t.sched with
+  | Heap ->
+    (* [next_time]/[pop_exn] instead of [peek_time]/[pop]: no option or
+       tuple allocation per event. *)
+    let rec loop () =
+      let time = Pqueue.next_time t.queue in
+      if time <= horizon then begin
+        assert (time >= t.now);
+        t.now <- time;
+        let event = Pqueue.pop_exn t.queue in
+        run_queue_event t event;
+        loop ()
       end
-      else begin
-        t.events_processed <- t.events_processed + 1;
-        dispatch t event
-      end;
-      loop ()
-    end
-  in
-  loop ();
+    in
+    loop ()
+  | Wheel w ->
+    (* Two sources, one total (time, seq) order: the wheel is only asked
+       to resolve up to the queue's head (or the horizon), and an
+       equal-time tie goes to the smaller sequence number — the order a
+       single heap holding both kinds of event would have produced. *)
+    let rec loop () =
+      let qt = Pqueue.next_time t.queue in
+      let bound = Float.min qt horizon in
+      if
+        Timewheel.peek w ~upto:bound
+        && (Timewheel.top_time w < qt
+           || Timewheel.top_seq w < Pqueue.top_seq t.queue)
+      then begin
+        let time = Timewheel.top_time w in
+        assert (time >= t.now);
+        t.now <- time;
+        let node = Timewheel.top_node w
+        and label = Timewheel.top_label w
+        and gen = Timewheel.top_gen w in
+        Timewheel.pop w;
+        wheel_timer t ~node ~label ~gen;
+        loop ()
+      end
+      else if qt <= horizon then begin
+        assert (qt >= t.now);
+        t.now <- qt;
+        let event = Pqueue.pop_exn t.queue in
+        run_queue_event t event;
+        loop ()
+      end
+    in
+    loop ());
   t.now <- horizon

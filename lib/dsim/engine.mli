@@ -48,13 +48,32 @@ val create :
   ?discovery_lag:float ->
   ?initial_edges:(int * int) list ->
   ?trace:Trace.t ->
+  ?timer_label:('timer -> int) ->
+  ?scheduler:[ `Heap | `Wheel of float ] ->
   unit ->
   ('msg, 'timer) t
 (** [create ~clocks ~delay ()] builds an engine over
     [Array.length clocks] nodes. [discovery_lag] (default [0.]) is the
     fixed time between a topology change and its discovery by the
     endpoints; the paper's [D] is an upper bound on it. [initial_edges]
-    exist from time 0 and are discovered at time [0.]. *)
+    exist from time 0 and are discovered at time [0.].
+
+    [timer_label] encodes a timer label as a non-negative int; when
+    given, [Timer_fire]/[Timer_stale] trace records carry it (otherwise
+    they record [-1]). Distinct labels of one node must encode to
+    distinct ints.
+
+    [scheduler] picks where armed timers wait (default [`Heap], timers
+    share the event heap). [`Wheel granularity] keeps them in a
+    hierarchical timer wheel with [granularity]-sized level-0 buckets
+    instead: O(1) arm/cancel/re-arm in dense int arrays, and superseded
+    entries stop occupying heap slots — the heap then holds only
+    deliveries, discoveries and callbacks, so its size no longer grows
+    with message rate times the timeout span. Requires [timer_label]
+    (raises [Invalid_argument] without it). Both schedulers produce
+    identical executions — same dispatch order, same trace — because
+    wheel entries draw their tie-break ranks from the queue's sequence
+    counter and surface in the same total [(time, seq)] order. *)
 
 val install : ('msg, 'timer) t -> int -> (('msg, 'timer) ctx -> ('msg, 'timer) handlers) -> unit
 (** Install node [i]'s algorithm. Must be called for every node before
@@ -112,8 +131,14 @@ val events_processed : ('msg, 'timer) t -> int
     {e not} counted. *)
 
 val pending_events : ('msg, 'timer) t -> int
-(** Queued events that will actually dispatch: the heap size minus the
-    stale timer entries still awaiting lazy removal. *)
+(** Queued events that will actually dispatch: the heap size (plus the
+    wheel size under the [`Wheel] scheduler) minus the stale timer
+    entries still awaiting lazy removal. *)
+
+val queue_depth : ('msg, 'timer) t -> int
+(** Raw size of the event heap alone. Under the [`Wheel] scheduler this
+    excludes timers entirely, so sustained timer re-arm traffic leaves it
+    bounded by the in-flight message and discovery count. *)
 
 val live_timers : ('msg, 'timer) t -> int
 (** Currently armed timer labels across all nodes (each cancel or re-arm

@@ -58,6 +58,17 @@ let grow q =
   q.seqs <- seqs;
   q.payloads <- payloads
 
+let alloc_seq q =
+  (* Reserve the next tie-break rank without inserting anything. An
+     external scheduler (Engine's timer wheel) stores events the heap
+     never sees; drawing their ranks from this counter keeps one total
+     (time, seq) order across both sources. *)
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  seq
+
+let top_seq q = if q.size = 0 then max_int else q.seqs.(0)
+
 let push q ~time payload =
   if not (Float.is_finite time) then invalid_arg "Pqueue.push: non-finite time";
   let seq = q.next_seq in

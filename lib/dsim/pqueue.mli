@@ -18,6 +18,17 @@ val create : ?capacity:int -> unit -> 'a t
 val push : 'a t -> time:float -> 'a -> unit
 (** Insert an event at [time]. [time] must be finite. *)
 
+val alloc_seq : 'a t -> int
+(** Reserve and return the next tie-break sequence number without
+    inserting an event. Lets an external structure (e.g. a timer wheel)
+    hold events whose ranks interleave with this queue's under one total
+    [(time, seq)] order. *)
+
+val top_seq : 'a t -> int
+(** Sequence number of the earliest event, or [max_int] when empty — so
+    an equal-time comparison against an external source's rank always
+    prefers the non-empty side. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event, if any. *)
 

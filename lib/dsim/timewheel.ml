@@ -1,0 +1,297 @@
+(* Hierarchical timer wheel: [levels] rings of [slots] buckets each, where
+   a level-[l] bucket spans [granularity * slots^l] time units. Entries
+   are four ints plus an unboxed float deadline in per-bucket parallel
+   arrays, so arming allocates nothing once a bucket has warmed up.
+
+   The cursor is the next unresolved granule (granule = deadline /
+   granularity, floored). Resolving granule [c] first cascades every
+   coarser ring whose boundary [c] crosses (top ring first), re-arming
+   each displaced entry relative to the new cursor, then drains level-0
+   slot [c mod slots] into [due], a small binary heap ordered by
+   (deadline, seq). Two invariants make the merge with the event queue
+   exact:
+
+   - every bucket entry's granule is >= cursor, so its deadline is
+     >= cursor * granularity;
+   - every due entry's deadline is < cursor * granularity (it entered due
+     either when its granule was resolved or because it was armed into
+     the already-resolved past).
+
+   Hence whenever [due] is non-empty its root is the wheel's global
+   minimum, and [peek] needs to advance the cursor only while [due] is
+   empty. Entries further than [slots^levels] granules away are parked at
+   the top ring's last covered slot and re-cascaded when the cursor gets
+   there; the granule check in [resolve] re-arms instead of surfacing
+   them, so clamping never reorders anything. *)
+
+type t = {
+  granularity : float;
+  slots : int;
+  levels : int;
+  w_pow : int array; (* w_pow.(l) = slots^l; length levels + 1 *)
+  span : int; (* slots^levels *)
+  mutable cursor : int;
+  mutable bucket_count : int;
+  (* Buckets, struct-of-arrays: bucket [l * slots + s] owns index ranges
+     [0, b_len.(i)) of the inner arrays. *)
+  b_len : int array;
+  b_deadline : float array array;
+  b_seq : int array array;
+  b_node : int array array;
+  b_label : int array array;
+  b_gen : int array array;
+  (* Due heap, parallel arrays ordered by (deadline, seq). *)
+  mutable d_len : int;
+  mutable d_deadline : float array;
+  mutable d_seq : int array;
+  mutable d_node : int array;
+  mutable d_label : int array;
+  mutable d_gen : int array;
+}
+
+let empty_f : float array = [||]
+let empty_i : int array = [||]
+
+let create ~granularity ?(slots = 64) ?(levels = 4) () =
+  if not (Float.is_finite granularity) || granularity <= 0. then
+    invalid_arg "Timewheel.create: granularity must be positive";
+  if slots < 2 then invalid_arg "Timewheel.create: need at least 2 slots";
+  if levels < 1 then invalid_arg "Timewheel.create: need at least 1 level";
+  let w_pow = Array.make (levels + 1) 1 in
+  for l = 1 to levels do
+    w_pow.(l) <- w_pow.(l - 1) * slots
+  done;
+  let nb = levels * slots in
+  {
+    granularity;
+    slots;
+    levels;
+    w_pow;
+    span = w_pow.(levels);
+    cursor = 0;
+    bucket_count = 0;
+    b_len = Array.make nb 0;
+    b_deadline = Array.make nb empty_f;
+    b_seq = Array.make nb empty_i;
+    b_node = Array.make nb empty_i;
+    b_label = Array.make nb empty_i;
+    b_gen = Array.make nb empty_i;
+    d_len = 0;
+    d_deadline = Array.make 16 0.;
+    d_seq = Array.make 16 0;
+    d_node = Array.make 16 0;
+    d_label = Array.make 16 0;
+    d_gen = Array.make 16 0;
+  }
+
+let size t = t.bucket_count + t.d_len
+
+(* Due heap ----------------------------------------------------------- *)
+
+let due_grow t =
+  let cap = 2 * Array.length t.d_deadline in
+  let g_f a = let b = Array.make cap 0. in Array.blit a 0 b 0 t.d_len; b in
+  let g_i a = let b = Array.make cap 0 in Array.blit a 0 b 0 t.d_len; b in
+  t.d_deadline <- g_f t.d_deadline;
+  t.d_seq <- g_i t.d_seq;
+  t.d_node <- g_i t.d_node;
+  t.d_label <- g_i t.d_label;
+  t.d_gen <- g_i t.d_gen
+
+let due_push t ~deadline ~seq ~node ~label ~gen =
+  if t.d_len >= Array.length t.d_deadline then due_grow t;
+  (* Sift a hole up from the end, then fill it (same as Pqueue.push). *)
+  let i = ref t.d_len in
+  t.d_len <- t.d_len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pd = t.d_deadline.(parent) in
+    if deadline < pd || (deadline = pd && seq < t.d_seq.(parent)) then begin
+      t.d_deadline.(!i) <- pd;
+      t.d_seq.(!i) <- t.d_seq.(parent);
+      t.d_node.(!i) <- t.d_node.(parent);
+      t.d_label.(!i) <- t.d_label.(parent);
+      t.d_gen.(!i) <- t.d_gen.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.d_deadline.(!i) <- deadline;
+  t.d_seq.(!i) <- seq;
+  t.d_node.(!i) <- node;
+  t.d_label.(!i) <- label;
+  t.d_gen.(!i) <- gen
+
+let due_pop t =
+  let last = t.d_len - 1 in
+  t.d_len <- last;
+  if last > 0 then begin
+    let deadline = t.d_deadline.(last) and seq = t.d_seq.(last) in
+    let node = t.d_node.(last)
+    and label = t.d_label.(last)
+    and gen = t.d_gen.(last) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= last then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < last
+            && (t.d_deadline.(r) < t.d_deadline.(l)
+               || (t.d_deadline.(r) = t.d_deadline.(l) && t.d_seq.(r) < t.d_seq.(l)))
+          then r
+          else l
+        in
+        if
+          t.d_deadline.(c) < deadline
+          || (t.d_deadline.(c) = deadline && t.d_seq.(c) < seq)
+        then begin
+          t.d_deadline.(!i) <- t.d_deadline.(c);
+          t.d_seq.(!i) <- t.d_seq.(c);
+          t.d_node.(!i) <- t.d_node.(c);
+          t.d_label.(!i) <- t.d_label.(c);
+          t.d_gen.(!i) <- t.d_gen.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    t.d_deadline.(!i) <- deadline;
+    t.d_seq.(!i) <- seq;
+    t.d_node.(!i) <- node;
+    t.d_label.(!i) <- label;
+    t.d_gen.(!i) <- gen
+  end
+
+(* Buckets ------------------------------------------------------------ *)
+
+let bucket_push t b ~deadline ~seq ~node ~label ~gen =
+  let len = t.b_len.(b) in
+  if len >= Array.length t.b_deadline.(b) then begin
+    let cap = max 4 (2 * len) in
+    let g_f a = let c = Array.make cap 0. in Array.blit a 0 c 0 len; c in
+    let g_i a = let c = Array.make cap 0 in Array.blit a 0 c 0 len; c in
+    t.b_deadline.(b) <- g_f t.b_deadline.(b);
+    t.b_seq.(b) <- g_i t.b_seq.(b);
+    t.b_node.(b) <- g_i t.b_node.(b);
+    t.b_label.(b) <- g_i t.b_label.(b);
+    t.b_gen.(b) <- g_i t.b_gen.(b)
+  end;
+  t.b_deadline.(b).(len) <- deadline;
+  t.b_seq.(b).(len) <- seq;
+  t.b_node.(b).(len) <- node;
+  t.b_label.(b).(len) <- label;
+  t.b_gen.(b).(len) <- gen;
+  t.b_len.(b) <- len + 1;
+  t.bucket_count <- t.bucket_count + 1
+
+let granule t deadline = int_of_float (Float.floor (deadline /. t.granularity))
+
+(* Place an entry relative to the current cursor: already-resolved
+   granules go straight to [due]; everything else picks the ring whose
+   reach covers its distance, with far-future entries parked at the top
+   ring's last covered granule (their stored deadline is untouched, so
+   they re-place themselves correctly when that slot is revisited). *)
+let place t ~deadline ~seq ~node ~label ~gen =
+  let g = granule t deadline in
+  if g < t.cursor then due_push t ~deadline ~seq ~node ~label ~gen
+  else begin
+    let d = g - t.cursor in
+    let gp = if d >= t.span then t.cursor + t.span - 1 else g in
+    let dp = gp - t.cursor in
+    let l = ref 0 in
+    while dp >= t.w_pow.(!l + 1) do incr l done;
+    let slot = (gp / t.w_pow.(!l)) mod t.slots in
+    bucket_push t ((!l * t.slots) + slot) ~deadline ~seq ~node ~label ~gen
+  end
+
+let arm t ~node ~label ~gen ~seq ~deadline =
+  if not (Float.is_finite deadline) || deadline < 0. then
+    invalid_arg "Timewheel.arm: bad deadline";
+  place t ~deadline ~seq ~node ~label ~gen
+
+(* Empty bucket [b] and re-place every entry it held. The inner arrays
+   are detached first because a re-placed entry may land back in [b]
+   (a parked far-future entry can stay on the top ring). *)
+let redistribute t b =
+  let len = t.b_len.(b) in
+  if len > 0 then begin
+    let deadline = t.b_deadline.(b)
+    and seq = t.b_seq.(b)
+    and node = t.b_node.(b)
+    and label = t.b_label.(b)
+    and gen = t.b_gen.(b) in
+    t.b_deadline.(b) <- empty_f;
+    t.b_seq.(b) <- empty_i;
+    t.b_node.(b) <- empty_i;
+    t.b_label.(b) <- empty_i;
+    t.b_gen.(b) <- empty_i;
+    t.b_len.(b) <- 0;
+    t.bucket_count <- t.bucket_count - len;
+    for k = 0 to len - 1 do
+      place t ~deadline:deadline.(k) ~seq:seq.(k) ~node:node.(k)
+        ~label:label.(k) ~gen:gen.(k)
+    done
+  end
+
+(* Resolve granule [cursor]: cascade each coarser ring whose boundary the
+   cursor crosses (coarsest first, so entries can fall several rings in
+   one step), then surface level-0 slot [cursor mod slots] — after the
+   cascades every entry there has granule = cursor (parked entries are
+   caught by the granule check and re-placed instead). *)
+let resolve t =
+  let c = t.cursor in
+  for l = t.levels - 1 downto 1 do
+    if c mod t.w_pow.(l) = 0 then
+      redistribute t ((l * t.slots) + ((c / t.w_pow.(l)) mod t.slots))
+  done;
+  let b = c mod t.slots in
+  let len = t.b_len.(b) in
+  if len > 0 then begin
+    t.b_len.(b) <- 0;
+    t.bucket_count <- t.bucket_count - len;
+    let deadline = t.b_deadline.(b)
+    and seq = t.b_seq.(b)
+    and node = t.b_node.(b)
+    and label = t.b_label.(b)
+    and gen = t.b_gen.(b) in
+    t.cursor <- c + 1;
+    for k = 0 to len - 1 do
+      if granule t deadline.(k) = c then
+        due_push t ~deadline:deadline.(k) ~seq:seq.(k) ~node:node.(k)
+          ~label:label.(k) ~gen:gen.(k)
+      else
+        place t ~deadline:deadline.(k) ~seq:seq.(k) ~node:node.(k)
+          ~label:label.(k) ~gen:gen.(k)
+    done
+  end
+  else t.cursor <- c + 1
+
+let peek t ~upto =
+  if t.d_len = 0 then begin
+    (* Advance at most to the granule containing [upto]: anything beyond
+       it cannot surface an entry with deadline <= upto. *)
+    let limit = granule t upto in
+    while t.d_len = 0 && t.bucket_count > 0 && t.cursor <= limit do
+      resolve t
+    done
+  end;
+  t.d_len > 0 && t.d_deadline.(0) <= upto
+
+let top_time t = t.d_deadline.(0)
+
+let top_seq t = if t.d_len = 0 then max_int else t.d_seq.(0)
+
+let top_node t = t.d_node.(0)
+
+let top_label t = t.d_label.(0)
+
+let top_gen t = t.d_gen.(0)
+
+let pop t =
+  if t.d_len = 0 then invalid_arg "Timewheel.pop: no resolved entry";
+  due_pop t

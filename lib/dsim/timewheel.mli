@@ -1,0 +1,61 @@
+(** Hierarchical timer wheel for the engine's periodic timer traffic.
+
+    The wheel holds integer-identified timer entries — [(node, label, gen,
+    seq)] plus a float deadline — in dense per-bucket arrays. Arming is
+    O(1): the entry is appended to the bucket covering its deadline's
+    granule at the right level. The engine's run loop resolves entries
+    lazily: {!peek} advances an internal cursor granule by granule,
+    cascading coarser levels down as their boundaries are crossed, and
+    moves the current granule's entries into a small binary heap ordered
+    by [(deadline, seq)].
+
+    The wheel never decides whether an entry is live: cancellation and
+    re-arm are generation-counter checks performed by the engine when an
+    entry surfaces (exactly like the heap scheduler's lazy stale-slot
+    discard), so superseded entries stay in their bucket as flat integers
+    until their deadline passes.
+
+    Determinism: entries surface in strictly increasing [(deadline, seq)]
+    order, the same total order a single binary heap over all events
+    produces, which is what lets the engine interleave wheel timers with
+    its event queue byte-identically to the heap-only scheduler. *)
+
+type t
+
+val create : granularity:float -> ?slots:int -> ?levels:int -> unit -> t
+(** [create ~granularity ()] builds an empty wheel whose level-0 buckets
+    each span [granularity] time units; level [l] buckets span
+    [granularity * slots^l]. Defaults: [slots = 64], [levels = 4] (spans
+    ~16.7M granules before far-future entries are parked in the top level
+    and re-cascaded). Raises [Invalid_argument] unless
+    [granularity > 0], [slots >= 2] and [levels >= 1]. *)
+
+val arm : t -> node:int -> label:int -> gen:int -> seq:int -> deadline:float -> unit
+(** Add an entry. [deadline] must be finite and non-negative; [seq] must
+    exceed every previously armed seq (the engine's shared tie-break
+    counter guarantees this). Entries whose granule has already been
+    resolved go straight into the due heap. *)
+
+val size : t -> int
+(** Entries currently held, including superseded ones that have not yet
+    surfaced. *)
+
+val peek : t -> upto:float -> bool
+(** [peek w ~upto] is [true] iff the earliest entry's deadline is
+    [<= upto], resolving granules no further than [upto]. When it returns
+    [true], {!top_time}, {!top_seq}, {!top_node}, {!top_label} and
+    {!top_gen} read that entry; they are meaningless otherwise. *)
+
+val top_time : t -> float
+
+val top_seq : t -> int
+
+val top_node : t -> int
+
+val top_label : t -> int
+
+val top_gen : t -> int
+
+val pop : t -> unit
+(** Drop the entry exposed by the last successful {!peek}. Raises
+    [Invalid_argument] if no resolved entry is pending. *)

@@ -28,8 +28,9 @@ type entry = { time : float; kind : kind; a : int; b : int; c : int }
 (** A structured record: the event kind plus up to three integer fields
     whose meaning depends on the kind — [(src, dst, epoch)] for message
     events, [(u, v, -1)] for topology events, [(node, peer, epoch)] for
-    discovery events, [(node, -1, -1)] for timers. Unused fields are
-    [-1]. *)
+    discovery events, [(node, label, -1)] for timers, where [label] is
+    the engine's encoded timer label ([-1] when the engine was built
+    without [timer_label]). Unused fields are [-1]. *)
 
 type t
 

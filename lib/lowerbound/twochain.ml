@@ -43,7 +43,11 @@ let build ~n ~k =
     List.init k (fun i -> norm (a_id t i) (a_id t (i + 1)))
     @ List.init k (fun i -> norm (a_id t (a_len - k + i)) (a_id t (a_len - k + i + 1)))
   in
-  { t with edges = List.sort compare (a_edges @ b_edges); block = List.sort compare block }
+  {
+    t with
+    edges = List.sort Dsim.Dyngraph.compare_edge (a_edges @ b_edges);
+    block = List.sort Dsim.Dyngraph.compare_edge block;
+  }
 
 let a_chain t = List.init (t.a_len + 1) (a_id t)
 

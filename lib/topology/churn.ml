@@ -5,9 +5,19 @@ type op = Add | Remove
 
 type event = { time : float; op : op; u : int; v : int }
 
+(* Same order polymorphic [compare] on [(u, v, op)] gave (Add sorts
+   before Remove at equal endpoints), without building the tuples. *)
+let op_rank = function Add -> 0 | Remove -> 1
+
 let compare_event a b =
   let c = Float.compare a.time b.time in
-  if c <> 0 then c else compare (a.u, a.v, a.op) (b.u, b.v, b.op)
+  if c <> 0 then c
+  else
+    let c = Int.compare a.u b.u in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.v b.v in
+      if c <> 0 then c else Int.compare (op_rank a.op) (op_rank b.op)
 
 let normalize events =
   List.map
@@ -28,7 +38,7 @@ let schedule engine events =
 module Edge_set = Set.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare = Dsim.Dyngraph.compare_edge
 end)
 
 let final_edges ~initial events =

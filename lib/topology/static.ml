@@ -10,7 +10,7 @@ let path n =
 let ring n =
   check_n ~min:3 n;
   (0, n - 1) :: List.init (n - 1) (fun i -> (i, i + 1))
-  |> List.sort compare
+  |> List.sort Dsim.Dyngraph.compare_edge
 
 let star n =
   check_n ~min:2 n;
@@ -33,7 +33,7 @@ let grid ~rows ~cols =
       (fun r -> List.init cols (fun c -> (id r c, id (r + 1) c)))
       (List.init (rows - 1) Fun.id)
   in
-  List.sort compare (horizontal @ vertical)
+  List.sort Dsim.Dyngraph.compare_edge (horizontal @ vertical)
 
 let binary_tree n =
   check_n ~min:2 n;
@@ -105,11 +105,11 @@ let spanning_tree ~n edges =
         end)
       adj.(u)
   done;
-  List.sort compare !tree
+  List.sort Dsim.Dyngraph.compare_edge !tree
 
 let non_tree_edges ~n edges =
   let tree = spanning_tree ~n edges in
-  List.filter (fun e -> not (List.mem e tree)) (List.sort_uniq compare edges)
+  List.filter (fun e -> not (List.mem e tree)) (List.sort_uniq Dsim.Dyngraph.compare_edge edges)
 
 let erdos_renyi prng ~n ~p =
   check_n ~min:2 n;

@@ -7,6 +7,7 @@ let () =
       ("prng", Test_prng.suite);
       ("runner", Test_runner.suite);
       ("pqueue", Test_pqueue.suite);
+      ("timewheel", Test_timewheel.suite);
       ("hwclock", Test_hwclock.suite);
       ("delay", Test_delay.suite);
       ("dyngraph", Test_dyngraph.suite);
@@ -36,6 +37,8 @@ let () =
       ("random-scenarios", Test_random_scenarios.suite);
       ("audit", Test_audit.suite);
       ("fuzz", Test_fuzz.suite);
+      ("scheduler-parity", Test_parity.suite);
+      ("scaling", Test_scaling.suite);
       ("golden", Test_golden.suite);
       ("experiments", Test_experiments.suite);
     ]

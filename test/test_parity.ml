@@ -1,0 +1,141 @@
+(* Scheduler parity: the `Heap and `Wheel engines must produce
+   byte-identical executions — same dispatch order, same structured
+   trace, same counters. The wheel draws its tie-break seqs from the
+   queue's shared counter and surfaces entries in (time, seq) order, so
+   any divergence here is a determinism-contract break (DESIGN.md §10). *)
+
+module Engine = Dsim.Engine
+module Hwclock = Dsim.Hwclock
+module Delay = Dsim.Delay
+module Trace = Dsim.Trace
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A timer-heavy toy protocol over int timer labels: each node keeps a
+   periodic label-0 tick broadcasting to all peers it has heard from, and
+   per-source label-(src+1) timeouts re-armed on every receipt — the same
+   arm/re-arm/cancel pattern as the gradient algorithm's Lost timers. *)
+let build ~scheduler ~trace =
+  let n = 8 in
+  let clocks =
+    Array.init n (fun i ->
+        Hwclock.two_rate ~rho:0.05 ~period:(7. +. float_of_int i)
+          ~horizon:200. ~fast_first:(i mod 2 = 0))
+  in
+  let delay = Delay.uniform (Dsim.Prng.of_int 42) ~bound:1.0 in
+  let initial_edges = Topology.Static.ring n in
+  let engine =
+    Engine.create ~clocks ~delay ~discovery_lag:0.4 ~initial_edges ~trace
+      ~timer_label:(fun t -> t) ~scheduler ()
+  in
+  for i = 0 to n - 1 do
+    Engine.install engine i (fun ctx ->
+        let heard = Hashtbl.create 8 in
+        let broadcast () =
+          Hashtbl.iter (fun v () -> Engine.send ctx ~dst:v i) heard
+        in
+        {
+          Engine.on_init = (fun () -> Engine.set_timer ctx ~after:0.9 0);
+          on_discover_add = (fun v -> Hashtbl.replace heard v ());
+          on_discover_remove =
+            (fun v ->
+              Hashtbl.remove heard v;
+              Engine.cancel_timer ctx (v + 1));
+          on_receive =
+            (fun src _ ->
+              Hashtbl.replace heard src ();
+              Engine.set_timer ctx ~after:2.7 (src + 1));
+          on_timer =
+            (fun t ->
+              if t = 0 then begin
+                broadcast ();
+                Engine.set_timer ctx ~after:0.9 0
+              end
+              else Hashtbl.remove heard (t - 1));
+        })
+  done;
+  (* Churn a few ring edges so cancels, re-discoveries and in-flight
+     drops all happen under both schedulers. *)
+  Engine.schedule_edge_remove engine ~at:11.3 0 1;
+  Engine.schedule_edge_add engine ~at:14.8 0 1;
+  Engine.schedule_edge_remove engine ~at:20.1 3 4;
+  Engine.schedule_edge_add engine ~at:20.2 2 4;
+  Engine.schedule_edge_add engine ~at:33.9 3 4;
+  engine
+
+let run_engine scheduler =
+  let trace = Trace.create ~log_limit:200_000 () in
+  let engine = build ~scheduler ~trace in
+  Engine.run_until engine 80.;
+  (engine, trace)
+
+let test_engine_parity () =
+  let heap, heap_trace = run_engine `Heap in
+  let wheel, wheel_trace = run_engine (`Wheel 0.0625) in
+  Alcotest.(check int)
+    "events processed" (Engine.events_processed heap) (Engine.events_processed wheel);
+  Alcotest.(check int)
+    "pending events" (Engine.pending_events heap) (Engine.pending_events wheel);
+  Alcotest.(check int)
+    "live timers" (Engine.live_timers heap) (Engine.live_timers wheel);
+  Alcotest.(check string)
+    "byte-identical trace" (Trace.to_csv heap_trace) (Trace.to_csv wheel_trace)
+
+(* Full-stack parity: the gradient algorithm on a seeded churned topology,
+   audited trace and all. This is the scenario class the wheel was built
+   for (periodic ΔH ticks plus per-peer ΔT' lost timers at scale). *)
+let run_sim scheduler =
+  let n = 24 in
+  let horizon = 50. in
+  let params = Gcs.Params.make ~n () in
+  let edges = Topology.Static.ring n in
+  let clocks = Gcs.Drift.assign params ~horizon ~seed:5 Gcs.Drift.Split_extremes in
+  let delay =
+    Dsim.Delay.uniform (Dsim.Prng.of_int 9) ~bound:params.Gcs.Params.delay_bound
+  in
+  let trace = Trace.create ~log_limit:500_000 () in
+  let cfg = Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~trace () in
+  let sim = Gcs.Sim.create cfg in
+  Topology.Churn.schedule (Gcs.Sim.engine sim)
+    (Topology.Churn.random_churn (Dsim.Prng.of_int 13) ~n ~base:edges ~rate:0.4
+       ~horizon);
+  Gcs.Sim.run_until sim horizon;
+  (sim, trace)
+
+let test_sim_parity () =
+  let heap, heap_trace = run_sim Gcs.Sim.Heap in
+  let wheel, wheel_trace = run_sim Gcs.Sim.Wheel in
+  Alcotest.(check int)
+    "events processed"
+    (Dsim.Engine.events_processed (Gcs.Sim.engine heap))
+    (Dsim.Engine.events_processed (Gcs.Sim.engine wheel));
+  Alcotest.(check int) "messages" (Gcs.Sim.total_messages heap)
+    (Gcs.Sim.total_messages wheel);
+  Alcotest.(check int) "jumps" (Gcs.Sim.total_jumps heap) (Gcs.Sim.total_jumps wheel);
+  for i = 0 to (Gcs.Sim.params heap).Gcs.Params.n - 1 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "clock of node %d" i)
+      (Gcs.Sim.logical_clock heap i)
+      (Gcs.Sim.logical_clock wheel i)
+  done;
+  Alcotest.(check string)
+    "byte-identical trace" (Trace.to_csv heap_trace) (Trace.to_csv wheel_trace)
+
+(* The wheel run's trace must also satisfy the conformance auditor,
+   including the lost-timer cadence rule that reads the new label field. *)
+let test_wheel_trace_audits_clean () =
+  let sim, trace = run_sim Gcs.Sim.Wheel in
+  let cfg =
+    Audit.Conformance.of_params (Gcs.Sim.params sim) ~horizon:50. ()
+  in
+  let report = Audit.Conformance.audit cfg (Trace.entries trace) in
+  Alcotest.(check int) "no violations" 0
+    (List.length report.Audit.Report.violations);
+  Alcotest.(check bool) "events audited" true (report.Audit.Report.events_audited > 0)
+
+let suite =
+  [
+    case "engine: heap = wheel (timer-heavy protocol)" test_engine_parity;
+    case "sim: heap = wheel (seeded churn)" test_sim_parity;
+    case "wheel trace passes conformance audit" test_wheel_trace_audits_clean;
+  ]

@@ -1,0 +1,108 @@
+(* Regression pins for the large-n scaling work: the per-event allocation
+   budget of the hot path, and the structural guarantee that timer
+   traffic no longer accumulates in the event heap. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let build_sim ?(n = 64) ?(scheduler = Gcs.Sim.Wheel) ~horizon () =
+  let params = Gcs.Params.make ~n () in
+  let edges = Topology.Static.path n in
+  let clocks = Gcs.Drift.assign params ~horizon ~seed:1 Gcs.Drift.Split_extremes in
+  let delay = Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound in
+  let cfg = Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges () in
+  Gcs.Sim.create cfg
+
+(* Minor-heap budget: with tracing off (counters only, the default), the
+   n=64 path run allocates ~57 minor words per event on this codebase
+   (float boxing in clock math and delivery records dominate). Pin a
+   ceiling with headroom for compiler variation; regressions that
+   reintroduce per-event closures, lists or boxed options blow well past
+   it (the pre-rework engine sat near 90). *)
+let test_minor_words_budget () =
+  let horizon = 60. in
+  let sim = build_sim ~horizon () in
+  Gc.full_major ();
+  let m0 = Gc.minor_words () in
+  Gcs.Sim.run_until sim horizon;
+  let minor = Gc.minor_words () -. m0 in
+  let events = Dsim.Engine.events_processed (Gcs.Sim.engine sim) in
+  Alcotest.(check bool) "ran" true (events > 1000);
+  let per_event = minor /. float_of_int events in
+  if per_event > 70. then
+    Alcotest.failf "minor words/event %.1f exceeds budget 70.0 (%d events)"
+      per_event events
+
+(* Under the wheel scheduler the heap holds only deliveries, discoveries
+   and callbacks, so sustained timer re-arm traffic must leave its depth
+   flat: the stale Lost entries that used to pile up between a receipt
+   and the old entry's distant deadline never enter it. Armed labels are
+   bounded by live protocol state (one Tick plus at most one Lost per
+   gamma peer per node), and pending_events by heap depth + live timers. *)
+let test_bounded_timer_state () =
+  let n = 32 in
+  let sim = build_sim ~n ~horizon:200. () in
+  let engine = Gcs.Sim.engine sim in
+  let max_depth_early = ref 0 in
+  let max_depth_late = ref 0 in
+  let max_pending = ref 0 in
+  let max_live = ref 0 in
+  let probe cell () =
+    cell := max !cell (Dsim.Engine.queue_depth engine);
+    max_pending := max !max_pending (Dsim.Engine.pending_events engine);
+    max_live := max !max_live (Dsim.Engine.live_timers engine)
+  in
+  for i = 1 to 40 do
+    Dsim.Engine.at engine ~time:(2.5 *. float_of_int i)
+      (probe (if i <= 20 then max_depth_early else max_depth_late))
+  done;
+  Gcs.Sim.run_until sim 200.;
+  Alcotest.(check bool) "probes saw traffic" true (!max_depth_early > 0);
+  (* One Tick per node plus at most one Lost per gamma peer: on a path
+     every node has <= 2 neighbours. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "live timers %d bounded by 3n" !max_live)
+    true
+    (!max_live <= 3 * n);
+  (* Flat over time: the later half of the run may not out-grow the
+     steady state the first half reached. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "queue depth flat (early max %d, late max %d)"
+       !max_depth_early !max_depth_late)
+    true
+    (!max_depth_late <= !max_depth_early);
+  Alcotest.(check bool)
+    (Printf.sprintf "pending %d bounded by depth+timers" !max_pending)
+    true
+    (!max_pending <= !max_depth_early + !max_live)
+
+(* The same execution under the heap scheduler used to keep every
+   superseded Lost entry queued until its deadline passed; the wheel keeps
+   them out of the heap entirely. Pin the structural win: wheel heap
+   depth is a small fraction of the heap scheduler's. *)
+let test_wheel_relieves_heap () =
+  let horizon = 80. in
+  let depth scheduler =
+    let sim = build_sim ~n:32 ~scheduler ~horizon () in
+    let engine = Gcs.Sim.engine sim in
+    let peak = ref 0 in
+    for i = 1 to 16 do
+      Dsim.Engine.at engine ~time:(4.8 *. float_of_int i) (fun () ->
+          peak := max !peak (Dsim.Engine.queue_depth engine))
+    done;
+    Gcs.Sim.run_until sim horizon;
+    !peak
+  in
+  let heap_peak = depth Gcs.Sim.Heap in
+  let wheel_peak = depth Gcs.Sim.Wheel in
+  Alcotest.(check bool)
+    (Printf.sprintf "wheel heap depth %d < half of heap scheduler's %d"
+       wheel_peak heap_peak)
+    true
+    (2 * wheel_peak < heap_peak)
+
+let suite =
+  [
+    case "minor words/event within budget (n=64, trace off)" test_minor_words_budget;
+    case "timer state bounded under sustained traffic" test_bounded_timer_state;
+    case "wheel keeps timers out of the event heap" test_wheel_relieves_heap;
+  ]

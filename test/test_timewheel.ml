@@ -1,0 +1,143 @@
+(* The timer wheel's ordering contract: entries surface in strictly
+   increasing (deadline, seq) order — the same total order the event heap
+   produces — regardless of which level they land on, how often they
+   cascade, or whether they are armed after their granule was resolved. *)
+
+module Tw = Dsim.Timewheel
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Drain every entry due by [upto], returning (deadline, seq, node, label,
+   gen) tuples in surfacing order. *)
+let drain w ~upto =
+  let out = ref [] in
+  while Tw.peek w ~upto do
+    out :=
+      (Tw.top_time w, Tw.top_seq w, Tw.top_node w, Tw.top_label w, Tw.top_gen w)
+      :: !out;
+    Tw.pop w
+  done;
+  List.rev !out
+
+let arm_all w entries =
+  List.iter
+    (fun (deadline, seq) -> Tw.arm w ~node:seq ~label:0 ~gen:0 ~seq ~deadline)
+    entries
+
+let deadlines_seqs popped = List.map (fun (d, s, _, _, _) -> (d, s)) popped
+
+let test_ordering () =
+  let w = Tw.create ~granularity:0.5 () in
+  (* Scrambled deadlines, seqs in arming order. *)
+  arm_all w [ (7.3, 1); (0.2, 2); (3.9, 3); (0.9, 4); (12.0, 5); (3.1, 6) ];
+  let popped = deadlines_seqs (drain w ~upto:20.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "sorted by (deadline, seq)"
+    [ (0.2, 2); (0.9, 4); (3.1, 6); (3.9, 3); (7.3, 1); (12.0, 5) ]
+    popped
+
+let test_seq_ties () =
+  let w = Tw.create ~granularity:1.0 () in
+  (* Equal deadlines resolve by seq — the engine's determinism tie-break. *)
+  arm_all w [ (4.0, 3); (4.0, 1); (4.0, 2) ];
+  let popped = deadlines_seqs (drain w ~upto:10.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "seq breaks deadline ties"
+    [ (4.0, 1); (4.0, 2); (4.0, 3) ]
+    popped
+
+let test_cascade_across_levels () =
+  (* Tiny wheel (4 slots, 3 levels) so every deadline below crosses at
+     least one level boundary before resolving: level 0 spans granules
+     [0, 4), level 1 [4, 16), level 2 [16, 64). *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:3 () in
+  let entries = [ (2.5, 1); (6.1, 2); (14.9, 3); (30.0, 4); (61.5, 5) ] in
+  arm_all w entries;
+  Alcotest.(check int) "size counts all levels" 5 (Tw.size w);
+  let popped = deadlines_seqs (drain w ~upto:100.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "cascades preserve order"
+    [ (2.5, 1); (6.1, 2); (14.9, 3); (30.0, 4); (61.5, 5) ]
+    popped;
+  Alcotest.(check int) "drained" 0 (Tw.size w)
+
+let test_far_future_clamped () =
+  (* Span = 4^2 = 16 granules: a deadline 100 granules out exceeds it and
+     is parked in the top level, re-cascading until its granule is
+     reachable. It must not surface early, and entries armed later with
+     nearer deadlines must still come out first. *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:2 () in
+  Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:1 ~deadline:100.0;
+  Alcotest.(check bool) "far entry not due early" false (Tw.peek w ~upto:99.0);
+  Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:2 ~deadline:50.0;
+  let popped = deadlines_seqs (drain w ~upto:200.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "clamped entries surface at their true deadlines"
+    [ (50.0, 2); (100.0, 1) ]
+    popped
+
+let test_arm_into_resolved_past () =
+  let w = Tw.create ~granularity:1.0 () in
+  Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:1 ~deadline:8.0;
+  Alcotest.(check bool) "first entry due" true (Tw.peek w ~upto:20.);
+  (* The cursor has advanced past granule 2; a re-arm landing there must
+     still surface, and in (deadline, seq) order. *)
+  Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:2 ~deadline:2.0;
+  let popped = deadlines_seqs (drain w ~upto:20.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "past-granule arm surfaces in order"
+    [ (2.0, 2); (8.0, 1) ]
+    popped
+
+let test_peek_respects_upto () =
+  let w = Tw.create ~granularity:1.0 () in
+  Tw.arm w ~node:3 ~label:7 ~gen:5 ~seq:1 ~deadline:5.0;
+  Alcotest.(check bool) "not due before deadline" false (Tw.peek w ~upto:4.9);
+  Alcotest.(check bool) "due at deadline" true (Tw.peek w ~upto:5.0);
+  Alcotest.(check (float 1e-12)) "top_time" 5.0 (Tw.top_time w);
+  Alcotest.(check int) "top_node" 3 (Tw.top_node w);
+  Alcotest.(check int) "top_label" 7 (Tw.top_label w);
+  Alcotest.(check int) "top_gen" 5 (Tw.top_gen w);
+  Alcotest.(check int) "size before pop" 1 (Tw.size w);
+  Tw.pop w;
+  Alcotest.(check int) "size after pop" 0 (Tw.size w);
+  Alcotest.(check bool) "empty after pop" false (Tw.peek w ~upto:100.)
+
+let test_interleaved_arm_and_drain () =
+  (* Exercise cursor movement interleaved with arming, mimicking the
+     engine's re-arm pattern: pop one, arm its successor further out. *)
+  let w = Tw.create ~granularity:0.25 ~slots:8 ~levels:3 () in
+  let seq = ref 0 in
+  let next_seq () = incr seq; !seq in
+  for i = 0 to 9 do
+    Tw.arm w ~node:i ~label:0 ~gen:0 ~seq:(next_seq ()) ~deadline:(0.9 *. float_of_int (i + 1))
+  done;
+  let surfaced = ref [] in
+  let t = ref 0. in
+  while Tw.size w > 0 && !t < 100. do
+    t := !t +. 1.3;
+    while Tw.peek w ~upto:!t do
+      let d = Tw.top_time w and node = Tw.top_node w and g = Tw.top_gen w in
+      surfaced := d :: !surfaced;
+      Tw.pop w;
+      (* Re-arm each entry twice, doubling its period. *)
+      if g < 2 then
+        Tw.arm w ~node ~label:0 ~gen:(g + 1) ~seq:(next_seq ())
+          ~deadline:(d +. (2.2 *. float_of_int (g + 1)))
+    done
+  done;
+  let surfaced = List.rev !surfaced in
+  Alcotest.(check int) "all entries surfaced" 30 (List.length surfaced);
+  let sorted = List.sort Float.compare surfaced in
+  Alcotest.(check (list (float 1e-12))) "non-decreasing deadlines" sorted surfaced
+
+let suite =
+  [
+    case "pops in (deadline, seq) order" test_ordering;
+    case "equal deadlines break by seq" test_seq_ties;
+    case "cascade across levels" test_cascade_across_levels;
+    case "far-future deadlines clamp and re-cascade" test_far_future_clamped;
+    case "arm into already-resolved granule" test_arm_into_resolved_past;
+    case "peek honours upto; top fields; size" test_peek_respects_upto;
+    case "interleaved arm/drain stays ordered" test_interleaved_arm_and_drain;
+  ]
