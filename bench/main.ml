@@ -166,6 +166,31 @@ let bench_simulation =
          let sim = Gcs.Sim.create (small_sim_config ()) in
          Gcs.Sim.run_until sim 50.))
 
+(* Same run with an active fault schedule: the delta against the plain
+   sim above is the whole fault path (crash/restart events, incarnation
+   checks on every delivery, duplication and Byzantine windows). *)
+let small_faulted_config () =
+  let n = 16 in
+  let params = Gcs.Params.make ~n () in
+  let faults =
+    [
+      Dsim.Fault.Crash { node = 3; at = 10. };
+      Dsim.Fault.Restart { node = 3; at = 20.; corrupt = true };
+      Dsim.Fault.Duplicate { src = 0; dst = 1; from_ = 5.; until = 40. };
+      Dsim.Fault.Byzantine { node = 8; from_ = 15.; until = 35. };
+    ]
+  in
+  Gcs.Sim.config ~params
+    ~clocks:(Gcs.Drift.assign params ~horizon:50. ~seed:1 Gcs.Drift.Split_extremes)
+    ~delay:(Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound)
+    ~initial_edges:(Topology.Static.path n) ~faults ~fault_seed:2 ()
+
+let bench_simulation_faults =
+  Test.make ~name:"end-to-end sim, faulted (n=16, horizon=50)"
+    (Staged.stage (fun () ->
+         let sim = Gcs.Sim.create (small_faulted_config ()) in
+         Gcs.Sim.run_until sim 50.))
+
 let bench_flexible_distance =
   let net = Lowerbound.Twochain.build ~n:64 ~k:2 in
   let mask = Lowerbound.Twochain.mask net ~delay:1. in
@@ -192,7 +217,7 @@ let microbenches =
     bench_pqueue; bench_pqueue_10k; bench_trace_record; bench_prng; bench_clock_value;
     bench_params_b;
     bench_hetero_tolerance; bench_global_skew; bench_local_skew; bench_simulation;
-    bench_flexible_distance; bench_weighted_diameter;
+    bench_simulation_faults; bench_flexible_distance; bench_weighted_diameter;
   ]
 
 let run_micro () =

@@ -26,12 +26,15 @@ let horizon = 60.
 
 let sizes ~quick = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ]
 
-let build ~scheduler ~n ~churn =
+let build ?(faults = []) ~scheduler ~n ~churn () =
   let params = Gcs.Params.make ~n () in
   let edges = Topology.Static.path n in
   let clocks = Gcs.Drift.assign params ~horizon ~seed:1 Gcs.Drift.Split_extremes in
   let delay = Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound in
-  let cfg = Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges () in
+  let cfg =
+    Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~faults
+      ~fault_seed:3 ()
+  in
   let sim = Gcs.Sim.create cfg in
   if churn then
     Topology.Churn.schedule (Gcs.Sim.engine sim)
@@ -39,8 +42,8 @@ let build ~scheduler ~n ~churn =
          ~rate:(float_of_int n /. 256.) ~horizon);
   sim
 
-let measure ~scheduler ~n ~churn =
-  let sim = build ~scheduler ~n ~churn in
+let measure ?faults ~scheduler ~n ~churn () =
+  let sim = build ?faults ~scheduler ~n ~churn () in
   Gc.full_major ();
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
@@ -59,13 +62,38 @@ let measure ~scheduler ~n ~churn =
     wall_s;
   }
 
+(* Fault-path cost at n=1024: the same path run with no schedule and
+   with a crash/restart + duplication + Byzantine campaign, back to
+   back. The no-schedule number doubles as the regression guard — the
+   fault integration is a dormant branch when nothing is installed, so
+   its ns/event must track the sweep rows above. *)
+let fault_overhead_check () =
+  let n = 1024 in
+  let baseline = measure ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
+  let faults =
+    List.concat
+      (List.init 8 (fun k ->
+           let node = (k * 128) + 1 in
+           let at = 10. +. float_of_int k in
+           [
+             Dsim.Fault.Crash { node; at };
+             Dsim.Fault.Restart { node; at = at +. 8.; corrupt = k mod 2 = 0 };
+           ]))
+    @ [
+        Dsim.Fault.Duplicate { src = 0; dst = 1; from_ = 5.; until = 40. };
+        Dsim.Fault.Byzantine { node = 512; from_ = 15.; until = 35. };
+      ]
+  in
+  let faulted = measure ~faults ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
+  (baseline, faulted)
+
 (* E1-style end-of-sweep check: the paper's G(n) bound is linear in n;
    verify the measured max global skew still sits under it at n = 1024
    (sampled every horizon/20, separate from the timed runs so the
    recorder's probes do not pollute the cost numbers). *)
 let g_linearity_check () =
   let n = 1024 in
-  let sim = build ~scheduler:Gcs.Sim.Wheel ~n ~churn:false in
+  let sim = build ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
   let params = Gcs.Sim.params sim in
   let recorder =
     Gcs.Metrics.attach (Gcs.Sim.engine sim) (Gcs.Sim.view sim)
@@ -117,7 +145,7 @@ let run ~quick ~out () =
         List.concat_map
           (fun n ->
             List.map
-              (fun scheduler -> measure ~scheduler ~n ~churn)
+              (fun scheduler -> measure ~scheduler ~n ~churn ())
               [ Gcs.Sim.Heap; Gcs.Sim.Wheel ])
           (sizes ~quick))
       [ false; true ]
@@ -155,6 +183,11 @@ let run ~quick ~out () =
   in
   pair rows;
   Format.printf "%a@." Table.pp speedups;
+  let no_fault, with_fault = fault_overhead_check () in
+  Format.printf
+    "fault path at n=1024 (wheel): empty schedule %.1f ns/event, campaign %.1f \
+     ns/event (%d vs %d events)@."
+    no_fault.ns_per_event with_fault.ns_per_event no_fault.events with_fault.events;
   let ((gn, gskew, gbound, gpass) as g) = g_linearity_check () in
   Format.printf "G(n) linearity at n=%d: max global skew %.4f vs bound %.4f -> %s@."
     gn gskew gbound

@@ -259,9 +259,46 @@ let sim_cmd =
                "Timer scheduler: wheel (default) or heap. Both produce the same \
                 execution; heap is the reference path.")
   in
+  let faults =
+    Arg.(value & opt string ""
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:
+               "Deterministic fault schedule, ';'-joined ops: crash@T:N, \
+                restart@T:N (restart@T:N! corrupts the restart state), \
+                dup@T1-T2:S>D, reorder@T1-T2:S>D, byz@T1-T2:N. Replayed from \
+                --seed; audits become fault-aware automatically.")
+  in
+  let no_gap_check =
+    Arg.(value & flag
+         & info [ "no-gap-check" ]
+             ~doc:
+               "Audit opt-out: skip the receipt-gap (liveness) rule. Use for \
+                algorithms that do not broadcast every subjective dH.")
+  in
+  let no_lost_check =
+    Arg.(value & flag
+         & info [ "no-lost-check" ]
+             ~doc:
+               "Audit opt-out: skip the lost-timer cadence rule. Use for \
+                algorithms with per-peer timeouts shorter than dT'.")
+  in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv audit scheduler =
+      plot loss csv trace_csv audit scheduler fault_spec no_gap_check no_lost_check =
     let params = make_params ~n ~rho ~b0 in
+    let faults =
+      if fault_spec = "" then []
+      else
+        match Dsim.Fault.of_spec fault_spec with
+        | Ok sched -> (
+          match Dsim.Fault.validate ~n sched with
+          | Ok () -> sched
+          | Error msg ->
+            Format.eprintf "invalid --faults schedule: %s@." msg;
+            exit 2)
+        | Error msg ->
+          Format.eprintf "cannot parse --faults spec: %s@." msg;
+          exit 2
+    in
     let edges = build_topology topology ~n ~seed in
     let drift_spec =
       match drift with
@@ -291,7 +328,7 @@ let sim_cmd =
     in
     let cfg =
       Gcs.Sim.config ~algo ~scheduler ~params ~clocks ~delay:delay_policy
-        ~initial_edges:edges ~trace ()
+        ~initial_edges:edges ~trace ~faults ~fault_seed:seed ()
     in
     let sim = Gcs.Sim.create cfg in
     let engine = Gcs.Sim.engine sim in
@@ -307,14 +344,16 @@ let sim_cmd =
       Gcs.Metrics.attach engine view ~every:(horizon /. 200.) ~until:horizon ~watch ()
     in
     let monitor =
-      Gcs.Invariant.attach engine view ~params ~every:(horizon /. 200.) ~until:horizon ()
+      Gcs.Invariant.attach engine view ~params ~every:(horizon /. 200.) ~until:horizon
+        ~faults ()
     in
     let guarantees =
       if audit then
         Some
           (Audit.Guarantees.attach engine view ~params
-             ~check_envelope:(algo = Gcs.Sim.Gradient && loss = 0. && churn_rate = 0.)
-             ~every:(horizon /. 200.) ~until:horizon ())
+             ~check_envelope:
+               (algo = Gcs.Sim.Gradient && loss = 0. && churn_rate = 0. && faults = [])
+             ~faults ~every:(horizon /. 200.) ~until:horizon ())
       else None
     in
     Gcs.Sim.run_until sim horizon;
@@ -326,6 +365,7 @@ let sim_cmd =
       | Path -> "path" | Ring -> "ring" | Star -> "star" | Grid -> "grid"
       | Complete -> "complete" | Tree -> "tree" | Er -> "er" | Geometric -> "geometric")
       n horizon seed;
+    if faults <> [] then Format.printf "faults=%s@." (Dsim.Fault.to_spec faults);
     Format.printf "events=%d messages=%d jumps=%d@."
       (Dsim.Engine.events_processed engine)
       (Gcs.Sim.total_messages sim) (Gcs.Sim.total_jumps sim);
@@ -367,7 +407,9 @@ let sim_cmd =
       (fun guarantees ->
         let conformance =
           Audit.Conformance.audit
-            (Audit.Conformance.of_params params ~horizon ~check_gaps:(loss = 0.) ())
+            (Audit.Conformance.of_params params ~horizon
+               ~check_gaps:(loss = 0. && not no_gap_check)
+               ~check_lost_timers:(not no_lost_check) ~faults ())
             (Dsim.Trace.entries trace)
         in
         let report =
@@ -421,7 +463,7 @@ let sim_cmd =
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
       $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
-      $ audit $ scheduler)
+      $ audit $ scheduler $ faults $ no_gap_check $ no_lost_check)
 
 (* ------------------------------- fuzz ------------------------------ *)
 
@@ -447,7 +489,15 @@ let fuzz_cmd =
          & info [ "out" ] ~docv:"FILE"
              ~doc:"Write the shrunk replay specs of all failures to $(docv), one per line.")
   in
-  let run seed count replay out jobs =
+  let faults =
+    Arg.(value & flag
+         & info [ "faults" ]
+             ~doc:
+               "Also draw a random fault schedule (crash/restart, duplication, \
+                reordering, Byzantine windows) for each scenario; the fault-aware \
+                auditors must still report zero violations.")
+  in
+  let run seed count replay out jobs faults =
     let jobs = resolve_jobs jobs in
     match replay with
     | Some spec -> (
@@ -461,7 +511,7 @@ let fuzz_cmd =
           Audit.Report.pp report;
         if not (Audit.Report.ok report) then exit 1)
     | None ->
-      let outcome = Audit.Fuzz.run ~jobs ~seed ~count () in
+      let outcome = Audit.Fuzz.run ~jobs ~faults ~seed ~count () in
       Format.printf "fuzz: %d scenarios audited, %d failures@."
         outcome.Audit.Fuzz.scenarios_run
         (List.length outcome.Audit.Fuzz.failures);
@@ -485,7 +535,7 @@ let fuzz_cmd =
       if outcome.Audit.Fuzz.failures <> [] then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed_arg $ count $ replay $ out $ jobs_arg)
+    Term.(const run $ seed_arg $ count $ replay $ out $ jobs_arg $ faults)
 
 (* ------------------------------- main ------------------------------ *)
 

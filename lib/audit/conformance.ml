@@ -8,9 +8,11 @@ type config = {
   horizon : float;
   check_gaps : bool;
   check_lost_timers : bool;
+  faults : Dsim.Fault.schedule;
 }
 
-let of_params params ~horizon ?(check_gaps = true) ?(check_lost_timers = true) () =
+let of_params params ~horizon ?(check_gaps = true) ?(check_lost_timers = true)
+    ?(faults = []) () =
   {
     delay_bound = params.Gcs.Params.delay_bound;
     discovery_bound = params.Gcs.Params.discovery_bound;
@@ -22,7 +24,17 @@ let of_params params ~horizon ?(check_gaps = true) ?(check_lost_timers = true) (
     horizon;
     check_gaps;
     check_lost_timers;
+    faults;
   }
+
+(* Did the sender suffer a crash or restart inside (t0, t1]? Any silence
+   or cadence break on its outgoing links over that span is the fault's
+   doing, not the engine's. (A Deliver implies the sender kept one
+   incarnation from send to delivery, so an outage *before* t0 cannot
+   explain a gap that only opens after it.) *)
+let sender_outage cfg ~src t0 t1 =
+  Dsim.Fault.crashed_in cfg.faults ~node:src t0 t1
+  || Dsim.Fault.restarted_in cfg.faults ~node:src t0 t1
 
 (* Float comparisons tolerate accumulation relative to the magnitudes
    involved, mirroring Invariant's slack policy. *)
@@ -58,6 +70,9 @@ type link_state = {
   sends : pending_send Queue.t;
   mutable last_receipt : float;
   mutable last_receipt_epoch : int;  (* -1: no anchor *)
+  mutable dup_credit : int;
+      (* outstanding Fault_duplicate copies: each licenses exactly one
+         deliver/drop on this link with no matching send *)
 }
 
 type state = {
@@ -85,7 +100,9 @@ let link_state st src dst =
   match Hashtbl.find_opt st.links (src, dst) with
   | Some l -> l
   | None ->
-    let l = { sends = Queue.create (); last_receipt = 0.; last_receipt_epoch = -1 } in
+    let l =
+      { sends = Queue.create (); last_receipt = 0.; last_receipt_epoch = -1; dup_credit = 0 }
+    in
     Hashtbl.add st.links (src, dst) l;
     l
 
@@ -102,6 +119,17 @@ let take_send link epoch =
   Queue.clear link.sends;
   Queue.transfer keep link.sends;
   !found
+
+(* A take_send miss is licensed when the link holds a duplication credit:
+   the engine traced a Fault_duplicate at send time, so exactly one extra
+   delivery (or drop, if the copy outlives its edge or receiver) will
+   arrive with its send already consumed by the original. *)
+let consume_dup link =
+  if link.dup_credit > 0 then begin
+    link.dup_credit <- link.dup_credit - 1;
+    true
+  end
+  else false
 
 let on_edge_change st ~time ~add u v =
   let e = edge_state st u v in
@@ -148,7 +176,12 @@ let on_discover st ~time ~add node peer epoch =
           "{%d,%d} epoch %d changed to %s but discovered as %s" node peer epoch
           (if o.o_add then "present" else "absent")
           (if add then "present" else "absent");
-      if time > o.o_deadline +. slack time then
+      if
+        time > o.o_deadline +. slack time
+        (* A restart re-discovery replays the current neighborhood with
+           the lag measured from the restart, not from the change. *)
+        && not (Dsim.Fault.restarted_in st.cfg.faults ~node o.o_time time)
+      then
         violationf st ~time "late-discovery"
           "%d discovered {%d,%d} epoch %d at %.9g, deadline %.9g" node node peer epoch time
           o.o_deadline;
@@ -185,9 +218,10 @@ let on_deliver st ~time src dst epoch =
   let link = link_state st src dst in
   (match take_send link epoch with
   | None ->
-    violationf st ~time "deliver-without-send"
-      "%d->%d delivery on epoch %d has no outstanding send (out-of-order or phantom)" src
-      dst epoch
+    if not (consume_dup link) then
+      violationf st ~time "deliver-without-send"
+        "%d->%d delivery on epoch %d has no outstanding send (out-of-order or phantom)" src
+        dst epoch
   | Some s ->
     let delay = time -. s.s_time in
     if delay > st.cfg.delay_bound +. slack time then
@@ -198,7 +232,10 @@ let on_deliver st ~time src dst epoch =
         dst (-.delay));
   if st.cfg.check_gaps && link.last_receipt_epoch = epoch then begin
     let gap = time -. link.last_receipt in
-    if gap > st.cfg.delta_t +. slack time then
+    if
+      gap > st.cfg.delta_t +. slack time
+      && not (sender_outage st.cfg ~src link.last_receipt time)
+    then
       violationf st ~time "receipt-gap-exceeds-dT"
         "%d->%d silent for %.9g on an unchanged link, bound dT=%.9g" src dst gap
         st.cfg.delta_t
@@ -219,7 +256,11 @@ let on_timer_fire st ~time node label =
     match Hashtbl.find_opt st.links (v, node) with
     | Some link when link.last_receipt_epoch >= 0 ->
       let gap = time -. link.last_receipt in
-      if gap < st.cfg.min_lost_gap -. slack time then
+      (* gap = 0 is the same-instant race: a delivery processed at the
+         fire's own timestamp updated the anchor, but the fire was armed
+         by the receipt *before* it — not premature. Only a strictly
+         positive yet too-small gap convicts the engine. *)
+      if gap > slack time && gap < st.cfg.min_lost_gap -. slack time then
         violationf st ~time "premature-lost-timer"
           "%d's lost(%d) fired %.9g after the last receipt, minimum gap %.9g" node v gap
           st.cfg.min_lost_gap
@@ -231,19 +272,22 @@ let on_drop_in_flight st ~time src dst epoch =
   if e.present && e.epoch = epoch then
     violationf st ~time "drop-live-message"
       "%d->%d epoch-%d message dropped though the edge never changed" src dst epoch;
-  match take_send (link_state st src dst) epoch with
+  let link = link_state st src dst in
+  (match take_send link epoch with
   | Some _ -> ()
   | None ->
-    violationf st ~time "drop-without-send" "%d->%d in-flight drop with no outstanding send"
-      src dst
+    if not (consume_dup link) then
+      violationf st ~time "drop-without-send"
+        "%d->%d in-flight drop with no outstanding send" src dst)
 
 let on_drop_lossy st ~time src dst epoch =
   let link = link_state st src dst in
   (match take_send link epoch with
   | Some _ -> ()
   | None ->
-    violationf st ~time "drop-without-send" "%d->%d lossy drop with no outstanding send" src
-      dst);
+    if not (consume_dup link) then
+      violationf st ~time "drop-without-send" "%d->%d lossy drop with no outstanding send"
+        src dst);
   (* Loss breaks the receipt cadence through no fault of the engine:
      reset the gap anchor rather than report a phantom silence. *)
   link.last_receipt_epoch <- -1
@@ -269,28 +313,38 @@ let finish st =
         let e = edge_state st src dst in
         if e.present && e.epoch = link.last_receipt_epoch then begin
           let gap = horizon -. link.last_receipt in
-          if gap > st.cfg.delta_t +. slack horizon then
+          if
+            gap > st.cfg.delta_t +. slack horizon
+            && not (sender_outage st.cfg ~src link.last_receipt horizon)
+          then
             violationf st ~time:horizon "receipt-gap-exceeds-dT"
               "%d->%d silent for the last %.9g of the run, bound dT=%.9g" src dst gap
               st.cfg.delta_t
         end
       end)
     st.links;
-  (* Discovery obligations whose deadline passed unmet. *)
+  (* Discovery obligations whose deadline passed unmet. An endpoint that
+     was dead at any point of the obligation window is excused: crashed
+     nodes observe nothing, and what they missed is replayed (for edges
+     still present) by the restart re-discovery instead. *)
   Hashtbl.iter
     (fun _ e ->
       List.iter
         (fun o ->
-          if o.o_deadline < horizon -. slack horizon && not (o.o_lo_seen && o.o_hi_seen)
-          then
+          let excused node =
+            Dsim.Fault.dead_during st.cfg.faults ~node o.o_time o.o_deadline
+          in
+          let lo_missing = (not o.o_lo_seen) && not (excused e.e_lo) in
+          let hi_missing = (not o.o_hi_seen) && not (excused e.e_hi) in
+          if o.o_deadline < horizon -. slack horizon && (lo_missing || hi_missing) then
             violationf st ~time:o.o_deadline "missed-discovery"
               "{%d,%d} change at %.9g (epoch %d) undiscovered by %s by deadline %.9g"
               e.e_lo e.e_hi o.o_time o.o_epoch
-              (match (o.o_lo_seen, o.o_hi_seen) with
-              | false, false -> "both endpoints"
-              | false, true -> Printf.sprintf "node %d" e.e_lo
-              | true, false -> Printf.sprintf "node %d" e.e_hi
-              | true, true -> assert false)
+              (match (lo_missing, hi_missing) with
+              | true, true -> "both endpoints"
+              | true, false -> Printf.sprintf "node %d" e.e_lo
+              | false, true -> Printf.sprintf "node %d" e.e_hi
+              | false, false -> assert false)
               o.o_deadline)
         e.obligations)
     st.edges
@@ -322,6 +376,15 @@ let audit cfg entries =
       | Trace.Discover_add -> on_discover st ~time ~add:true a b c
       | Trace.Discover_remove -> on_discover st ~time ~add:false a b c
       | Trace.Timer_fire -> on_timer_fire st ~time a b
+      | Trace.Fault_duplicate ->
+        (* Recorded at send time: licenses one extra sendless deliver or
+           drop on this directed link, whenever the copy lands. *)
+        let link = link_state st a b in
+        link.dup_credit <- link.dup_credit + 1
+      | Trace.Fault_crash | Trace.Fault_restart | Trace.Fault_corrupt
+      | Trace.Fault_byzantine_msg ->
+        (* Informational: excusals key off the schedule in the config. *)
+        ()
       | Trace.Discover_stale | Trace.Timer_stale -> ())
     entries;
   finish st;

@@ -30,7 +30,16 @@
       {!Gcs.Proto.timer_label}) must come at least [ΔT'/(1+ρ)] real time
       after the last delivery from [v] — each receipt re-arms the timer
       for subjective [ΔT'], and a clock runs at most [(1+ρ)] fast.
+      A gap of exactly zero (a delivery at the fire's own timestamp) is
+      not premature: the fire was armed by the receipt before it.
       Traces recorded without timer labels (label [-1]) are skipped.
+
+    When the execution ran under a fault schedule, pass the same schedule
+    here: obligations touching crashed nodes are suspended (gap checks
+    across a sender outage, discovery by a dead endpoint, lateness of the
+    restart re-discovery), and each traced [Fault_duplicate] licenses one
+    extra deliver/drop with no matching send on its link. Byzantine
+    windows corrupt content, not timing, so they need no excusal here.
 
     The trace must carry a structured log ([log_limit] > total events);
     counters alone are not enough to audit. *)
@@ -44,15 +53,23 @@ type config = {
   horizon : float;  (** end of the audited execution *)
   check_gaps : bool;
   check_lost_timers : bool;
+  faults : Dsim.Fault.schedule;  (** the schedule the execution ran under *)
 }
 
 val of_params :
-  Gcs.Params.t -> horizon:float -> ?check_gaps:bool -> ?check_lost_timers:bool -> unit -> config
+  Gcs.Params.t ->
+  horizon:float ->
+  ?check_gaps:bool ->
+  ?check_lost_timers:bool ->
+  ?faults:Dsim.Fault.schedule ->
+  unit ->
+  config
 (** [check_gaps] defaults to [true]; disable it for executions whose
     algorithm does not broadcast every [ΔH] or whose delay policy drops
     messages beyond what the trace records. [check_lost_timers] defaults
     to [true]; disable it for algorithms with per-peer timeouts shorter
-    than [ΔT'] (e.g. {!Gcs.Hetero}). *)
+    than [ΔT'] (e.g. {!Gcs.Hetero}). [faults] defaults to none; it must
+    match the schedule the traced execution was run with. *)
 
 val audit : config -> Dsim.Trace.entry list -> Report.t
 (** Replay the entries (which must be in time order, as recorded) and

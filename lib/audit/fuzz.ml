@@ -8,16 +8,49 @@ let fails s = not (Report.ok (Scenario.run s))
    "smaller" scenario or None if the knob is already minimal. The greedy
    pass takes the first candidate that still fails and restarts, so a
    given failing scenario always walks the same path to its fixpoint. *)
+(* Keep only fault ops whose nodes survive a shrink of n. Crash and
+   restart name the same node, so they are kept or dropped together and
+   the alternation rule stays satisfied. *)
+let fault_fit n sched =
+  List.filter
+    (fun op ->
+      match op with
+      | Dsim.Fault.Crash { node; _ }
+      | Dsim.Fault.Restart { node; _ }
+      | Dsim.Fault.Byzantine { node; _ } -> node < n
+      | Dsim.Fault.Duplicate { src; dst; _ } | Dsim.Fault.Reorder { src; dst; _ } ->
+        src < n && dst < n)
+    sched
+
+let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l
+
 let candidates s =
   List.filter_map
     (fun c -> c)
     [
+      (* Faults shrink first: a failure that survives without its fault
+         schedule is an ordinary engine/algorithm bug, not a fault bug. *)
+      (match s.Scenario.faults with
+      | [] -> None
+      | _ -> Some { s with Scenario.faults = [] });
+      (match s.Scenario.faults with
+      | [] | [ _ ] -> None
+      | f -> Some { s with Scenario.faults = drop_last f });
       (if s.Scenario.churn then Some { s with Scenario.churn = false } else None);
       (if s.Scenario.horizon > 30. then
          Some { s with Scenario.horizon = Float.max 30. (s.Scenario.horizon /. 2.) }
        else None);
-      (if s.Scenario.n > 4 then Some { s with Scenario.n = s.Scenario.n - 1 } else None);
-      (if s.Scenario.n > 4 then Some { s with Scenario.n = 4 } else None);
+      (if s.Scenario.n > 4 then
+         Some
+           {
+             s with
+             Scenario.n = s.Scenario.n - 1;
+             faults = fault_fit (s.Scenario.n - 1) s.Scenario.faults;
+           }
+       else None);
+      (if s.Scenario.n > 4 then
+         Some { s with Scenario.n = 4; faults = fault_fit 4 s.Scenario.faults }
+       else None);
       (if s.Scenario.drift <> 0 then Some { s with Scenario.drift = 0 } else None);
       (if s.Scenario.delay <> 0 then Some { s with Scenario.delay = 0 } else None);
       (if s.Scenario.topo <> 0 then Some { s with Scenario.topo = 0 } else None);
@@ -36,7 +69,7 @@ let shrink_with ~fails s =
 
 let shrink s = shrink_with ~fails s
 
-let run ?jobs ~seed ~count () =
+let run ?jobs ?(faults = false) ~seed ~count () =
   (* Scenarios are drawn serially from the one seeded stream (explicit
      recursion: the draw order is the spec), so the scenario set — every
      per-scenario seed included — is identical whatever the pool size.
@@ -46,7 +79,8 @@ let run ?jobs ~seed ~count () =
   let scenarios =
     let prng = Dsim.Prng.of_int seed in
     let rec draw acc k =
-      if k = 0 then List.rev acc else draw (Scenario.generate prng :: acc) (k - 1)
+      if k = 0 then List.rev acc
+      else draw (Scenario.generate ~faults prng :: acc) (k - 1)
     in
     draw [] count
   in

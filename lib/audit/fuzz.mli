@@ -2,11 +2,12 @@
 
     [run ~seed ~count] draws [count] scenarios from the seeded space,
     audits each ({!Scenario.run}) and, for every failure, greedily
-    shrinks the scenario — disable churn, halve the horizon, fewer
-    nodes, tamer drift, simpler delays, simpler topology — re-running
-    the audit after each candidate step and keeping it only if it still
-    fails. Shrinking is deterministic: the same failing scenario always
-    converges to the same minimal spec. *)
+    shrinks the scenario — drop the fault schedule (then its last op),
+    disable churn, halve the horizon, fewer nodes, tamer drift, simpler
+    delays, simpler topology — re-running the audit after each candidate
+    step and keeping it only if it still fails. Shrinking is
+    deterministic: the same failing scenario always converges to the
+    same minimal spec. *)
 
 type failure = {
   original : Scenario.t;  (** the scenario as drawn *)
@@ -21,19 +22,22 @@ type outcome = {
 
 val shrink_with : fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
 (** Greedy deterministic minimization against an arbitrary failure
-    predicate: repeatedly take the first simplification (drop churn,
-    halve horizon, fewer nodes, tamer drift, simpler delay, path
-    topology) that still satisfies [fails], until none does. Returns the
-    input unchanged if it does not fail. *)
+    predicate: repeatedly take the first simplification (drop faults,
+    drop churn, halve horizon, fewer nodes, tamer drift, simpler delay,
+    path topology) that still satisfies [fails], until none does.
+    Shrinking [n] also drops fault ops naming removed nodes, keeping the
+    schedule valid. Returns the input unchanged if it does not fail. *)
 
 val shrink : Scenario.t -> Scenario.t
 (** [shrink_with] against the real audit verdict ([Scenario.run]). *)
 
-val run : ?jobs:int -> seed:int -> count:int -> unit -> outcome
+val run : ?jobs:int -> ?faults:bool -> seed:int -> count:int -> unit -> outcome
 (** Scenarios are drawn serially from the seeded stream, then audited
     (and any failures shrunk) on {!Runner.map}'s domain pool — [jobs]
-    defaults to {!Runner.default_jobs}. Failures are reported in draw
-    order, so the outcome is byte-identical for every [jobs]. *)
+    defaults to {!Runner.default_jobs}. With [~faults:true] (default
+    false) every drawn scenario carries a generated fault schedule.
+    Failures are reported in draw order, so the outcome is
+    byte-identical for every [jobs]. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 (** The shrunk replay spec on the first line, then the report. *)

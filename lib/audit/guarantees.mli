@@ -14,7 +14,14 @@
     - {b dynamic local-skew envelope} (Corollary 6.13, optional): every
       present edge of real age [Δt] carries skew ≤ [s(n, Δt)]
       ([Params.dynamic_local_skew]). Only the full gradient algorithm
-      guarantees this; disable for the flat and max-only baselines. *)
+      guarantees this; disable for the flat and max-only baselines.
+
+    Under a fault schedule the guarantees cannot hold while faults are
+    active, so every check is suspended from the first fault until
+    [recovery_bound] after the last. Once the window closes the probe
+    demands self-stabilization instead: crashed nodes are skipped, and a
+    global skew still above [G(n)] is reported under the rule
+    ["recovery-exceeded"]. *)
 
 type t
 
@@ -23,11 +30,15 @@ val attach :
   Gcs.Metrics.view ->
   params:Gcs.Params.t ->
   ?check_envelope:bool ->
+  ?faults:Dsim.Fault.schedule ->
+  ?recovery_bound:float ->
   every:float ->
   until:float ->
   unit ->
   t
 (** Schedule probes from the engine's current time to [until].
-    [check_envelope] defaults to [false]. *)
+    [check_envelope] defaults to [false]. [recovery_bound] defaults to
+    [(n-1)ΔT + stabilize_real] — max-propagation across the network plus
+    the paper's convergence horizon. *)
 
 val report : t -> Report.t

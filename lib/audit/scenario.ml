@@ -7,6 +7,7 @@ type t = {
   churn : bool;
   seed : int;
   horizon : float;
+  faults : Dsim.Fault.schedule;
 }
 
 let topo_names = [| "path"; "ring"; "tree"; "er" |]
@@ -15,10 +16,14 @@ let delay_names = [| "maximal"; "zero"; "uniform" |]
 let algo_names = [| "gradient"; "flat"; "max" |]
 
 let to_spec s =
-  Printf.sprintf "n=%d topo=%s drift=%s delay=%s algo=%s churn=%d seed=%d horizon=%g" s.n
-    topo_names.(s.topo) drift_names.(s.drift) delay_names.(s.delay) algo_names.(s.algo)
+  Printf.sprintf "n=%d topo=%s drift=%s delay=%s algo=%s churn=%d seed=%d horizon=%g%s"
+    s.n topo_names.(s.topo) drift_names.(s.drift) delay_names.(s.delay)
+    algo_names.(s.algo)
     (if s.churn then 1 else 0)
     s.seed s.horizon
+    (* The fault token is omitted when empty so pre-fault specs round-trip
+       unchanged (and old specs keep parsing). *)
+    (match s.faults with [] -> "" | f -> " faults=" ^ Dsim.Fault.to_spec f)
 
 let index_of names value =
   let rec go i =
@@ -70,20 +75,34 @@ let of_spec spec =
     | Some h when h > 0. -> Ok h
     | _ -> Error (Printf.sprintf "horizon=%s is not a positive number" horizon_s)
   in
+  let* faults =
+    match lookup "faults" with
+    | Error _ -> Ok []  (* optional: absent in pre-fault specs *)
+    | Ok v -> Dsim.Fault.of_spec v
+  in
   if n < 2 then Error "n must be >= 2"
-  else Ok { n; topo; drift; delay; algo; churn = churn <> 0; seed; horizon }
+  else
+    let* () = Dsim.Fault.validate ~n faults in
+    Ok { n; topo; drift; delay; algo; churn = churn <> 0; seed; horizon; faults }
 
-let generate prng =
-  {
-    n = Dsim.Prng.int_in prng 4 14;
-    topo = Dsim.Prng.int prng 4;
-    drift = Dsim.Prng.int prng 4;
-    delay = Dsim.Prng.int prng 3;
-    algo = Dsim.Prng.int prng 3;
-    churn = Dsim.Prng.bool prng;
-    seed = Dsim.Prng.int prng 1_000_000;
-    horizon = 120.;
-  }
+let generate ?(faults = false) prng =
+  let s =
+    {
+      n = Dsim.Prng.int_in prng 4 14;
+      topo = Dsim.Prng.int prng 4;
+      drift = Dsim.Prng.int prng 4;
+      delay = Dsim.Prng.int prng 3;
+      algo = Dsim.Prng.int prng 3;
+      churn = Dsim.Prng.bool prng;
+      seed = Dsim.Prng.int prng 1_000_000;
+      horizon = 120.;
+      faults = [];
+    }
+  in
+  (* Fault draws come last so non-fault campaigns generate the exact same
+     scenarios as before the fault dimension existed. *)
+  if faults then { s with faults = Dsim.Fault.generate prng ~n:s.n ~horizon:s.horizon }
+  else s
 
 let build_topology s =
   match s.topo with
@@ -117,16 +136,20 @@ let run s =
   in
   let clocks = Gcs.Drift.assign params ~horizon:s.horizon ~seed:s.seed drift in
   let trace = Dsim.Trace.create ~log_limit:2_000_000 () in
-  let cfg = Gcs.Sim.config ~algo ~params ~clocks ~delay ~trace ~initial_edges:edges () in
+  let cfg =
+    Gcs.Sim.config ~algo ~params ~clocks ~delay ~trace ~initial_edges:edges
+      ~faults:s.faults ~fault_seed:(s.seed + 4) ()
+  in
   let sim = Gcs.Sim.create cfg in
   let engine = Gcs.Sim.engine sim in
   let view = Gcs.Sim.view sim in
   let guarantees =
-    Guarantees.attach engine view ~params ~check_envelope:(s.algo = 0) ~every:1.
-      ~until:s.horizon ()
+    Guarantees.attach engine view ~params ~check_envelope:(s.algo = 0) ~faults:s.faults
+      ~every:1. ~until:s.horizon ()
   in
   let invariants =
-    Gcs.Invariant.attach engine view ~params ~every:1. ~until:s.horizon ()
+    Gcs.Invariant.attach engine view ~params ~every:1. ~until:s.horizon ~faults:s.faults
+      ()
   in
   if s.churn then
     Topology.Churn.schedule engine
@@ -136,7 +159,7 @@ let run s =
   Gcs.Sim.run_until sim s.horizon;
   let conformance =
     Conformance.audit
-      (Conformance.of_params params ~horizon:s.horizon ())
+      (Conformance.of_params params ~horizon:s.horizon ~faults:s.faults ())
       (Dsim.Trace.entries trace)
   in
   let validity =

@@ -22,17 +22,28 @@ type t = {
   churn : bool;
   seed : int;
   horizon : float;
+  faults : Dsim.Fault.schedule;
+      (** deterministic fault-injection schedule, possibly empty *)
 }
 
 val to_spec : t -> string
+(** Appends [faults=<Fault.to_spec>] only when the schedule is non-empty,
+    so pre-fault specs round-trip unchanged. *)
 
 val of_spec : string -> (t, string) result
+(** The [faults=] token is optional (absent means no faults) and is
+    validated against [n]. *)
 
-val generate : Dsim.Prng.t -> t
-(** Draw a scenario (n in 4–14, horizon 120, all knobs uniform). *)
+val generate : ?faults:bool -> Dsim.Prng.t -> t
+(** Draw a scenario (n in 4–14, horizon 120, all knobs uniform). With
+    [~faults:true] (default false) a fault schedule is drawn last from
+    the same PRNG — non-fault campaigns are unchanged by the flag's
+    existence. *)
 
 val run : t -> Report.t
 (** Build and run the scenario with a structured trace, then audit it:
     conformance over the trace, guarantees ({!Guarantees}) and validity
-    ({!Gcs.Invariant}) sampled during the run. The local-skew envelope
-    is only asserted for the gradient algorithm. *)
+    ({!Gcs.Invariant}) sampled during the run — all three fault-aware
+    when the scenario carries a schedule (the simulation uses fault seed
+    [seed + 4]). The local-skew envelope is only asserted for the
+    gradient algorithm. *)

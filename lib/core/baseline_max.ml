@@ -41,7 +41,25 @@ let send_update t v =
   Engine.send t.ctx ~dst:v
     { Proto.l = Estimate.get t.l ~at:h; lmax = Estimate.get t.lmax ~at:h }
 
+(* Fault-injection restart: same contract as Node.restart — forget the
+   neighbor set, reset (or corrupt) the clock registers, re-arm the tick. *)
+let restart t ~corrupt =
+  t.upsilon <- Int_set.empty;
+  let h = hardware_clock t in
+  (match corrupt with
+  | None ->
+    Estimate.set t.l ~at:h 0.;
+    Estimate.set t.lmax ~at:h 0.
+  | Some prng ->
+    let scale = Float.max 1. (2. *. h) in
+    let l_val = Dsim.Prng.float prng scale in
+    let lmax_val = l_val +. Dsim.Prng.float prng (0.5 *. scale) in
+    Estimate.set t.l ~at:h l_val;
+    Estimate.set t.lmax ~at:h lmax_val);
+  Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
+
 let handlers t =
+  Engine.on_restart t.ctx (restart t);
   {
     Engine.on_init = (fun () -> Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick);
     on_discover_add =

@@ -18,39 +18,49 @@ let eps_abs = 1e-9
 let eps_rel = 1e-7
 let slack magnitude = eps_abs +. (eps_rel *. Float.abs magnitude)
 
-let probe view rate_floor monitor time =
+let probe view faults rate_floor monitor time =
   monitor.probes <- monitor.probes + 1;
   for i = 0 to view.Metrics.n - 1 do
-    let l = view.Metrics.clock_of i in
-    let lmax = view.Metrics.lmax_of i in
-    if lmax < l -. slack l then
-      monitor.violations <-
-        {
-          time;
-          node = i;
-          kind = "lmax-dominance";
-          detail = Printf.sprintf "L=%.9g > Lmax=%.9g" l lmax;
-        }
-        :: monitor.violations;
-    if monitor.primed then begin
-      let dt = time -. monitor.prev_time in
-      let dl = l -. monitor.prev_clock.(i) in
-      if dl < (rate_floor *. dt) -. slack (Float.abs l +. dt) then
+    (* Crashed nodes have no state to check; a node that crashed or
+       restarted since the previous probe lost (or had corrupted) its
+       clock, so the min-rate window does not span the discontinuity. *)
+    let up = Dsim.Fault.alive faults ~node:i ~at:time in
+    let discontinuity =
+      Dsim.Fault.crashed_in faults ~node:i monitor.prev_time time
+      || Dsim.Fault.restarted_in faults ~node:i monitor.prev_time time
+    in
+    if up then begin
+      let l = view.Metrics.clock_of i in
+      let lmax = view.Metrics.lmax_of i in
+      if lmax < l -. slack l then
         monitor.violations <-
           {
             time;
             node = i;
-            kind = "min-rate";
-            detail = Printf.sprintf "dL=%.9g over dt=%.9g (floor %.3g)" dl dt rate_floor;
+            kind = "lmax-dominance";
+            detail = Printf.sprintf "L=%.9g > Lmax=%.9g" l lmax;
           }
-          :: monitor.violations
-    end;
-    monitor.prev_clock.(i) <- l
+          :: monitor.violations;
+      if monitor.primed && not discontinuity then begin
+        let dt = time -. monitor.prev_time in
+        let dl = l -. monitor.prev_clock.(i) in
+        if dl < (rate_floor *. dt) -. slack (Float.abs l +. dt) then
+          monitor.violations <-
+            {
+              time;
+              node = i;
+              kind = "min-rate";
+              detail = Printf.sprintf "dL=%.9g over dt=%.9g (floor %.3g)" dl dt rate_floor;
+            }
+            :: monitor.violations
+      end;
+      monitor.prev_clock.(i) <- l
+    end
   done;
   monitor.prev_time <- time;
   monitor.primed <- true
 
-let attach engine view ~params ~every ~until ?rate_floor () =
+let attach engine view ~params ~every ~until ?rate_floor ?(faults = []) () =
   if every <= 0. then invalid_arg "Invariant.attach: period must be positive";
   let rate_floor =
     match rate_floor with
@@ -69,7 +79,7 @@ let attach engine view ~params ~every ~until ?rate_floor () =
   let rec schedule time =
     if time <= until then
       Engine.at engine ~time (fun () ->
-          probe view rate_floor monitor (Engine.now engine);
+          probe view faults rate_floor monitor (Engine.now engine);
           schedule (time +. every))
   in
   schedule (Engine.now engine);

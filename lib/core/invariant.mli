@@ -24,9 +24,13 @@ val attach :
   every:float ->
   until:float ->
   ?rate_floor:float ->
+  ?faults:Dsim.Fault.schedule ->
   unit ->
   monitor
-(** [rate_floor] defaults to [1 - params.rho]. *)
+(** [rate_floor] defaults to [1 - params.rho]. With [faults], crashed
+    nodes are skipped and the min-rate window is suspended across any
+    crash or restart discontinuity (state loss / corruption legitimately
+    moves [L] backwards). *)
 
 val violations : monitor -> violation list
 

@@ -101,6 +101,21 @@ let pair_trace recorder (u, v) =
   | Some trace -> List.rev !trace
   | None -> []
 
+let recovery_time ~after ~bound samples =
+  (* First sample time t >= after such that every sample from t onward has
+     global_skew <= bound; the recovery time is t - after. Walking the
+     time-sorted list backwards keeps this O(|samples|). *)
+  let rec scan best = function
+    | [] -> best
+    | s :: earlier ->
+      if s.time < after then best
+      else if s.global_skew <= bound then scan (Some s.time) earlier
+      else best (* a violation ends the maximal in-bound suffix *)
+  in
+  match scan None (List.rev samples) with
+  | None -> None
+  | Some t -> Some (Float.max 0. (t -. after))
+
 let max_global_skew recorder =
   List.fold_left (fun acc s -> Float.max acc s.global_skew) 0. recorder.samples
 

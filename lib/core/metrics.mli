@@ -61,3 +61,11 @@ val pair_trace : recorder -> int * int -> (float * float) list
 val max_global_skew : recorder -> float
 
 val max_local_skew : recorder -> float
+
+val recovery_time : after:float -> bound:float -> sample list -> float option
+(** [recovery_time ~after ~bound samples] is the self-stabilization
+    metric: the earliest sampled time [t >= after] such that every sample
+    from [t] onward has [global_skew <= bound], reported as [t -. after].
+    [None] if the run never (re-)enters the envelope for good, or has no
+    samples at or after [after]. [samples] must be chronological (as
+    returned by {!samples}). *)

@@ -238,7 +238,34 @@ let on_timer t = function
      end);
     adjust_clock t
 
+(* Restart entry point (fault injection): the crash lost every piece of
+   volatile state, so empty the peer table and restart the clock
+   registers. Without corruption the node resumes from the initial state
+   (L = Lmax = 0 at the current hardware reading — validity re-converges
+   through received Lmax values). With corruption, draw an arbitrary but
+   type-correct state from the fault PRNG: the registers stay ordered
+   (L <= Lmax) but their values are garbage scaled to the current
+   hardware clock, which is exactly the transient-fault starting point of
+   the self-stabilization question. *)
+let restart t ~corrupt =
+  t.p_len <- 0;
+  let h = hardware_clock t in
+  (match corrupt with
+  | None ->
+    Estimate.set t.l ~at:h 0.;
+    Estimate.set t.lmax ~at:h 0.
+  | Some prng ->
+    let scale = Float.max 1. (2. *. h) in
+    let l_val = Dsim.Prng.float prng scale in
+    let lmax_val = l_val +. Dsim.Prng.float prng (0.5 *. scale) in
+    Estimate.set t.l ~at:h l_val;
+    Estimate.set t.lmax ~at:h lmax_val);
+  (* Timers were purged by the engine; re-arm the periodic tick exactly
+     as on_init does. Lost timers re-arm as messages arrive. *)
+  Engine.set_timer t.ctx ~after:t.params.Params.delta_h Proto.Tick
+
 let handlers t =
+  Engine.on_restart t.ctx (restart t);
   {
     Engine.on_init = on_init t;
     on_discover_add = on_discover_add t;

@@ -33,7 +33,16 @@ val create :
     has its own delay bound. *)
 
 val handlers : t -> Proto.handlers
-(** The Algorithm 2 event handlers, to be installed in the engine. *)
+(** The Algorithm 2 event handlers, to be installed in the engine. Also
+    registers {!restart} as the node's {!Dsim.Engine.on_restart} entry
+    point. *)
+
+val restart : t -> corrupt:Dsim.Prng.t option -> unit
+(** Fault-injection restart entry point: drop every peer slot (Γ, Υ,
+    estimates, membership timestamps), reset [L] and [Lmax], and re-arm
+    the periodic tick. With [corrupt = Some prng], [L] and [Lmax] restart
+    from arbitrary PRNG-drawn values (kept ordered [L <= Lmax]) instead
+    of zero — the self-stabilization starting point. *)
 
 (** {1 Introspection (harness side; reads the node's current state)} *)
 

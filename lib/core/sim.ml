@@ -21,10 +21,12 @@ type config = {
   algo : algo;
   trace : Dsim.Trace.t option;
   scheduler : scheduler;
+  faults : Dsim.Fault.schedule;
+  fault_seed : int;
 }
 
-let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel) ~params ~clocks
-    ~delay ~initial_edges () =
+let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel)
+    ?(faults = []) ?(fault_seed = 0) ~params ~clocks ~delay ~initial_edges () =
   let discovery_lag =
     match discovery_lag with
     | Some lag -> lag
@@ -41,7 +43,11 @@ let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel) ~params
     clocks;
   if delay.Dsim.Delay.bound > params.Params.delay_bound then
     invalid_arg "Sim.config: delay policy bound exceeds params.delay_bound";
-  { params; clocks; delay; discovery_lag; initial_edges; algo; trace; scheduler }
+  (match Dsim.Fault.validate ~n:params.Params.n faults with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Sim.config: " ^ m));
+  { params; clocks; delay; discovery_lag; initial_edges; algo; trace; scheduler;
+    faults; fault_seed }
 
 type impl = Gradient_node of Node.t | Max_node of Baseline_max.t
 
@@ -60,9 +66,26 @@ let create cfg =
        handful of cheap slot scans per fire. *)
     | Wheel -> `Wheel (cfg.params.Params.delta_h /. 16.)
   in
+  (* Byzantine corruption lies *upward*: for a max-propagation family the
+     damaging direction is inflating ⟨L, Lmax⟩, which drags every honest
+     neighbour's estimates (and hence clocks) ahead. The lie is scaled to
+     a few tolerance units so it is large against B but stays finite. *)
+  (* Bounded Byzantine lie: both fields are derived from the sender's
+     true L, never its Lmax register. Deriving from Lmax would compound —
+     victims echo the inflated Lmax back, the liar's register absorbs it
+     via max-propagation and the next lie stacks on top, growing the
+     ceiling by O(window / dH * B0). Anchoring at L caps the total Lmax
+     inflation at 8 B0 above the honest maximum, which is what makes the
+     recovery budget in {!Audit.Guarantees} finite. *)
+  let corrupt_msg ~src:_ prng { Proto.l; lmax = _ } =
+    let scale = 4. *. cfg.params.Params.b0 in
+    let lie = Dsim.Prng.float prng scale in
+    { Proto.l = l +. lie; lmax = l +. lie +. Dsim.Prng.float prng scale }
+  in
   let engine =
     Engine.create ~clocks:cfg.clocks ~delay:cfg.delay ~discovery_lag:cfg.discovery_lag
       ~initial_edges:cfg.initial_edges ?trace:cfg.trace
+      ~faults:cfg.faults ~fault_seed:cfg.fault_seed ~corrupt_msg
       ~timer_label:Proto.timer_label ~scheduler ()
   in
   let n = cfg.params.Params.n in
@@ -146,6 +169,10 @@ let total_jumps t =
       | Gradient_node node -> Node.discrete_jumps node
       | Max_node node -> Baseline_max.discrete_jumps node)
     0 t.impls
+
+let alive t i = Engine.alive t.engine i
+
+let faults t = t.cfg.faults
 
 let add_edge_at t ~at u v = Engine.schedule_edge_add t.engine ~at u v
 

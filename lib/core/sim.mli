@@ -32,6 +32,8 @@ type config = {
   algo : algo;
   trace : Dsim.Trace.t option;
   scheduler : scheduler;
+  faults : Dsim.Fault.schedule;
+  fault_seed : int;
 }
 
 val config :
@@ -39,6 +41,8 @@ val config :
   ?discovery_lag:float ->
   ?trace:Dsim.Trace.t ->
   ?scheduler:scheduler ->
+  ?faults:Dsim.Fault.schedule ->
+  ?fault_seed:int ->
   params:Params.t ->
   clocks:Dsim.Hwclock.t array ->
   delay:Dsim.Delay.t ->
@@ -47,10 +51,13 @@ val config :
   config
 (** [discovery_lag] defaults to [0.9 *. params.discovery_bound]; it must
     not exceed [params.discovery_bound]. Raises [Invalid_argument] if the
-    clocks violate the drift bound or the array length differs from
-    [params.n]. [scheduler] defaults to [Wheel]; both schedulers produce
-    the same execution (pinned by a byte-identical-trace parity test), so
-    the choice is purely a performance one. *)
+    clocks violate the drift bound, the array length differs from
+    [params.n], or [faults] fails {!Dsim.Fault.validate}. [scheduler]
+    defaults to [Wheel]; both schedulers produce the same execution
+    (pinned by a byte-identical-trace parity test), so the choice is
+    purely a performance one. [faults] (default none) is a deterministic
+    fault-injection schedule, replayed from [fault_seed]; Byzantine
+    windows corrupt outgoing ⟨L, Lmax⟩ upward by a few [b0] units. *)
 
 type t
 
@@ -82,6 +89,12 @@ val gradient_node : t -> int -> Node.t option
 val total_messages : t -> int
 
 val total_jumps : t -> int
+
+val alive : t -> int -> bool
+(** False while node [i] is crashed (always true without faults). *)
+
+val faults : t -> Dsim.Fault.schedule
+(** The fault schedule this simulation runs under (possibly empty). *)
 
 (** {1 Topology scheduling (thin wrappers over the engine)} *)
 

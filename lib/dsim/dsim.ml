@@ -28,6 +28,10 @@ module Dyngraph = Dyngraph
 module Trace = Trace
 (** Execution event counters and optional structured logs. *)
 
+module Fault = Fault
+(** Deterministic fault-injection schedules: crash/restart, duplication,
+    reordering and Byzantine windows. *)
+
 module Engine = Engine
 (** The simulator core: topology changes, discovery, FIFO delivery,
     subjective timers, probes. *)

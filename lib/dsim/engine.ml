@@ -4,8 +4,12 @@ type ('msg, 'timer) event =
   | Discover of { node : int; peer : int; epoch : int; add : bool }
   | Absence of { node : int; peer : int }
       (* Pending notification that a send failed because the edge is absent. *)
-  | Deliver of { src : int; dst : int; epoch : int; msg : 'msg }
+  | Deliver of { src : int; dst : int; epoch : int; msg : 'msg; inc : int }
+      (* [inc] is the sender's incarnation at send time; a crash bumps it,
+         so everything the dead incarnation had in flight is dropped. *)
   | Timer of { node : int; timer : 'timer; gen : int }
+  | Fault_crash_ev of int
+  | Fault_restart_ev of { node : int; corrupt : bool }
   | Callback of (unit -> unit)
 
 (* Binary search in the first [len] cells of sorted [keys]: the index of
@@ -155,6 +159,19 @@ end
 
 type sched = Heap | Wheel of Timewheel.t
 
+(* Live fault-injection state. Allocated only when the engine was created
+   with a non-empty schedule, so the no-fault hot path pays exactly one
+   option-tag check per send/delivery. The PRNG drives every fault-local
+   draw (duplicate delays, Byzantine corruption, restart-state
+   corruption); draws happen in dispatch/send order, which is identical
+   under both schedulers, so fault schedules replay byte-identically. *)
+type fault_state = {
+  ops : Fault.schedule;
+  fprng : Prng.t;
+  f_alive : bool array;
+  f_inc : int array; (* per-node incarnation, bumped at each crash *)
+}
+
 type ('msg, 'timer) t = {
   n : int;
   clocks : Hwclock.t array;
@@ -178,6 +195,10 @@ type ('msg, 'timer) t = {
   mutable events_processed : int;
   mutable live_timers : int; (* armed labels across all nodes *)
   mutable stale_timer_entries : int; (* heap/wheel slots whose label was cancelled/re-armed *)
+  faults : fault_state option;
+  corrupt_msg : (src:int -> Prng.t -> 'msg -> 'msg) option;
+      (* Applied to messages a Byzantine node sends during its window. *)
+  restart_handlers : (corrupt:Prng.t option -> unit) option array;
 }
 
 and ('msg, 'timer) handlers = {
@@ -191,10 +212,26 @@ and ('msg, 'timer) handlers = {
 type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int }
 
 let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
-    ?timer_label ?(scheduler = `Heap) () =
+    ?timer_label ?(scheduler = `Heap) ?(faults = []) ?(fault_seed = 0)
+    ?corrupt_msg () =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Engine.create: no nodes";
   if discovery_lag < 0. then invalid_arg "Engine.create: negative discovery lag";
+  (match Fault.validate ~n faults with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Engine.create: " ^ m));
+  let fault_state =
+    match faults with
+    | [] -> None
+    | ops ->
+      Some
+        {
+          ops;
+          fprng = Prng.of_int fault_seed;
+          f_alive = Array.make n true;
+          f_inc = Array.make n 0;
+        }
+  in
   let sched =
     match scheduler with
     | `Heap -> Heap
@@ -231,6 +268,9 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       events_processed = 0;
       live_timers = 0;
       stale_timer_entries = 0;
+      faults = fault_state;
+      corrupt_msg;
+      restart_handlers = Array.make n None;
     }
   in
   List.iter
@@ -245,6 +285,20 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
         Pqueue.push t.queue ~time:0. (Discover { node = v; peer = u; epoch; add = true })
       end)
     initial_edges;
+  (* Crash/restart ops flow through the shared queue as first-class
+     events: both schedulers pop them at identical (time, seq) ranks, so
+     fault timing can never desynchronize the heap and wheel traces. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Fault.Crash { node; at } ->
+        Pqueue.push t.queue ~time:at (Fault_crash_ev node)
+      | Fault.Restart { node; at; corrupt } ->
+        Pqueue.push t.queue ~time:at (Fault_restart_ev { node; corrupt })
+      | Fault.Duplicate _ | Fault.Reorder _ | Fault.Byzantine _ -> ())
+    (List.stable_sort
+       (fun a b -> Float.compare (Fault.op_time a) (Fault.op_time b))
+       faults);
   t
 
 let install t i build =
@@ -267,6 +321,12 @@ let node_id ctx = ctx.id
 
 let node_count ctx = ctx.engine.n
 
+let on_restart ctx h =
+  ctx.engine.restart_handlers.(ctx.id) <- Some h
+
+let alive t i =
+  match t.faults with None -> true | Some f -> f.f_alive.(i)
+
 let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) ctx.engine.now
 
 let send ctx ~dst msg =
@@ -278,23 +338,44 @@ let send ctx ~dst msg =
     (* The send carries its edge epoch so an offline auditor can pair it
        with the matching deliver/drop under the per-epoch FIFO discipline. *)
     Trace.record t.trace ~time:t.now Send src dst epoch;
+    (* A Byzantine sender's outgoing messages are corrupted in flight
+       during its window; the substitution is traced so auditors can
+       exclude the edge from guarantee probes. *)
+    let msg =
+      match (t.faults, t.corrupt_msg) with
+      | Some f, Some corrupt when Fault.byzantine f.ops ~node:src ~at:t.now ->
+        Trace.record t.trace ~time:t.now Fault_byzantine_msg src dst epoch;
+        corrupt ~src f.fprng msg
+      | _ -> msg
+    in
     if t.delay.Delay.drop ~src ~dst ~now:t.now then
       (* Silent loss (outside the paper's reliable-link model): no
          delivery and no discovery; only the receiver's lost-timer will
          notice the silence. *)
       Trace.record t.trace ~time:t.now Drop_lossy src dst epoch
     else begin
+      let inc =
+        match t.faults with None -> 0 | Some f -> f.f_inc.(src)
+      in
+      let reordered =
+        match t.faults with
+        | None -> false
+        | Some f -> Fault.reordered f.ops ~src ~dst ~at:t.now
+      in
       let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
       let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
       let deliver_at = t.now +. d in
       (* FIFO per directed link *and* edge epoch: never deliver before an
          earlier message of the same epoch, but a floor recorded under a
          previous life of the edge is dead — in-flight messages of that
-         epoch are dropped at delivery, so nothing can be overtaken. *)
+         epoch are dropped at delivery, so nothing can be overtaken. A
+         reordering fault window suspends the floor (the link stops being
+         FIFO for its duration) without touching the recorded state. *)
       let fs = t.fifo.(src) in
       let i = bfind fs.Fifo_store.dst fs.Fifo_store.len dst in
       let deliver_at =
-        if i >= 0 then begin
+        if reordered then deliver_at
+        else if i >= 0 then begin
           let floor =
             if fs.Fifo_store.epoch.(i) = epoch then
               Float.max deliver_at fs.Fifo_store.deadline.(i)
@@ -309,7 +390,17 @@ let send ctx ~dst msg =
           deliver_at
         end
       in
-      Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg })
+      Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg; inc });
+      (* Bounded duplication: a second copy with its own (fault-PRNG)
+         delay, floored at the original's delivery so the duplicate can
+         never overtake the message it copies. *)
+      match t.faults with
+      | Some f when Fault.duplicated f.ops ~src ~dst ~at:t.now ->
+        Trace.record t.trace ~time:t.now Fault_duplicate src dst epoch;
+        let d2 = Prng.float f.fprng t.delay.Delay.bound in
+        let dup_at = Float.max deliver_at (t.now +. d2) in
+        Pqueue.push t.queue ~time:dup_at (Deliver { src; dst; epoch; msg; inc })
+      | _ -> ()
     end
   end
   else begin
@@ -419,6 +510,59 @@ let schedule_discovery t u v ~epoch ~add =
   Pqueue.push t.queue ~time (Discover { node = u; peer = v; epoch; add });
   Pqueue.push t.queue ~time (Discover { node = v; peer = u; epoch; add })
 
+let node_dead t node =
+  match t.faults with None -> false | Some f -> not f.f_alive.(node)
+
+(* Crash: the node loses every piece of state it owns inside the engine —
+   armed timers (their heap/wheel slots go stale, surfacing later exactly
+   like cancelled timers do, so both schedulers stay in lockstep) and its
+   outgoing FIFO floors (everything it had in flight is dropped at
+   delivery by the incarnation check, so clearing the floors cannot let a
+   post-restart message overtake a delivery that actually happens). *)
+let apply_crash t f node =
+  Trace.record t.trace ~time:t.now Fault_crash node (-1) (-1);
+  f.f_alive.(node) <- false;
+  f.f_inc.(node) <- f.f_inc.(node) + 1;
+  (match t.sched with
+  | Heap ->
+    let tbl = t.timers.(node) in
+    let k = Hashtbl.length tbl in
+    Hashtbl.reset tbl;
+    t.live_timers <- t.live_timers - k;
+    t.stale_timer_entries <- t.stale_timer_entries + k
+  | Wheel _ ->
+    let s = t.armed.(node) in
+    let k = s.Armed.len in
+    for i = 0 to k - 1 do
+      s.Armed.vals.(i) <- Armed.dummy
+    done;
+    s.Armed.len <- 0;
+    t.live_timers <- t.live_timers - k;
+    t.stale_timer_entries <- t.stale_timer_entries + k);
+  t.fifo.(node).Fifo_store.len <- 0
+
+let apply_restart t f node ~corrupt =
+  f.f_alive.(node) <- true;
+  Trace.record t.trace ~time:t.now Fault_restart node (-1) (-1);
+  let corrupt_prng =
+    if corrupt then begin
+      Trace.record t.trace ~time:t.now Fault_corrupt node (-1) (-1);
+      Some f.fprng
+    end
+    else None
+  in
+  (match t.restart_handlers.(node) with
+  | Some h -> h ~corrupt:corrupt_prng
+  | None -> ());
+  (* The restarted node relearns its current neighborhood within the
+     discovery lag, as if every incident edge had just appeared to it. *)
+  List.iter
+    (fun peer ->
+      let epoch = Dyngraph.epoch t.graph node peer in
+      Pqueue.push t.queue ~time:(t.now +. t.discovery_lag)
+        (Discover { node; peer; epoch; add = true }))
+    (Dyngraph.neighbors t.graph node)
+
 let dispatch t event =
   match event with
   | Edge_add (u, v) ->
@@ -437,10 +581,13 @@ let dispatch t event =
       schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
     end
   | Discover { node; peer; epoch; add } ->
-    (* Deliver only if this is still the edge's latest change: a change
+    (* Deliver only if this is still the edge's latest change (a change
        reversed within the lag is superseded by its reversal's own
-       discovery (transient changes need not be reported). *)
-    if Dyngraph.epoch t.graph node peer = epoch then begin
+       discovery) and the observer is up — a crashed node observes
+       nothing; it relearns its neighborhood after restarting. *)
+    if node_dead t node then
+      Trace.record t.trace ~time:t.now Discover_stale node peer epoch
+    else if Dyngraph.epoch t.graph node peer = epoch then begin
       if add then begin
         Trace.record t.trace ~time:t.now Discover_add node peer epoch;
         (handlers_of t node).on_discover_add peer
@@ -453,13 +600,26 @@ let dispatch t event =
     else Trace.record t.trace ~time:t.now Discover_stale node peer epoch
   | Absence { node; peer } ->
     Iset.remove t.absence_pending.(node) peer;
-    if not (Dyngraph.has_edge t.graph node peer) then begin
+    if node_dead t node then
+      Trace.record t.trace ~time:t.now Discover_stale node peer (-1)
+    else if not (Dyngraph.has_edge t.graph node peer) then begin
       Trace.record t.trace ~time:t.now Discover_remove node peer (-1);
       (handlers_of t node).on_discover_remove peer
     end
     else Trace.record t.trace ~time:t.now Discover_stale node peer (-1)
-  | Deliver { src; dst; epoch; msg } ->
-    if Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch
+  | Deliver { src; dst; epoch; msg; inc } ->
+    let crash_lost =
+      match t.faults with
+      | None -> false
+      | Some f ->
+        (* The message is lost if the receiver is down or the sender
+           crashed after sending it (its incarnation moved on): a crash
+           severs the node from the network, in both directions. *)
+        (not f.f_alive.(dst)) || inc <> f.f_inc.(src)
+    in
+    if crash_lost then Trace.record t.trace ~time:t.now Drop_lossy src dst epoch
+    else if
+      Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch
     then begin
       Trace.record t.trace ~time:t.now Deliver src dst epoch;
       (handlers_of t dst).on_receive src msg
@@ -472,6 +632,14 @@ let dispatch t event =
     t.live_timers <- t.live_timers - 1;
     Trace.record t.trace ~time:t.now Timer_fire node (trace_label t timer) (-1);
     (handlers_of t node).on_timer timer
+  | Fault_crash_ev node -> (
+    match t.faults with
+    | Some f -> apply_crash t f node
+    | None -> assert false)
+  | Fault_restart_ev { node; corrupt } -> (
+    match t.faults with
+    | Some f -> apply_restart t f node ~corrupt
+    | None -> assert false)
   | Callback f -> f ()
 
 (* Is this heap entry a cancelled or superseded timer? Those are discarded

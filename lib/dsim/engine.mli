@@ -50,6 +50,9 @@ val create :
   ?trace:Trace.t ->
   ?timer_label:('timer -> int) ->
   ?scheduler:[ `Heap | `Wheel of float ] ->
+  ?faults:Fault.schedule ->
+  ?fault_seed:int ->
+  ?corrupt_msg:(src:int -> Prng.t -> 'msg -> 'msg) ->
   unit ->
   ('msg, 'timer) t
 (** [create ~clocks ~delay ()] builds an engine over
@@ -73,7 +76,24 @@ val create :
     (raises [Invalid_argument] without it). Both schedulers produce
     identical executions — same dispatch order, same trace — because
     wheel entries draw their tie-break ranks from the queue's sequence
-    counter and surface in the same total [(time, seq)] order. *)
+    counter and surface in the same total [(time, seq)] order.
+
+    [faults] (default []) is a deterministic fault schedule (validated
+    against [n]; raises [Invalid_argument] on a malformed one). Crash and
+    restart ops flow through the shared event queue as first-class traced
+    events ({!Trace.Fault_crash} / {!Trace.Fault_restart}): a crash
+    purges the node's armed timers and FIFO floors, drops everything it
+    had in flight, and suppresses every event addressed to it until its
+    restart, which invokes the handler registered with {!on_restart} (so
+    the algorithm resets — or, under {!Trace.Fault_corrupt}, corrupts —
+    its own state) and re-discovers the current neighborhood within the
+    lag. Duplication/reordering windows act on the send path, and
+    Byzantine windows pass outgoing messages through [corrupt_msg]
+    (traced as {!Trace.Fault_byzantine_msg}). All fault-local randomness
+    is drawn from a dedicated PRNG seeded by [fault_seed] (default 0) in
+    dispatch order, so fault runs stay byte-identical across both
+    schedulers. An empty schedule allocates no fault state and adds a
+    single tag check to the hot paths. *)
 
 val install : ('msg, 'timer) t -> int -> (('msg, 'timer) ctx -> ('msg, 'timer) handlers) -> unit
 (** Install node [i]'s algorithm. Must be called for every node before
@@ -98,6 +118,16 @@ val set_timer : ('msg, 'timer) ctx -> after:float -> 'timer -> unit
     equal label is superseded. *)
 
 val cancel_timer : ('msg, 'timer) ctx -> 'timer -> unit
+
+val on_restart : ('msg, 'timer) ctx -> (corrupt:Prng.t option -> unit) -> unit
+(** Register the node's restart entry point, called when a scheduled
+    {!Fault.Restart} op fires. The handler must reinitialize the node's
+    algorithm state (the engine has already purged its timers and FIFO
+    floors) and re-arm its initial timers. [corrupt] is [Some prng] when
+    the op asked for arbitrary-state corruption: the handler should then
+    draw a corrupted-but-type-correct state from the PRNG instead of the
+    initial one. Without a registered handler a restart only restores
+    engine-side liveness. *)
 
 (** {1 Environment control (harness side)} *)
 
@@ -143,3 +173,6 @@ val queue_depth : ('msg, 'timer) t -> int
 val live_timers : ('msg, 'timer) t -> int
 (** Currently armed timer labels across all nodes (each cancel or re-arm
     retires the previous entry). *)
+
+val alive : ('msg, 'timer) t -> int -> bool
+(** Is the node currently up? Always [true] without a fault schedule. *)

@@ -39,11 +39,13 @@ let size q = q.size
 let capacity q = Array.length q.times
 
 let clear q =
-  (* Release every retained payload and restart the tie-break sequence so
-     a cleared queue behaves exactly like a fresh one. *)
+  (* Release every retained payload. The tie-break counter deliberately
+     keeps counting: [alloc_seq] hands ranks to external schedulers (the
+     engine's timer wheel) that survive a clear, and resetting here would
+     let fresh pushes reuse ranks those live entries already hold —
+     breaking the one total (time, seq) order across both sources. *)
   Array.fill q.payloads 0 q.size dummy;
-  q.size <- 0;
-  q.next_seq <- 0
+  q.size <- 0
 
 let grow q =
   let n = Array.length q.times in

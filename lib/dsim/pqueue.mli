@@ -47,7 +47,7 @@ val next_time : 'a t -> float
 val drain : 'a t -> (time:float -> 'a -> unit) -> unit
 (** [drain q f] pops every event in order, calling [f ~time payload] on
     each. The queue is empty afterwards (the tie-break sequence keeps
-    counting; use {!clear} to reset it). *)
+    counting). *)
 
 val size : 'a t -> int
 
@@ -57,5 +57,7 @@ val capacity : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
-(** Drop all pending events, release their payloads to the GC, and reset
-    the tie-break sequence so the queue behaves like a fresh one. *)
+(** Drop all pending events and release their payloads to the GC. The
+    tie-break sequence is {e not} reset: ranks already handed out via
+    {!alloc_seq} may still be live in an external scheduler, and new
+    pushes must keep ranking after them. *)

@@ -252,13 +252,24 @@ let resolve t =
   let b = c mod t.slots in
   let len = t.b_len.(b) in
   if len > 0 then begin
-    t.b_len.(b) <- 0;
-    t.bucket_count <- t.bucket_count - len;
+    (* Detach the drained arrays before re-placing, exactly as
+       [redistribute] does: with one level a parked far-future entry
+       re-parks at [cursor + span - 1], whose level-0 slot is this very
+       bucket [b], so [place] below can push into the slot being read.
+       Detaching makes the reads immune to those writes instead of
+       relying on the write index trailing the read index. *)
     let deadline = t.b_deadline.(b)
     and seq = t.b_seq.(b)
     and node = t.b_node.(b)
     and label = t.b_label.(b)
     and gen = t.b_gen.(b) in
+    t.b_deadline.(b) <- empty_f;
+    t.b_seq.(b) <- empty_i;
+    t.b_node.(b) <- empty_i;
+    t.b_label.(b) <- empty_i;
+    t.b_gen.(b) <- empty_i;
+    t.b_len.(b) <- 0;
+    t.bucket_count <- t.bucket_count - len;
     t.cursor <- c + 1;
     for k = 0 to len - 1 do
       if granule t deadline.(k) = c then

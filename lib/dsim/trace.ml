@@ -11,6 +11,11 @@ type kind =
   | Discover_stale
   | Timer_fire
   | Timer_stale
+  | Fault_crash
+  | Fault_restart
+  | Fault_corrupt
+  | Fault_byzantine_msg
+  | Fault_duplicate
 
 let kind_index = function
   | Send -> 0
@@ -25,8 +30,13 @@ let kind_index = function
   | Discover_stale -> 9
   | Timer_fire -> 10
   | Timer_stale -> 11
+  | Fault_crash -> 12
+  | Fault_restart -> 13
+  | Fault_corrupt -> 14
+  | Fault_byzantine_msg -> 15
+  | Fault_duplicate -> 16
 
-let kind_count = 12
+let kind_count = 17
 
 let kind_to_string = function
   | Send -> "send"
@@ -41,10 +51,17 @@ let kind_to_string = function
   | Discover_stale -> "discover-stale"
   | Timer_fire -> "timer-fire"
   | Timer_stale -> "timer-stale"
+  | Fault_crash -> "fault-crash"
+  | Fault_restart -> "fault-restart"
+  | Fault_corrupt -> "fault-corrupt"
+  | Fault_byzantine_msg -> "fault-byz-msg"
+  | Fault_duplicate -> "fault-duplicate"
 
 let all_kinds =
   [ Send; Deliver; Drop_no_edge; Drop_in_flight; Drop_lossy; Edge_add; Edge_remove;
-    Discover_add; Discover_remove; Discover_stale; Timer_fire; Timer_stale ]
+    Discover_add; Discover_remove; Discover_stale; Timer_fire; Timer_stale;
+    Fault_crash; Fault_restart; Fault_corrupt; Fault_byzantine_msg;
+    Fault_duplicate ]
 
 type entry = { time : float; kind : kind; a : int; b : int; c : int }
 
@@ -78,6 +95,9 @@ let pp_detail fmt e =
   | Discover_add | Discover_remove | Discover_stale ->
     Format.fprintf fmt "%d:{%d,%d}" e.a e.a e.b
   | Timer_fire | Timer_stale -> Format.fprintf fmt "%d" e.a
+  | Fault_crash | Fault_restart | Fault_corrupt -> Format.fprintf fmt "%d" e.a
+  | Fault_byzantine_msg | Fault_duplicate ->
+    Format.fprintf fmt "%d->%d" e.a e.b
 
 let detail e = Format.asprintf "%a" pp_detail e
 

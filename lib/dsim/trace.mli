@@ -19,6 +19,11 @@ type kind =
   | Discover_stale   (** discovery suppressed: the change was superseded *)
   | Timer_fire
   | Timer_stale      (** cancelled or superseded timer *)
+  | Fault_crash      (** injected crash: node loses all state *)
+  | Fault_restart    (** injected restart: node resumes from scratch *)
+  | Fault_corrupt    (** the restart resumed from corrupted state *)
+  | Fault_byzantine_msg  (** a Byzantine sender corrupted this message *)
+  | Fault_duplicate  (** an extra copy of this send was injected *)
 
 val kind_to_string : kind -> string
 

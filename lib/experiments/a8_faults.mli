@@ -1,0 +1,18 @@
+(** A8 (self-stabilization) — crash, restart and corrupted state.
+
+    The paper's guarantees assume nodes keep their state; a crash/restart
+    campaign (with {!Dsim.Fault} schedules) deliberately violates that:
+    crashed nodes go silent and lose everything, restarts resume from
+    zeroed or adversarially corrupted [⟨L, Lmax⟩]. The experiment sweeps
+    fault intensity × topology × churn and reports the first-class
+    recovery metric ({!Gcs.Metrics.recovery_time}): how long after the
+    last fault the global skew re-enters [G(n)] for good.
+
+    Checks: the no-fault baseline never leaves the bound; every faulted
+    run recovers; recovery fits the analytic budget
+    [(n-1)ΔT + stabilize_real] (max-propagation plus the paper's
+    convergence horizon); corrupted restarts really push the run outside
+    the bound first (so recovery is non-vacuous); and the fault-aware
+    validity monitor stays clean throughout. *)
+
+val run : quick:bool -> Common.result

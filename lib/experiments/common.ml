@@ -35,7 +35,7 @@ let launch ?(watch = []) ?(churn = []) ?(sample_every = 1.0) cfg ~horizon =
   let recorder = Gcs.Metrics.attach engine view ~every:sample_every ~until:horizon ~watch () in
   let invariants =
     Gcs.Invariant.attach engine view ~params:(Gcs.Sim.params sim) ~every:sample_every
-      ~until:horizon ()
+      ~until:horizon ~faults:cfg.Gcs.Sim.faults ()
   in
   Topology.Churn.schedule engine churn;
   Gcs.Sim.run_until sim horizon;

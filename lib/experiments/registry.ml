@@ -73,6 +73,11 @@ let all =
       title = "Corollary 6.14's optimal B0 = Theta(sqrt(rho n))";
       run = A7_optimal_b0.run;
     };
+    {
+      id = "A8";
+      title = "Self-stabilization: crash, restart and corrupted state";
+      run = A8_faults.run;
+    };
   ]
 
 let find id =

@@ -15,8 +15,8 @@ let t_bound = params.Gcs.Params.delay_bound
 let d_bound = params.Gcs.Params.discovery_bound
 let dt_bound = Gcs.Params.delta_t params
 
-let cfg ?(check_gaps = true) horizon =
-  Conformance.of_params params ~horizon ~check_gaps ()
+let cfg ?(check_gaps = true) ?check_lost_timers ?faults horizon =
+  Conformance.of_params params ~horizon ~check_gaps ?check_lost_timers ?faults ()
 
 let e ?(a = -1) ?(b = -1) ?(c = -1) time kind = { Trace.time; kind; a; b; c }
 
@@ -180,6 +180,148 @@ let test_receipt_gap () =
     (Printf.sprintf "gap check off => ok (got: %s)" (String.concat ", " (rules report')))
     true (Report.ok report')
 
+(* ----------------------- fault-aware excusals ---------------------- *)
+
+(* A crash/restart on the sender opens a silence the liveness rule would
+   normally convict; with the schedule in the config the gap is excused,
+   without it the same trace is flagged. *)
+let crash_gap_trace =
+  [
+    e 0. Trace.Edge_add ~a:0 ~b:1;
+    e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+    e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+    e 0.2 Trace.Send ~a:0 ~b:1 ~c:1;
+    e 0.4 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    e 2.0 Trace.Fault_crash ~a:0;
+    e 5.0 Trace.Fault_restart ~a:0;
+    e 5.5 Trace.Send ~a:0 ~b:1 ~c:1;
+    e 5.7 Trace.Deliver ~a:0 ~b:1 ~c:1;
+  ]
+
+let crash_gap_faults =
+  [
+    Dsim.Fault.Crash { node = 0; at = 2. };
+    Dsim.Fault.Restart { node = 0; at = 5.; corrupt = false };
+  ]
+
+let test_crash_excuses_receipt_gap () =
+  let report =
+    Conformance.audit (cfg ~faults:crash_gap_faults 6.0) crash_gap_trace
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "crash outage excused (got: %s)" (String.concat ", " (rules report)))
+    true (Report.ok report);
+  (* The same silence with no schedule in the config is a liveness break. *)
+  check_flags (Conformance.audit (cfg 6.0) crash_gap_trace) "receipt-gap-exceeds-dT"
+
+(* A Fault_duplicate record licenses exactly one sendless delivery on its
+   directed link — the copy is exempt from FIFO send-matching, but a
+   second phantom still convicts. *)
+let test_duplicate_excused_from_fifo () =
+  let dup_trace =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.5 Trace.Send ~a:0 ~b:1 ~c:1;
+      e 0.5 Trace.Fault_duplicate ~a:0 ~b:1 ~c:1;
+      e 0.9 Trace.Deliver ~a:0 ~b:1 ~c:1;
+      e 1.0 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  let report = Conformance.audit (cfg ~check_gaps:false 1.2) dup_trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate excused (got: %s)" (String.concat ", " (rules report)))
+    true (Report.ok report);
+  (* A third delivery exhausts the credit. *)
+  let report' =
+    Conformance.audit (cfg ~check_gaps:false 1.2)
+      (dup_trace @ [ e 1.1 Trace.Deliver ~a:0 ~b:1 ~c:1 ])
+  in
+  check_flags report' "deliver-without-send"
+
+(* Lost-timer cadence: a fire at the very instant of a delivery (gap = 0)
+   is the benign same-instant race, a strictly positive but sub-minimum
+   gap is a premature fire, and the opt-out silences even that. *)
+let test_lost_timer_same_instant_clean () =
+  let lost_label = 1 in
+  (* label = src + 1 *)
+  let base =
+    [
+      e 0. Trace.Edge_add ~a:0 ~b:1;
+      e 0.05 Trace.Discover_add ~a:0 ~b:1 ~c:1;
+      e 0.05 Trace.Discover_add ~a:1 ~b:0 ~c:1;
+      e 0.5 Trace.Send ~a:0 ~b:1 ~c:1;
+      e 0.5 Trace.Deliver ~a:0 ~b:1 ~c:1;
+    ]
+  in
+  let same_instant = base @ [ e 0.5 Trace.Timer_fire ~a:1 ~b:lost_label ] in
+  let report = Conformance.audit (cfg ~check_gaps:false 1.0) same_instant in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap = 0 is clean (got: %s)" (String.concat ", " (rules report)))
+    true (Report.ok report);
+  let premature = base @ [ e 0.8 Trace.Timer_fire ~a:1 ~b:lost_label ] in
+  check_flags
+    (Conformance.audit (cfg ~check_gaps:false 1.0) premature)
+    "premature-lost-timer";
+  let report' =
+    Conformance.audit (cfg ~check_gaps:false ~check_lost_timers:false 1.0) premature
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "opt-out silences (got: %s)" (String.concat ", " (rules report')))
+    true (Report.ok report')
+
+(* A deliberately broken recovery: node 1's clock freezes across its
+   crash and never rejoins, so once the recovery window closes the
+   guarantees probe must convict with "recovery-exceeded" — and only
+   after the window, not during it. *)
+let test_broken_recovery_flagged () =
+  let p2 = Gcs.Params.make ~n:2 () in
+  let faults =
+    [
+      Dsim.Fault.Crash { node = 1; at = 2. };
+      Dsim.Fault.Restart { node = 1; at = 4.; corrupt = false };
+    ]
+  in
+  let clocks = [| Dsim.Hwclock.perfect; Dsim.Hwclock.perfect |] in
+  let engine =
+    Dsim.Engine.create ~clocks ~delay:(Dsim.Delay.constant ~bound:1.0 0.5) ()
+  in
+  for i = 0 to 1 do
+    Dsim.Engine.install engine i (fun _ctx ->
+        {
+          Dsim.Engine.on_init = (fun () -> ());
+          on_discover_add = (fun (_ : int) -> ());
+          on_discover_remove = (fun _ -> ());
+          on_receive = (fun _ (_ : Gcs.Proto.message) -> ());
+          on_timer = (fun (_ : Gcs.Proto.timer) -> ());
+        })
+  done;
+  (* The shim: node 0 tracks real time, node 1 is stuck at its crash
+     value forever — a recovery that never happens. *)
+  let view =
+    {
+      Gcs.Metrics.n = 2;
+      clock_of =
+        (fun i -> if i = 0 then Dsim.Engine.now engine else Float.min 2. (Dsim.Engine.now engine));
+      lmax_of = (fun _ -> Dsim.Engine.now engine);
+      iter_edges = (fun _ -> ());
+    }
+  in
+  let recovery_bound = 10. in
+  let mon =
+    Audit.Guarantees.attach engine view ~params:p2 ~faults ~recovery_bound ~every:1.
+      ~until:40. ()
+  in
+  Dsim.Engine.run_until engine 40.;
+  let report = Audit.Guarantees.report mon in
+  check_flags report "recovery-exceeded";
+  let window_end = 4. +. recovery_bound in
+  Alcotest.(check bool) "silent inside the suspension window" true
+    (List.for_all
+       (fun v -> v.Report.time > window_end)
+       report.Report.violations)
+
 let test_report_merge_and_render () =
   let v t rule = { Report.time = t; rule; detail = "d" } in
   let r1 = { Report.violations = [ v 1. "a"; v 3. "c" ]; events_audited = 10; probes = 2 } in
@@ -223,6 +365,14 @@ let suite =
     Alcotest.test_case "missed discovery flagged" `Quick test_missed_discovery;
     Alcotest.test_case "undelivered within T flagged" `Quick test_undelivered_within_t;
     Alcotest.test_case "receipt gap > dT flagged" `Quick test_receipt_gap;
+    Alcotest.test_case "crash outage excuses receipt gap" `Quick
+      test_crash_excuses_receipt_gap;
+    Alcotest.test_case "duplicate excused from FIFO matching" `Quick
+      test_duplicate_excused_from_fifo;
+    Alcotest.test_case "lost-timer same-instant vs premature" `Quick
+      test_lost_timer_same_instant_clean;
+    Alcotest.test_case "broken recovery flagged after the window" `Quick
+      test_broken_recovery_flagged;
     Alcotest.test_case "report merge and render" `Quick test_report_merge_and_render;
     Alcotest.test_case "real engine is conformant" `Quick test_real_engine_is_conformant;
   ]

@@ -20,7 +20,8 @@ let test_registry_lookup () =
     (Experiments.Registry.find "e4" <> None);
   Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "E99" = None);
   Alcotest.(check bool) "find a4" true (Experiments.Registry.find "a4" <> None);
-  Alcotest.(check int) "fifteen experiments" 15 (List.length Experiments.Registry.all)
+  Alcotest.(check bool) "find a8" true (Experiments.Registry.find "a8" <> None);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Experiments.Registry.all)
 
 let suite =
   Alcotest.test_case "registry lookup" `Quick test_registry_lookup

@@ -21,6 +21,7 @@ let sample =
     churn = true;
     seed = 42;
     horizon = 120.;
+    faults = [];
   }
 
 let test_spec_roundtrip () =
@@ -30,7 +31,31 @@ let test_spec_roundtrip () =
     match Scenario.of_spec (Scenario.to_spec s) with
     | Ok s' -> Alcotest.check scenario_t "roundtrip" s s'
     | Error msg -> Alcotest.failf "roundtrip failed on %S: %s" (Scenario.to_spec s) msg
+  done;
+  (* Same property with generated fault schedules riding along. *)
+  let prng = Dsim.Prng.of_int 100 in
+  for _ = 1 to 25 do
+    let s = Scenario.generate ~faults:true prng in
+    match Scenario.of_spec (Scenario.to_spec s) with
+    | Ok s' -> Alcotest.check scenario_t "faulted roundtrip" s s'
+    | Error msg -> Alcotest.failf "roundtrip failed on %S: %s" (Scenario.to_spec s) msg
   done
+
+(* A spec naming every fault op kind must survive to_spec/of_spec exactly. *)
+let test_fault_spec_all_ops_roundtrip () =
+  let spec =
+    "n=8 topo=ring drift=split delay=uniform algo=gradient churn=0 seed=7 horizon=60 "
+    ^ "faults=crash@10:2;restart@20:2!;crash@12:5;restart@18:5;dup@5-25:0>1;"
+    ^ "reorder@8-30:3>4;byz@15-22:6"
+  in
+  match Scenario.of_spec spec with
+  | Error msg -> Alcotest.failf "all-op spec did not parse: %s" msg
+  | Ok s ->
+    Alcotest.(check int) "seven ops" 7 (List.length s.Scenario.faults);
+    Alcotest.(check string) "re-rendered spec is byte-identical" spec (Scenario.to_spec s);
+    (match Scenario.of_spec (Scenario.to_spec s) with
+    | Ok s' -> Alcotest.check scenario_t "second roundtrip" s s'
+    | Error msg -> Alcotest.failf "second parse failed: %s" msg)
 
 let test_spec_errors () =
   let expect_error spec =
@@ -82,8 +107,59 @@ let test_replay_byte_identical () =
     Alcotest.(check string) "two replays render identically" first second;
     Alcotest.(check bool) "replay is non-trivial" true (String.length first > 0)
 
+let test_faulted_replay_byte_identical () =
+  let spec =
+    "n=7 topo=tree drift=walk delay=uniform algo=gradient churn=0 seed=5 horizon=45 "
+    ^ "faults=crash@8:1;restart@16:1!;dup@4-20:0>2;byz@10-18:3"
+  in
+  match Scenario.of_spec spec with
+  | Error msg -> Alcotest.failf "faulted spec did not parse: %s" msg
+  | Ok s ->
+    let first = Report.render (Scenario.run s) in
+    let second = Report.render (Scenario.run s) in
+    Alcotest.(check string) "two faulted replays render identically" first second
+
+(* Dropping the whole schedule is the first shrink candidate; node
+   shrinking prunes ops naming removed nodes so the schedule stays valid. *)
+let test_shrink_drops_faults_first () =
+  let faulted =
+    {
+      sample with
+      Scenario.churn = false;
+      n = 10;
+      faults =
+        [
+          Dsim.Fault.Crash { node = 9; at = 10. };
+          Dsim.Fault.Restart { node = 9; at = 20.; corrupt = false };
+          Dsim.Fault.Byzantine { node = 2; from_ = 5.; until = 15. };
+        ];
+    }
+  in
+  let fails_any _ = true in
+  let shrunk = Fuzz.shrink_with ~fails:fails_any faulted in
+  Alcotest.(check int) "schedule dropped at the fixpoint" 0
+    (List.length shrunk.Scenario.faults);
+  (* If the failure needs the faults, n-shrinking must keep the schedule
+     valid for the reduced node count. *)
+  let fails_with_faults s = s.Scenario.faults <> [] in
+  let shrunk = Fuzz.shrink_with ~fails:fails_with_faults faulted in
+  Alcotest.(check bool) "faults retained when needed" true (shrunk.Scenario.faults <> []);
+  (match Dsim.Fault.validate ~n:shrunk.Scenario.n shrunk.Scenario.faults with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shrunk schedule invalid for n=%d: %s" shrunk.Scenario.n m)
+
 let test_fuzz_run_clean () =
   let outcome = Fuzz.run ~seed:3 ~count:5 () in
+  Alcotest.(check int) "all scenarios audited" 5 outcome.Fuzz.scenarios_run;
+  Alcotest.(check int)
+    (Printf.sprintf "no failures (got: %s)"
+       (String.concat "; "
+          (List.map (fun f -> Scenario.to_spec f.Fuzz.shrunk) outcome.Fuzz.failures)))
+    0
+    (List.length outcome.Fuzz.failures)
+
+let test_fuzz_run_clean_with_faults () =
+  let outcome = Fuzz.run ~faults:true ~seed:3 ~count:5 () in
   Alcotest.(check int) "all scenarios audited" 5 outcome.Fuzz.scenarios_run;
   Alcotest.(check int)
     (Printf.sprintf "no failures (got: %s)"
@@ -126,13 +202,20 @@ let test_shrink_order_jobs_invariant () =
 let suite =
   [
     Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "fault spec with every op roundtrips" `Quick
+      test_fault_spec_all_ops_roundtrip;
     Alcotest.test_case "spec error cases" `Quick test_spec_errors;
     Alcotest.test_case "generate is deterministic" `Quick test_generate_deterministic;
     Alcotest.test_case "shrink converges deterministically" `Quick
       test_shrink_converges_deterministically;
     Alcotest.test_case "shrink is identity on pass" `Quick test_shrink_identity_on_pass;
     Alcotest.test_case "replay is byte-identical" `Quick test_replay_byte_identical;
+    Alcotest.test_case "faulted replay is byte-identical" `Quick
+      test_faulted_replay_byte_identical;
+    Alcotest.test_case "shrink drops faults first" `Quick test_shrink_drops_faults_first;
     Alcotest.test_case "fuzz run on clean engine" `Quick test_fuzz_run_clean;
+    Alcotest.test_case "faulted fuzz run on clean engine" `Quick
+      test_fuzz_run_clean_with_faults;
     Alcotest.test_case "fuzz outcome identical across jobs" `Quick
       test_fuzz_jobs_invariant;
     Alcotest.test_case "shrunk failures stay in draw order" `Quick

@@ -16,7 +16,7 @@ let params n = Params.make ~n ()
 (* Builds a gradient-node simulation over the given edges and returns the
    node states for inspection. *)
 let build ?(n = 2) ?(clocks = None) ?(delay = None) ?(discovery_lag = 0.)
-    ?(initial_edges = [ (0, 1) ]) ?tolerance ?timeout ?params:p ?trace () =
+    ?(initial_edges = [ (0, 1) ]) ?tolerance ?timeout ?params:p ?trace ?faults () =
   let p = match p with Some p -> p | None -> params n in
   let clocks =
     match clocks with Some c -> c | None -> Array.init n (fun _ -> Hwclock.perfect)
@@ -24,7 +24,10 @@ let build ?(n = 2) ?(clocks = None) ?(delay = None) ?(discovery_lag = 0.)
   let delay =
     match delay with Some d -> d | None -> Delay.constant ~bound:p.Params.delay_bound 0.5
   in
-  let engine = Engine.create ~clocks ~delay ~discovery_lag ~initial_edges ?trace () in
+  let engine =
+    Engine.create ~clocks ~delay ~discovery_lag ~initial_edges ?trace ?faults
+      ~fault_seed:17 ()
+  in
   let nodes = Array.make n None in
   for i = 0 to n - 1 do
     Engine.install engine i (fun ctx ->
@@ -234,6 +237,57 @@ let test_isolated_node_follows_own_clock () =
   Alcotest.check (feq 1e-9) "L = hardware" 10. (Node.logical_clock nodes.(0));
   Alcotest.(check (list int)) "no neighbours" [] (Node.upsilon nodes.(0))
 
+(* Restart semantics (fault injection): the crash loses every piece of
+   volatile state, so right after the restart event — before any
+   post-restart receipt — the peer table is empty except for re-discovered
+   Upsilon membership, estimates are gone, and the clock registers are
+   back at the initial state. *)
+let test_restart_loses_state () =
+  let faults =
+    [
+      Dsim.Fault.Crash { node = 1; at = 5. };
+      Dsim.Fault.Restart { node = 1; at = 8.; corrupt = false };
+    ]
+  in
+  let engine, nodes, _ = build ~faults () in
+  Engine.run_until engine 4.;
+  Alcotest.(check (list int)) "gamma populated before crash" [ 0 ]
+    (Node.gamma nodes.(1));
+  Alcotest.(check bool) "clock advanced before crash" true
+    (Node.logical_clock nodes.(1) > 3.);
+  Engine.run_until engine 8.;
+  (* t = 8: the restart and the re-discovery fire, but the first
+     post-restart delivery (constant delay 0.5) has not happened yet. *)
+  Alcotest.(check (list int)) "gamma empty after restart" [] (Node.gamma nodes.(1));
+  Alcotest.(check (list int)) "upsilon re-discovered" [ 0 ] (Node.upsilon nodes.(1));
+  Alcotest.(check bool) "peer estimate forgotten" true
+    (Node.peer_estimate nodes.(1) 0 = None);
+  Alcotest.check (feq 1e-9) "L reset" 0. (Node.logical_clock nodes.(1));
+  Alcotest.check (feq 1e-9) "Lmax reset" 0. (Node.max_estimate nodes.(1));
+  (* The survivor's state is untouched and re-synchronization follows. *)
+  Alcotest.(check bool) "peer kept its clock" true (Node.logical_clock nodes.(0) > 7.);
+  Engine.run_until engine 30.;
+  Alcotest.(check (list int)) "gamma recovered" [ 0 ] (Node.gamma nodes.(1));
+  Alcotest.(check bool) "clocks re-synchronized" true
+    (Float.abs (Node.logical_clock nodes.(0) -. Node.logical_clock nodes.(1)) < 2.)
+
+let test_corrupt_restart_recovers () =
+  let faults =
+    [
+      Dsim.Fault.Crash { node = 1; at = 5. };
+      Dsim.Fault.Restart { node = 1; at = 8.; corrupt = true };
+    ]
+  in
+  let engine, nodes, p = build ~faults () in
+  Engine.run_until engine 8.;
+  let l = Node.logical_clock nodes.(1) and m = Node.max_estimate nodes.(1) in
+  Alcotest.(check bool) "corrupted registers stay ordered" true (l <= m);
+  Alcotest.(check bool) "corruption drew garbage" true (l <> 0. || m <> 0.);
+  Engine.run_until engine 80.;
+  Alcotest.(check bool) "skew re-enters the global bound" true
+    (Float.abs (Node.logical_clock nodes.(0) -. Node.logical_clock nodes.(1))
+    <= Params.global_skew_bound p)
+
 let suite =
   [
     case "initial state" test_initial_state;
@@ -253,4 +307,6 @@ let suite =
     case "gamma re-entry after pure silence" test_gamma_reentry_after_silence_only;
     case "discover(remove) cancels the lost timer" test_discover_remove_cancels_lost_timer;
     case "isolated node follows own clock" test_isolated_node_follows_own_clock;
+    case "restart loses volatile state" test_restart_loses_state;
+    case "corrupted restart stays ordered and recovers" test_corrupt_restart_recovers;
   ]

@@ -81,10 +81,47 @@ let test_engine_parity () =
   Alcotest.(check string)
     "byte-identical trace" (Trace.to_csv heap_trace) (Trace.to_csv wheel_trace)
 
+(* Clear-and-rerun at the scheduler seam: ranks handed out through
+   [alloc_seq] live on in the wheel across a [Pqueue.clear], so a
+   cleared-and-reused queue must keep counting — a post-clear push at the
+   same instant as a surviving wheel entry has to surface *after* it.
+   (The old clear reset [next_seq] to 0, which let fresh pushes interleave
+   below stale wheel ranks and broke heap/wheel trace parity.) *)
+let test_clear_and_rerun_merge_order () =
+  let q = Dsim.Pqueue.create () in
+  let w = Dsim.Timewheel.create ~granularity:0.25 () in
+  (* Round 1: mixed traffic consumes seqs on both sides of the seam. *)
+  Dsim.Pqueue.push q ~time:1.0 "a";
+  Dsim.Timewheel.arm w ~node:0 ~label:0 ~gen:0 ~seq:(Dsim.Pqueue.alloc_seq q)
+    ~deadline:5.0;
+  Dsim.Pqueue.push q ~time:2.0 "b";
+  Alcotest.(check (option string)) "round 1 pops" (Some "a") (Option.map snd (Dsim.Pqueue.pop q));
+  (* Reset the event queue mid-run; the wheel entry at t=5 survives. *)
+  Dsim.Pqueue.clear q;
+  Alcotest.(check bool) "queue empty after clear" true (Dsim.Pqueue.is_empty q);
+  (* Round 2: a fresh wheel arm, then a queue push, both due at t=5. *)
+  Dsim.Timewheel.arm w ~node:1 ~label:0 ~gen:0 ~seq:(Dsim.Pqueue.alloc_seq q)
+    ~deadline:5.0;
+  Dsim.Pqueue.push q ~time:5.0 "c";
+  Alcotest.(check bool) "wheel has due entries" true (Dsim.Timewheel.peek w ~upto:5.0);
+  (* Merged (time, seq) order: both surviving wheel entries outrank the
+     post-clear push at the tied deadline. *)
+  Alcotest.(check bool) "round-1 wheel entry first"
+    true (Dsim.Timewheel.top_seq w < Dsim.Pqueue.top_seq q);
+  Alcotest.(check int) "round-1 wheel node" 0 (Dsim.Timewheel.top_node w);
+  Dsim.Timewheel.pop w;
+  Alcotest.(check bool) "wheel still due" true (Dsim.Timewheel.peek w ~upto:5.0);
+  Alcotest.(check bool) "round-2 wheel entry still outranks the push"
+    true (Dsim.Timewheel.top_seq w < Dsim.Pqueue.top_seq q);
+  Alcotest.(check int) "round-2 wheel node" 1 (Dsim.Timewheel.top_node w);
+  Dsim.Timewheel.pop w;
+  Alcotest.(check (option string)) "queue event last" (Some "c")
+    (Option.map snd (Dsim.Pqueue.pop q))
+
 (* Full-stack parity: the gradient algorithm on a seeded churned topology,
    audited trace and all. This is the scenario class the wheel was built
    for (periodic ΔH ticks plus per-peer ΔT' lost timers at scale). *)
-let run_sim scheduler =
+let run_sim ?(faults = []) scheduler =
   let n = 24 in
   let horizon = 50. in
   let params = Gcs.Params.make ~n () in
@@ -94,7 +131,10 @@ let run_sim scheduler =
     Dsim.Delay.uniform (Dsim.Prng.of_int 9) ~bound:params.Gcs.Params.delay_bound
   in
   let trace = Trace.create ~log_limit:500_000 () in
-  let cfg = Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~trace () in
+  let cfg =
+    Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~trace
+      ~faults ~fault_seed:21 ()
+  in
   let sim = Gcs.Sim.create cfg in
   Topology.Churn.schedule (Gcs.Sim.engine sim)
     (Topology.Churn.random_churn (Dsim.Prng.of_int 13) ~n ~base:edges ~rate:0.4
@@ -133,9 +173,60 @@ let test_wheel_trace_audits_clean () =
     (List.length report.Audit.Report.violations);
   Alcotest.(check bool) "events audited" true (report.Audit.Report.events_audited > 0)
 
+(* Fault parity: the whole fault layer — crash/restart events, dup
+   pushes, Byzantine corruption draws, incarnation drops — is routed
+   through the shared event queue, so it must replay byte-identically
+   under both schedulers, and the fault-aware auditor must accept both
+   traces. *)
+let parity_faults =
+  [
+    Dsim.Fault.Crash { node = 4; at = 8. };
+    Dsim.Fault.Restart { node = 4; at = 16.5; corrupt = true };
+    Dsim.Fault.Crash { node = 11; at = 20. };
+    Dsim.Fault.Restart { node = 11; at = 27.25; corrupt = false };
+    Dsim.Fault.Duplicate { src = 0; dst = 1; from_ = 5.; until = 30. };
+    Dsim.Fault.Reorder { src = 7; dst = 8; from_ = 10.; until = 35. };
+    Dsim.Fault.Byzantine { node = 17; from_ = 12.; until = 24. };
+  ]
+
+let test_sim_parity_faulted () =
+  let heap, heap_trace = run_sim ~faults:parity_faults Gcs.Sim.Heap in
+  let wheel, wheel_trace = run_sim ~faults:parity_faults Gcs.Sim.Wheel in
+  Alcotest.(check int)
+    "events processed"
+    (Dsim.Engine.events_processed (Gcs.Sim.engine heap))
+    (Dsim.Engine.events_processed (Gcs.Sim.engine wheel));
+  for i = 0 to (Gcs.Sim.params heap).Gcs.Params.n - 1 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "clock of node %d" i)
+      (Gcs.Sim.logical_clock heap i)
+      (Gcs.Sim.logical_clock wheel i)
+  done;
+  let heap_csv = Trace.to_csv heap_trace in
+  Alcotest.(check string) "byte-identical trace" heap_csv (Trace.to_csv wheel_trace);
+  Alcotest.(check bool) "fault events present" true
+    (Dsim.Trace.count heap_trace Dsim.Trace.Fault_crash > 0
+    && Dsim.Trace.count heap_trace Dsim.Trace.Fault_duplicate > 0
+    && Dsim.Trace.count heap_trace Dsim.Trace.Fault_byzantine_msg > 0);
+  List.iter
+    (fun (name, trace) ->
+      let cfg =
+        Audit.Conformance.of_params (Gcs.Sim.params heap) ~horizon:50.
+          ~faults:parity_faults ()
+      in
+      let report = Audit.Conformance.audit cfg (Trace.entries trace) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s faulted trace audits clean" name)
+        0
+        (List.length report.Audit.Report.violations))
+    [ ("heap", heap_trace); ("wheel", wheel_trace) ]
+
 let suite =
   [
     case "engine: heap = wheel (timer-heavy protocol)" test_engine_parity;
+    case "pqueue clear-and-rerun keeps the seam's total order"
+      test_clear_and_rerun_merge_order;
     case "sim: heap = wheel (seeded churn)" test_sim_parity;
+    case "sim: heap = wheel under a fault campaign" test_sim_parity_faulted;
     case "wheel trace passes conformance audit" test_wheel_trace_audits_clean;
   ]

@@ -104,14 +104,24 @@ let test_cleared_payloads_released () =
   Gc.full_major ();
   Alcotest.(check bool) "cleared payload collected" true (Weak.get w 0 = None)
 
-let test_clear_resets_sequence () =
-  (* After clear the queue must be indistinguishable from a fresh one:
-     same pop order for the same pushes (the tie-break sequence restarts). *)
+let test_clear_preserves_sequence () =
+  (* Clear drops events but must NOT rewind the tie-break counter: ranks
+     handed out through [alloc_seq] (the wheel's entries) survive a clear,
+     and post-clear pushes have to keep ranking after them. Pop order for
+     identical pushes is still fresh-queue-identical, because shifting all
+     seqs by a constant preserves their relative order. *)
   let used = Pqueue.create () in
   for i = 0 to 9 do
     Pqueue.push used ~time:(float_of_int (i mod 3)) i
   done;
+  let external_rank = Pqueue.alloc_seq used in
   Pqueue.clear used;
+  (* The externally held rank must still precede anything pushed later. *)
+  Pqueue.push used ~time:0. 99;
+  Alcotest.(check bool) "post-clear push ranks after live external rank"
+    true
+    (Pqueue.top_seq used > external_rank);
+  ignore (Pqueue.pop used);
   let fresh = Pqueue.create () in
   List.iter
     (fun q ->
@@ -198,7 +208,7 @@ let suite =
     case "capacity honored" test_capacity_honored;
     case "popped payloads released to the GC" test_popped_payload_released;
     case "cleared payloads released to the GC" test_cleared_payloads_released;
-    case "clear resets the tie-break sequence" test_clear_resets_sequence;
+    case "clear preserves the tie-break sequence" test_clear_preserves_sequence;
     case "drain" test_drain;
     case "next_time and pop_exn" test_next_time;
     QCheck_alcotest.to_alcotest prop_sorted;

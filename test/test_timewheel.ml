@@ -131,6 +131,150 @@ let test_interleaved_arm_and_drain () =
   let sorted = List.sort Float.compare surfaced in
   Alcotest.(check (list (float 1e-12))) "non-decreasing deadlines" sorted surfaced
 
+(* --- Far-future clamp boundary pins (ISSUE 6 satellite) -------------- *)
+
+let test_last_covered_granule_of_each_ring () =
+  (* Span = 4^3 = 64. From cursor 0, the last granule each ring covers is
+     slots^(l+1) - 1 (granules 3, 15, 63), and granule 64 is the first
+     uncovered one (parked at cursor + span - 1 = 63, the same slot a
+     real granule-63 entry lives in). All four must surface at their true
+     deadlines, in order, with the parked entry re-placed rather than
+     surfaced when slot 63 is drained. *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:3 () in
+  arm_all w [ (64.0, 1); (63.0, 2); (15.0, 3); (3.0, 4) ];
+  let popped = deadlines_seqs (drain w ~upto:200.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "ring-boundary deadlines surface in order"
+    [ (3.0, 4); (15.0, 3); (63.0, 2); (64.0, 1) ]
+    popped
+
+let test_park_into_drained_slot () =
+  (* One-level wheel: span = slots, and a far-future entry re-places from
+     the very level-0 slot being drained back into that same slot (parked
+     granule cursor + span - 1 ≡ cursor - 1 ≡ the drained slot mod slots).
+     This is the array-aliasing seam [resolve] now detaches around; pile
+     several parked entries together with a due one so the drain loop both
+     surfaces and re-parks from the same bucket. *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:1 () in
+  arm_all w [ (100.0, 1); (101.0, 2); (102.0, 3); (3.0, 4) ];
+  (* All four share slot 3: granule 3 is real, the rest are parked there. *)
+  let popped = deadlines_seqs (drain w ~upto:99.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "only the real granule-3 entry is due early"
+    [ (3.0, 4) ]
+    popped;
+  let popped = deadlines_seqs (drain w ~upto:300.) in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "parked entries survive repeated re-parking and surface in order"
+    [ (100.0, 1); (101.0, 2); (102.0, 3) ]
+    popped
+
+let test_rearm_into_cursor_granule () =
+  (* Advance the cursor mid-stream, then arm a deadline inside the
+     cursor's own (not yet resolved) granule: distance 0, level 0, and it
+     must surface ahead of everything further out. *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:2 () in
+  arm_all w [ (5.0, 1); (40.0, 2) ];
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "first drain" [ (5.0, 1) ]
+    (deadlines_seqs (drain w ~upto:6.4));
+  (* Cursor now sits at granule 7 (the granule containing 6.4, resolved
+     through). Arm exactly into the next unresolved granule. *)
+  Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:3 ~deadline:7.0;
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "cursor-granule re-arm surfaces before the far entry"
+    [ (7.0, 3); (40.0, 2) ]
+    (deadlines_seqs (drain w ~upto:100.))
+
+let test_clamp_then_cancel_then_rearm () =
+  (* The engine cancels by bumping the generation and arming a fresh
+     (gen, seq): the stale parked entry stays in the wheel and must
+     surface late, after the replacement, carrying its stale gen — never
+     early, and never reordered by the re-cascade of its parking slot. *)
+  let w = Tw.create ~granularity:1.0 ~slots:4 ~levels:2 () in
+  (* Far-future arm: granule 90 is beyond span 16, parked at slot of
+     granule 15. *)
+  Tw.arm w ~node:7 ~label:1 ~gen:0 ~seq:1 ~deadline:90.0;
+  (* "Cancel" + re-arm nearer with a newer gen and seq. *)
+  Tw.arm w ~node:7 ~label:1 ~gen:1 ~seq:2 ~deadline:12.0;
+  let popped = drain w ~upto:200. in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "replacement first, stale parked entry at its true deadline"
+    [ (12.0, 2); (90.0, 1) ]
+    (deadlines_seqs popped);
+  Alcotest.(check (list int))
+    "gens distinguish live from stale" [ 1; 0 ]
+    (List.map (fun (_, _, _, _, g) -> g) popped)
+
+(* Deterministic model-based differential: random arm/drain interleavings
+   with deadlines biased to the clamp boundaries (last covered granule of
+   each ring, first uncovered granule, the cursor's own granule, the
+   resolved past), checked against a sorted-list reference. Compact
+   version of the offline fuzzer used to audit the clamp logic. *)
+let test_differential_vs_reference () =
+  let run_case ~seed ~slots ~levels ~granularity ~ops =
+    let prng = Dsim.Prng.of_int seed in
+    let w = Tw.create ~granularity ~slots ~levels () in
+    let span = int_of_float (float_of_int slots ** float_of_int levels) in
+    let reference = ref [] in
+    let seq = ref 0 in
+    let drained_upto = ref 0. in
+    for _ = 1 to ops do
+      let g_now = int_of_float (Float.floor (!drained_upto /. granularity)) in
+      if Dsim.Prng.int prng 100 < 60 then begin
+        let deadline =
+          match Dsim.Prng.int prng 8 with
+          | 0 -> !drained_upto +. (Dsim.Prng.float prng 1. *. 3. *. granularity)
+          | 1 -> float_of_int (g_now + span - 1) *. granularity
+          | 2 -> float_of_int (g_now + span) *. granularity
+          | 3 ->
+            float_of_int (g_now + span + Dsim.Prng.int prng (3 * span))
+            *. granularity
+          | 4 -> float_of_int g_now *. granularity
+          | 5 ->
+            let l = Dsim.Prng.int prng levels in
+            let wl1 = int_of_float (float_of_int slots ** float_of_int (l + 1)) in
+            float_of_int (g_now + wl1 - 1) *. granularity
+          | 6 ->
+            Float.max 0.
+              (!drained_upto -. (Dsim.Prng.float prng 1. *. 5. *. granularity))
+          | _ ->
+            !drained_upto
+            +. (Dsim.Prng.float prng 1. *. float_of_int span *. granularity)
+        in
+        let deadline = Float.max 0. deadline in
+        incr seq;
+        Tw.arm w ~node:0 ~label:0 ~gen:0 ~seq:!seq ~deadline;
+        reference := (deadline, !seq) :: !reference
+      end
+      else begin
+        let upto =
+          !drained_upto
+          +. (Dsim.Prng.float prng 1. *. 4. *. granularity
+             *. float_of_int (1 + Dsim.Prng.int prng span))
+        in
+        let expected =
+          List.filter (fun (d, _) -> d <= upto) !reference
+          |> List.sort (fun (d1, s1) (d2, s2) ->
+                 match Float.compare d1 d2 with 0 -> compare s1 s2 | c -> c)
+        in
+        let got = deadlines_seqs (drain w ~upto) in
+        if got <> expected then
+          Alcotest.failf "divergence seed=%d slots=%d levels=%d upto=%g" seed
+            slots levels upto;
+        reference := List.filter (fun (d, _) -> d > upto) !reference;
+        drained_upto := Float.max !drained_upto upto
+      end
+    done
+  in
+  List.iter
+    (fun (slots, levels, granularity) ->
+      for seed = 1 to 40 do
+        run_case ~seed:(seed + (slots * 1000) + (levels * 100000)) ~slots
+          ~levels ~granularity ~ops:40
+      done)
+    [ (2, 1, 1.0); (4, 2, 1.0); (3, 2, 0.25); (4, 3, 1.0) ]
+
 let suite =
   [
     case "pops in (deadline, seq) order" test_ordering;
@@ -140,4 +284,9 @@ let suite =
     case "arm into already-resolved granule" test_arm_into_resolved_past;
     case "peek honours upto; top fields; size" test_peek_respects_upto;
     case "interleaved arm/drain stays ordered" test_interleaved_arm_and_drain;
+    case "last covered granule of each ring" test_last_covered_granule_of_each_ring;
+    case "park back into the slot being drained" test_park_into_drained_slot;
+    case "re-arm into the cursor's own granule" test_rearm_into_cursor_granule;
+    case "clamp, cancel, re-arm" test_clamp_then_cancel_then_rearm;
+    case "differential vs sorted reference" test_differential_vs_reference;
   ]
