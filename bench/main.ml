@@ -5,14 +5,16 @@
       tables and their pass/fail checks;
    2. runs Bechamel microbenchmarks of the simulator's hot paths.
 
-   3. with --scale, runs ONLY the large-n scaling sweep (ns/event and
-      minor-words/event at n in {64 .. 4096}, both schedulers; see
-      bench/scale.ml) so CI can smoke it without the full suite.
+   3. with --scale, runs ONLY the n-sweep scaling bench (ns/event,
+      events/s and minor-words/event at n in {64 .. 4096} under both
+      schedulers, plus a wheel-only large tier up to n = 1M with engine
+      footprints; see bench/scale.ml) so CI can smoke it without the
+      full suite. --repeat K reports the median of K timed runs per row.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --skip-micro]
           dune exec bench/main.exe -- --only E4
           dune exec bench/main.exe -- --quick --jobs 4
-          dune exec bench/main.exe -- --scale --quick --scale-out out.json *)
+          dune exec bench/main.exe -- --scale --quick --repeat 3 --scale-out out.json *)
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
@@ -257,8 +259,20 @@ let run_micro () =
 let () =
   Format.printf "gradient-clock-sync benchmark harness (%s mode)@.@."
     (if quick then "quick" else "full");
+  (* Validated whether or not --scale is present: a typo'd K must not
+     silently fall through to a multi-minute full run. *)
+  let repeat =
+    match flag_value "--repeat" with
+    | None -> 1
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some k when k >= 1 -> k
+      | Some _ | None ->
+        Printf.eprintf "--repeat requires a positive integer (got %s)\n" v;
+        exit 2)
+  in
   if scale then begin
-    let failures = Scale.run ~quick ~out:(flag_value "--scale-out") () in
+    let failures = Scale.run ~quick ~repeat ~out:(flag_value "--scale-out") () in
     if failures > 0 then begin
       Format.printf "@.%d scaling check(s) failed@." failures;
       exit 1

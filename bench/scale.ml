@@ -1,14 +1,26 @@
-(* n-sweep scaling bench: end-to-end simulations at n in {64 .. 4096} on
-   a path and on the same path under random churn, run under BOTH
-   schedulers (event-heap timers vs the timer wheel), reporting ns/event
-   and minor-words/event. The two schedulers execute byte-identical
-   traces (pinned by test_parity), so the event counts must agree and
-   only the costs differ.
+(* n-sweep scaling bench.
 
-   Run standalone via [bench/main.exe -- --scale [--quick] [--scale-out
-   FILE]]; quick mode caps the sweep at n = 1024. The sweep ends with an
-   E1-style check that the global skew bound G(n) — linear in n — still
-   holds end-to-end at n = 1024. *)
+   Classic tier: end-to-end simulations at n in {64 .. 4096} on a path
+   and on the same path under random churn, run under BOTH schedulers
+   (event-heap timers vs the timer wheel), reporting ns/event,
+   events/s and minor-words/event. The two schedulers execute
+   byte-identical traces (pinned by test_parity), so the event counts
+   must agree and only the costs differ.
+
+   Large tier (full mode; quick caps it at 64k): wheel scheduler on a
+   path at n in {16k, 64k, 256k, 1M} over a shorter horizon, recording
+   the engine's resident footprint. Consecutive sizes are 4x apart, so
+   the footprint ratio distinguishes O(n + live edges) growth (~4x) from
+   a pair-keyed O(n^2) regression (~16x); the sweep fails if any ratio
+   exceeds 8. The largest size is repeated with --shards 4 to price the
+   shard merge seam (the execution is byte-identical; only cost moves).
+
+   Run standalone via [bench/main.exe -- --scale [--quick] [--repeat K]
+   [--scale-out FILE]]; --repeat K re-runs every timed row K times and
+   reports the median-of-K by ns/event, which takes the scheduler-noise
+   jitter out of single-shot numbers. The sweep ends with an E1-style
+   check that the global skew bound G(n) — linear in n — still holds
+   end-to-end at n = 1024. *)
 
 module Table = Analysis.Table
 
@@ -16,24 +28,35 @@ type row = {
   topo : string;  (* "path" or "churn" *)
   n : int;
   scheduler : Gcs.Sim.scheduler;
+  shards : int;
   events : int;
   ns_per_event : float;
+  events_per_s : float;
   words_per_event : float;
   wall_s : float;
+  footprint_words : int; (* engine-owned storage after the run *)
 }
 
 let horizon = 60.
 
+(* The large tier trades horizon for population: cost per event is
+   steady-state, so a shorter run measures the same thing. *)
+let horizon_large = 10.
+
 let sizes ~quick = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ]
 
-let build ?(faults = []) ~scheduler ~n ~churn () =
+let large_sizes ~quick =
+  if quick then [ 16_384; 65_536 ]
+  else [ 16_384; 65_536; 262_144; 1_048_576 ]
+
+let build ?(faults = []) ?(shards = 1) ?(horizon = horizon) ~scheduler ~n ~churn () =
   let params = Gcs.Params.make ~n () in
   let edges = Topology.Static.path n in
   let clocks = Gcs.Drift.assign params ~horizon ~seed:1 Gcs.Drift.Split_extremes in
   let delay = Dsim.Delay.maximal ~bound:params.Gcs.Params.delay_bound in
   let cfg =
-    Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~faults
-      ~fault_seed:3 ()
+    Gcs.Sim.config ~scheduler ~shards ~params ~clocks ~delay ~initial_edges:edges
+      ~faults ~fault_seed:3 ()
   in
   let sim = Gcs.Sim.create cfg in
   if churn then
@@ -42,34 +65,51 @@ let build ?(faults = []) ~scheduler ~n ~churn () =
          ~rate:(float_of_int n /. 256.) ~horizon);
   sim
 
-let measure ?faults ~scheduler ~n ~churn () =
-  let sim = build ?faults ~scheduler ~n ~churn () in
+let measure_once ?faults ?shards ?(horizon = horizon) ~scheduler ~n ~churn () =
+  let sim = build ?faults ?shards ~horizon ~scheduler ~n ~churn () in
   Gc.full_major ();
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   Gcs.Sim.run_until sim horizon;
   let wall_s = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. m0 in
-  let events = Dsim.Engine.events_processed (Gcs.Sim.engine sim) in
+  let engine = Gcs.Sim.engine sim in
+  let events = Dsim.Engine.events_processed engine in
   let per ev x = x /. float_of_int ev in
   {
     topo = (if churn then "churn" else "path");
     n;
     scheduler;
+    shards = Dsim.Engine.shards engine;
     events;
     ns_per_event = per events (wall_s *. 1e9);
+    events_per_s = float_of_int events /. wall_s;
     words_per_event = per events minor;
     wall_s;
+    footprint_words = Dsim.Engine.footprint_words engine;
   }
+
+(* Median-of-K by ns/event. Everything but the wall clock is
+   deterministic across repeats (same events, same footprint), so the
+   median only picks which timing to report. *)
+let measure ?faults ?shards ?horizon ~repeat ~scheduler ~n ~churn () =
+  let runs =
+    List.init (max 1 repeat) (fun _ ->
+        measure_once ?faults ?shards ?horizon ~scheduler ~n ~churn ())
+  in
+  let sorted =
+    List.sort (fun a b -> Float.compare a.ns_per_event b.ns_per_event) runs
+  in
+  List.nth sorted (List.length sorted / 2)
 
 (* Fault-path cost at n=1024: the same path run with no schedule and
    with a crash/restart + duplication + Byzantine campaign, back to
    back. The no-schedule number doubles as the regression guard — the
    fault integration is a dormant branch when nothing is installed, so
    its ns/event must track the sweep rows above. *)
-let fault_overhead_check () =
+let fault_overhead_check ~repeat () =
   let n = 1024 in
-  let baseline = measure ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
+  let baseline = measure ~repeat ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
   let faults =
     List.concat
       (List.init 8 (fun k ->
@@ -84,7 +124,7 @@ let fault_overhead_check () =
         Dsim.Fault.Byzantine { node = 512; from_ = 15.; until = 35. };
       ]
   in
-  let faulted = measure ~faults ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
+  let faulted = measure ~faults ~repeat ~scheduler:Gcs.Sim.Wheel ~n ~churn:false () in
   (baseline, faulted)
 
 (* E1-style end-of-sweep check: the paper's G(n) bound is linear in n;
@@ -104,28 +144,60 @@ let g_linearity_check () =
   let bound = Gcs.Params.global_skew_bound params in
   (n, max_skew, bound, max_skew <= bound)
 
+(* Footprint growth across the large tier's 4x size steps. Linear memory
+   gives ratios near 4 (sub-4 when fixed costs still matter); a revived
+   O(n^2) pair keying would push them toward 16. *)
+let memory_growth_check large_rows =
+  let rec ratios = function
+    | a :: (b :: _ as rest) when b.n = 4 * a.n ->
+      (a.n, b.n, float_of_int b.footprint_words /. float_of_int a.footprint_words)
+      :: ratios rest
+    | _ :: rest -> ratios rest
+    | [] -> []
+  in
+  let rs = ratios large_rows in
+  (rs, List.for_all (fun (_, _, r) -> r <= 8.) rs)
+
 let scheduler_of_row r = Gcs.Sim.scheduler_to_string r.scheduler
 
-let write_json path ~quick rows (gn, gskew, gbound, gpass) =
-  let buf = Buffer.create 2048 in
+let row_json buf r ~last =
+  Printf.bprintf buf
+    "    {\"topo\": %S, \"n\": %d, \"scheduler\": %S, \"shards\": %d, \
+     \"events\": %d, \"ns_per_event\": %.1f, \"events_per_s\": %.0f, \
+     \"minor_words_per_event\": %.2f, \"wall_s\": %.3f, \
+     \"footprint_words\": %d}%s\n"
+    r.topo r.n (scheduler_of_row r) r.shards r.events r.ns_per_event
+    r.events_per_s r.words_per_event r.wall_s r.footprint_words
+    (if last then "" else ",")
+
+let write_json path ~quick ~repeat rows large_rows (gn, gskew, gbound, gpass)
+    (mem_ratios, mem_pass) =
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     "  \"description\": \"n-sweep scaling: end-to-end sim cost per event, \
-     heap vs wheel scheduler, path and churned topologies\",\n";
+     heap vs wheel scheduler, path and churned topologies, plus a \
+     large-n wheel tier with engine footprints\",\n";
   Printf.bprintf buf "  \"horizon\": %g,\n" horizon;
+  Printf.bprintf buf "  \"horizon_large\": %g,\n" horizon_large;
   Printf.bprintf buf "  \"quick\": %b,\n" quick;
+  Printf.bprintf buf "  \"repeat\": %d,\n" repeat;
   Buffer.add_string buf "  \"rows\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.bprintf buf
-        "    {\"topo\": %S, \"n\": %d, \"scheduler\": %S, \"events\": %d, \
-         \"ns_per_event\": %.1f, \"minor_words_per_event\": %.2f, \
-         \"wall_s\": %.3f}%s\n"
-        r.topo r.n (scheduler_of_row r) r.events r.ns_per_event r.words_per_event
-        r.wall_s
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
+  let k = List.length rows in
+  List.iteri (fun i r -> row_json buf r ~last:(i = k - 1)) rows;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"large_rows\": [\n";
+  let k = List.length large_rows in
+  List.iteri (fun i r -> row_json buf r ~last:(i = k - 1)) large_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"memory_growth_check\": {\"ratios\": [";
+  List.iteri
+    (fun i (n1, n2, r) ->
+      Printf.bprintf buf "%s{\"from_n\": %d, \"to_n\": %d, \"ratio\": %.2f}"
+        (if i = 0 then "" else ", ")
+        n1 n2 r)
+    mem_ratios;
+  Printf.bprintf buf "], \"pass\": %b},\n" mem_pass;
   Printf.bprintf buf
     "  \"g_linearity_check\": {\"n\": %d, \"max_global_skew\": %.4f, \
      \"bound\": %.4f, \"pass\": %b}\n"
@@ -135,39 +207,47 @@ let write_json path ~quick rows (gn, gskew, gbound, gpass) =
   output_string oc (Buffer.contents buf);
   close_out oc
 
-let run ~quick ~out () =
-  Format.printf "scaling sweep (horizon=%g, %s mode; both schedulers)@.@."
+let row_columns =
+  [ "topology"; "n"; "sched"; "shards"; "events"; "ns/event"; "Mev/s";
+    "words/event"; "wall s"; "footprint Mw" ]
+
+let add_row table r =
+  Table.add_row table
+    [
+      Table.Str r.topo;
+      Table.Int r.n;
+      Table.Str (scheduler_of_row r);
+      Table.Int r.shards;
+      Table.Int r.events;
+      Table.Float r.ns_per_event;
+      Table.Float (r.events_per_s /. 1e6);
+      Table.Float r.words_per_event;
+      Table.Float r.wall_s;
+      Table.Float (float_of_int r.footprint_words /. 1e6);
+    ]
+
+let run ~quick ~repeat ~out () =
+  Format.printf
+    "scaling sweep (horizon=%g, %s mode, median of %d; both schedulers)@.@."
     horizon
-    (if quick then "quick" else "full");
+    (if quick then "quick" else "full")
+    repeat;
   let rows =
     List.concat_map
       (fun churn ->
         List.concat_map
           (fun n ->
             List.map
-              (fun scheduler -> measure ~scheduler ~n ~churn ())
+              (fun scheduler -> measure ~repeat ~scheduler ~n ~churn ())
               [ Gcs.Sim.Heap; Gcs.Sim.Wheel ])
           (sizes ~quick))
       [ false; true ]
   in
   let table =
     Table.create ~title:"End-to-end cost per event, heap vs wheel scheduler"
-      ~columns:
-        [ "topology"; "n"; "scheduler"; "events"; "ns/event"; "words/event"; "wall s" ]
+      ~columns:row_columns
   in
-  List.iter
-    (fun r ->
-      Table.add_row table
-        [
-          Table.Str r.topo;
-          Table.Int r.n;
-          Table.Str (scheduler_of_row r);
-          Table.Int r.events;
-          Table.Float r.ns_per_event;
-          Table.Float r.words_per_event;
-          Table.Float r.wall_s;
-        ])
-    rows;
+  List.iter (add_row table) rows;
   Format.printf "%a@." Table.pp table;
   (* Same-(topo, n) pairs run back to back, heap first: fold into a
      speedup summary and check event-count parity while at it. *)
@@ -183,7 +263,40 @@ let run ~quick ~out () =
   in
   pair rows;
   Format.printf "%a@." Table.pp speedups;
-  let no_fault, with_fault = fault_overhead_check () in
+  (* Large tier: wheel only, shorter horizon, engine footprint recorded;
+     the top size re-run sharded to price the merge seam. *)
+  let large_rows =
+    List.map
+      (fun n ->
+        measure ~repeat ~horizon:horizon_large ~scheduler:Gcs.Sim.Wheel ~n
+          ~churn:false ())
+      (large_sizes ~quick)
+  in
+  let top_n = List.fold_left (fun acc r -> max acc r.n) 0 large_rows in
+  let sharded =
+    measure ~repeat ~shards:4 ~horizon:horizon_large ~scheduler:Gcs.Sim.Wheel
+      ~n:top_n ~churn:false ()
+  in
+  let shard_parity_ok =
+    List.for_all (fun r -> r.n <> top_n || r.events = sharded.events) large_rows
+  in
+  let large_rows = large_rows @ [ sharded ] in
+  let large_table =
+    Table.create ~title:"Large-n tier (wheel, path)" ~columns:row_columns
+  in
+  List.iter (add_row large_table) large_rows;
+  Format.printf "%a@." Table.pp large_table;
+  let mem_ratios, mem_pass = memory_growth_check large_rows in
+  List.iter
+    (fun (n1, n2, r) ->
+      Format.printf "footprint growth %d -> %d: %.2fx (linear ~4x, quadratic ~16x)@."
+        n1 n2 r)
+    mem_ratios;
+  Format.printf "memory growth O(n + live edges): %s@."
+    (if mem_pass then "PASS" else "FAIL");
+  Format.printf "event-count parity across --shards at n=%d: %s@." top_n
+    (if shard_parity_ok then "PASS" else "FAIL");
+  let no_fault, with_fault = fault_overhead_check ~repeat () in
   Format.printf
     "fault path at n=1024 (wheel): empty schedule %.1f ns/event, campaign %.1f \
      ns/event (%d vs %d events)@."
@@ -196,7 +309,10 @@ let run ~quick ~out () =
     (if !parity_ok then "PASS" else "FAIL");
   Option.iter
     (fun path ->
-      write_json path ~quick rows g;
+      write_json path ~quick ~repeat rows large_rows g (mem_ratios, mem_pass);
       Format.printf "wrote %s@." path)
     out;
-  (if gpass then 0 else 1) + if !parity_ok then 0 else 1
+  (if gpass then 0 else 1)
+  + (if !parity_ok then 0 else 1)
+  + (if mem_pass then 0 else 1)
+  + if shard_parity_ok then 0 else 1

@@ -268,6 +268,14 @@ let sim_cmd =
                 dup@T1-T2:S>D, reorder@T1-T2:S>D, byz@T1-T2:N. Replayed from \
                 --seed; audits become fault-aware automatically.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:
+               "Partition engine state into $(docv) independently scheduled \
+                node ranges. Purely a memory/locality knob: the execution \
+                and trace are byte-identical at every value.")
+  in
   let no_gap_check =
     Arg.(value & flag
          & info [ "no-gap-check" ]
@@ -283,8 +291,32 @@ let sim_cmd =
                 algorithms with per-peer timeouts shorter than dT'.")
   in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv audit scheduler fault_spec no_gap_check no_lost_check =
+      plot loss csv trace_csv audit scheduler shards fault_spec no_gap_check
+      no_lost_check =
     let params = make_params ~n ~rho ~b0 in
+    if shards < 1 then begin
+      Format.eprintf "invalid --shards: must be at least 1 (got %d)@." shards;
+      exit 2
+    end;
+    (* Validate like --faults does: a bad id must be a clean exit 2, not an
+       uncaught Invalid_argument out of the engine mid-run. *)
+    (match new_edge with
+    | Some (u, v, t) ->
+      if u < 0 || v < 0 || u >= n || v >= n then begin
+        Format.eprintf
+          "invalid --new-edge: node ids must lie in [0, %d] (got %d,%d)@."
+          (n - 1) u v;
+        exit 2
+      end;
+      if u = v then begin
+        Format.eprintf "invalid --new-edge: self-loop %d,%d@." u v;
+        exit 2
+      end;
+      if t < 0. then begin
+        Format.eprintf "invalid --new-edge: negative time %g@." t;
+        exit 2
+      end
+    | None -> ());
     let faults =
       if fault_spec = "" then []
       else
@@ -327,7 +359,7 @@ let sim_cmd =
       else Dsim.Trace.create ()
     in
     let cfg =
-      Gcs.Sim.config ~algo ~scheduler ~params ~clocks ~delay:delay_policy
+      Gcs.Sim.config ~algo ~scheduler ~shards ~params ~clocks ~delay:delay_policy
         ~initial_edges:edges ~trace ~faults ~fault_seed:seed ()
     in
     let sim = Gcs.Sim.create cfg in
@@ -463,7 +495,7 @@ let sim_cmd =
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
       $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
-      $ audit $ scheduler $ faults $ no_gap_check $ no_lost_check)
+      $ audit $ scheduler $ shards $ faults $ no_gap_check $ no_lost_check)
 
 (* ------------------------------- fuzz ------------------------------ *)
 

@@ -2,13 +2,16 @@ type t = { mutable value : float; mutable anchor : float }
 
 let create ~value ~anchor = { value; anchor }
 
-let get e ~at = e.value +. (at -. e.anchor)
+(* Forced inline: these are one-line float arithmetic on an all-float
+   record, called several times per simulation event — as out-of-line
+   calls each would box its float argument and result. *)
+let[@inline always] get e ~at = e.value +. (at -. e.anchor)
 
-let set e ~at x =
+let[@inline always] set e ~at x =
   e.value <- x;
   e.anchor <- at
 
-let raise_to e ~at x =
+let[@inline always] raise_to e ~at x =
   let current = get e ~at in
   if x > current then begin
     set e ~at x;

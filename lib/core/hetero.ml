@@ -46,8 +46,8 @@ let node params ~link_bound ctx =
     b
   in
   Node.create
-    ~tolerance:(fun ~peer age -> b_e params ~t_e:(t_e peer) age)
-    ~timeout:(fun ~peer -> timeout_e params ~t_e:(t_e peer))
+    ~tolerance:(Node.Tol_fun (fun ~peer age -> b_e params ~t_e:(t_e peer) age))
+    ~timeout:(Node.Timeout_fun (fun ~peer -> timeout_e params ~t_e:(t_e peer)))
     params ctx
 
 let delay_policy prng params ~link_bound =

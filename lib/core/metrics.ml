@@ -51,10 +51,16 @@ type sample = {
   events : int;
 }
 
+(* Watched pairs live in parallel arrays, not a pair-packed-int Hashtbl:
+   packing (u, v) as [u * n + v] collides (and mis-decodes) once node ids
+   reach or exceed the n the recorder was attached at — exactly what
+   happens when nodes join mid-run. The watch list is tiny and scanned
+   linearly per sample anyway. *)
 type recorder = {
   mutable samples : sample list; (* newest first *)
-  r_n : int; (* packs a watched pair (u, v) as the int u * r_n + v *)
-  traces : (int, (float * float) list ref) Hashtbl.t;
+  w_u : int array; (* normalized u < v, deduplicated *)
+  w_v : int array;
+  w_traces : (float * float) list ref array;
 }
 
 let probe engine view recorder () =
@@ -69,21 +75,24 @@ let probe engine view recorder () =
       events = Engine.events_processed engine;
     }
     :: recorder.samples;
-  (* Keys are packed ints, so the per-sample iteration hashes immediates
-     instead of allocating an (int * int) tuple per watched pair. *)
-  Hashtbl.iter
-    (fun k trace ->
-      trace := (time, edge_skew view (k / recorder.r_n) (k mod recorder.r_n)) :: !trace)
-    recorder.traces
+  for i = 0 to Array.length recorder.w_u - 1 do
+    let trace = recorder.w_traces.(i) in
+    trace := (time, edge_skew view recorder.w_u.(i) recorder.w_v.(i)) :: !trace
+  done
 
 let attach engine view ~every ~until ?(watch = []) () =
   if every <= 0. then invalid_arg "Metrics.attach: sampling period must be positive";
-  let recorder = { samples = []; r_n = view.n; traces = Hashtbl.create 4 } in
-  List.iter
-    (fun (u, v) ->
-      let u, v = Dsim.Dyngraph.normalize u v in
-      Hashtbl.replace recorder.traces ((u * recorder.r_n) + v) (ref []))
-    watch;
+  let watch =
+    List.sort_uniq compare (List.map (fun (u, v) -> Dsim.Dyngraph.normalize u v) watch)
+  in
+  let recorder =
+    {
+      samples = [];
+      w_u = Array.of_list (List.map fst watch);
+      w_v = Array.of_list (List.map snd watch);
+      w_traces = Array.of_list (List.map (fun _ -> ref []) watch);
+    }
+  in
   let rec schedule time =
     if time <= until then
       Engine.at engine ~time (fun () ->
@@ -97,9 +106,13 @@ let samples recorder = List.rev recorder.samples
 
 let pair_trace recorder (u, v) =
   let u, v = Dsim.Dyngraph.normalize u v in
-  match Hashtbl.find_opt recorder.traces ((u * recorder.r_n) + v) with
-  | Some trace -> List.rev !trace
-  | None -> []
+  let rec scan i =
+    if i >= Array.length recorder.w_u then []
+    else if recorder.w_u.(i) = u && recorder.w_v.(i) = v then
+      List.rev !(recorder.w_traces.(i))
+    else scan (i + 1)
+  in
+  scan 0
 
 let recovery_time ~after ~bound samples =
   (* First sample time t >= after such that every sample from t onward has

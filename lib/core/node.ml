@@ -5,6 +5,26 @@ module Engine = Dsim.Engine
    a mutable float field in a mixed record would box every store). *)
 type scratch = { mutable acc : float }
 
+type tolerance =
+  | Tol_default
+  | Tol_const of float
+  | Tol_fun of (peer:int -> float -> float)
+
+type timeout = Timeout_default | Timeout_fun of (peer:int -> float)
+
+(* Lowered tolerance. [Tol_default] becomes the closed linear form of
+   {!Params.b} — [max floor (icpt -. slope *. age)] over precomputed
+   floats — so the per-peer term in [adjust_clock] is pure unboxed
+   arithmetic; a closure-field call there boxes the float argument and
+   result on every Γ member of every event. The inline record is
+   all-float, hence flat. *)
+type tol =
+  | T_const of float
+  | T_linear of { floor : float; icpt : float; slope : float }
+  | T_fun of (peer:int -> float -> float)
+
+type tmo = Tm_const of float | Tm_fun of (peer:int -> float)
+
 (* Peer state lives in parallel arrays sorted by peer id — one slot per
    peer currently in Υ or Γ, flat floats instead of a Hashtbl of boxed
    cells, so the per-event [AdjustClock] minimum is a cache-linear loop
@@ -14,8 +34,8 @@ type scratch = { mutable acc : float }
 type t = {
   ctx : Proto.ctx;
   params : Params.t;
-  tolerance : peer:int -> float -> float;
-  timeout : peer:int -> float;
+  tolerance : tol;
+  timeout : tmo;
   mutable p_id : int array;
   mutable p_gamma : bool array; (* v ∈ Γ: heard from within subjective ΔT' *)
   mutable p_upsilon : bool array; (* v ∈ Υ: edge believed present *)
@@ -30,17 +50,26 @@ type t = {
   mutable messages_sent : int;
 }
 
-let create ?tolerance ?timeout params ctx =
+let create ?(tolerance = Tol_default) ?(timeout = Timeout_default) params ctx =
   let tolerance =
-    (* Two-argument eta-expansion on purpose: a full application of a
-       binary closure doesn't allocate, while [fun ~peer:_ -> Params.b
-       params] would build a fresh partial application per call. *)
     match tolerance with
-    | Some f -> f
-    | None -> fun ~peer:_ dt -> Params.b params dt
+    | Tol_const b -> T_const b
+    | Tol_fun f -> T_fun f
+    | Tol_default ->
+      (* Close over Params.b's linear form (Section 5):
+         B(dt) = max(b0, 5G + unit + b0 - b0 * dt / unit). *)
+      let unit = (1. +. params.Params.rho) *. Params.tau params in
+      T_linear
+        {
+          floor = params.Params.b0;
+          icpt = (5. *. Params.global_skew_bound params) +. unit +. params.Params.b0;
+          slope = params.Params.b0 /. unit;
+        }
   in
   let timeout =
-    match timeout with Some f -> f | None -> fun ~peer:_ -> Params.delta_t' params
+    match timeout with
+    | Timeout_fun f -> Tm_fun f
+    | Timeout_default -> Tm_const (Params.delta_t' params)
   in
   {
     ctx;
@@ -137,23 +166,54 @@ let drop_if_empty t i =
 
 (* Algorithm 2 -------------------------------------------------------- *)
 
+(* Current tolerance [B^v_u] for slot [i] at hardware time [h]. Cold
+   callers only (introspection); the hot loop in [adjust_clock] matches
+   once outside its iteration instead. *)
+let tol_at t i h =
+  match t.tolerance with
+  | T_const b -> b
+  | T_linear { floor; icpt; slope } ->
+    let b = icpt -. (slope *. (h -. t.p_c.(i))) in
+    if b < floor then floor else b
+  | T_fun f -> f ~peer:t.p_id.(i) (h -. t.p_c.(i))
+
 (* Procedure AdjustClock:
-   L <- max{L, min{Lmax, min_{v in Gamma}(L^v + B(H - C^v))}}. *)
+   L <- max{L, min{Lmax, min_{v in Gamma}(L^v + B(H - C^v))}}.
+   The match on the tolerance is hoisted out of the Γ loop: the default
+   and constant forms then run entirely on unboxed floats. *)
 let adjust_clock t =
   let h = hardware_clock t in
   let l = Estimate.get t.l ~at:h in
   let lmax = Estimate.get t.lmax ~at:h in
   t.scratch.acc <- infinity;
-  for i = 0 to t.p_len - 1 do
-    if t.p_gamma.(i) then begin
-      let cap =
-        t.p_val.(i) +. (h -. t.p_anchor.(i))
-        +. t.tolerance ~peer:t.p_id.(i) (h -. t.p_c.(i))
-      in
-      if cap < t.scratch.acc then t.scratch.acc <- cap
-    end
-  done;
-  let target = Float.max l (Float.min lmax t.scratch.acc) in
+  (match t.tolerance with
+  | T_const b ->
+    for i = 0 to t.p_len - 1 do
+      if t.p_gamma.(i) then begin
+        let cap = t.p_val.(i) +. (h -. t.p_anchor.(i)) +. b in
+        if cap < t.scratch.acc then t.scratch.acc <- cap
+      end
+    done
+  | T_linear { floor; icpt; slope } ->
+    for i = 0 to t.p_len - 1 do
+      if t.p_gamma.(i) then begin
+        let b = icpt -. (slope *. (h -. t.p_c.(i))) in
+        let b = if b < floor then floor else b in
+        let cap = t.p_val.(i) +. (h -. t.p_anchor.(i)) +. b in
+        if cap < t.scratch.acc then t.scratch.acc <- cap
+      end
+    done
+  | T_fun f ->
+    for i = 0 to t.p_len - 1 do
+      if t.p_gamma.(i) then begin
+        let cap =
+          t.p_val.(i) +. (h -. t.p_anchor.(i))
+          +. f ~peer:t.p_id.(i) (h -. t.p_c.(i))
+        in
+        if cap < t.scratch.acc then t.scratch.acc <- cap
+      end
+    done);
+  let target = if lmax < t.scratch.acc then lmax else t.scratch.acc in
   if target > l then begin
     t.discrete_jumps <- t.discrete_jumps + 1;
     Estimate.set t.l ~at:h target
@@ -192,7 +252,8 @@ let on_discover_remove t v =
   adjust_clock t
 
 let on_receive t v { Proto.l = l_v; lmax = lmax_v } =
-  Engine.cancel_timer t.ctx (Proto.Lost v);
+  let lost = Proto.Lost v in
+  Engine.cancel_timer t.ctx lost;
   let h = hardware_clock t in
   let i = find t v in
   let i =
@@ -221,7 +282,10 @@ let on_receive t v { Proto.l = l_v; lmax = lmax_v } =
   t.p_upsilon.(i) <- true;
   ignore (Estimate.raise_to t.lmax ~at:h lmax_v);
   adjust_clock t;
-  Engine.set_timer t.ctx ~after:(t.timeout ~peer:v) (Proto.Lost v)
+  let after =
+    match t.timeout with Tm_const d -> d | Tm_fun f -> f ~peer:v
+  in
+  Engine.set_timer t.ctx ~after lost
 
 let on_timer t = function
   | Proto.Tick ->
@@ -302,8 +366,7 @@ let peer_age t v =
 
 let peer_tolerance t v =
   let i = in_gamma t v in
-  if i < 0 then None
-  else Some (t.tolerance ~peer:v (hardware_clock t -. t.p_c.(i)))
+  if i < 0 then None else Some (tol_at t i (hardware_clock t))
 
 let is_blocked t =
   let h = hardware_clock t in
@@ -314,8 +377,7 @@ let is_blocked t =
     for i = 0 to t.p_len - 1 do
       if
         t.p_gamma.(i)
-        && l -. (t.p_val.(i) +. (h -. t.p_anchor.(i)))
-           > t.tolerance ~peer:t.p_id.(i) (h -. t.p_c.(i))
+        && l -. (t.p_val.(i) +. (h -. t.p_anchor.(i))) > tol_at t i h
       then blocked := true
     done;
     !blocked

@@ -19,18 +19,24 @@
 
 type t
 
-val create :
-  ?tolerance:(peer:int -> float -> float) ->
-  ?timeout:(peer:int -> float) ->
-  Params.t ->
-  Proto.ctx ->
-  t
-(** [tolerance] defaults to [fun ~peer:_ -> Params.b params]; it receives
-    the peer id and the subjective age [H_u - C^v_u] of its Γ-membership.
-    [timeout] is the subjective silence after which a peer leaves Γ,
-    default [fun ~peer:_ -> Params.delta_t' params]. Per-peer values
-    support the heterogeneous-link extension ({!Hetero}), where each link
-    has its own delay bound. *)
+type tolerance =
+  | Tol_default  (** [Params.b params], in its precomputed linear form. *)
+  | Tol_const of float  (** A flat tolerance — the non-gradient baseline. *)
+  | Tol_fun of (peer:int -> float -> float)
+      (** Fully general: receives the peer id and the subjective age
+          [H_u - C^v_u] of its Γ-membership. Per-peer values support the
+          heterogeneous-link extension ({!Hetero}). *)
+
+type timeout =
+  | Timeout_default  (** [Params.delta_t' params]. *)
+  | Timeout_fun of (peer:int -> float)
+
+val create : ?tolerance:tolerance -> ?timeout:timeout -> Params.t -> Proto.ctx -> t
+(** [tolerance] is the per-edge [B]; [timeout] the subjective silence
+    after which a peer leaves Γ. The defaults realize Algorithm 2 as
+    written. The variants exist for the hot path: [Tol_default] and
+    [Tol_const] run AdjustClock's Γ loop on unboxed floats, whereas a
+    closure-valued [B] boxes its argument and result on every call. *)
 
 val handlers : t -> Proto.handlers
 (** The Algorithm 2 event handlers, to be installed in the engine. Also

@@ -21,12 +21,14 @@ type config = {
   algo : algo;
   trace : Dsim.Trace.t option;
   scheduler : scheduler;
+  shards : int;
   faults : Dsim.Fault.schedule;
   fault_seed : int;
 }
 
 let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel)
-    ?(faults = []) ?(fault_seed = 0) ~params ~clocks ~delay ~initial_edges () =
+    ?(shards = 1) ?(faults = []) ?(fault_seed = 0) ~params ~clocks ~delay
+    ~initial_edges () =
   let discovery_lag =
     match discovery_lag with
     | Some lag -> lag
@@ -46,8 +48,9 @@ let config ?(algo = Gradient) ?discovery_lag ?trace ?(scheduler = Wheel)
   (match Dsim.Fault.validate ~n:params.Params.n faults with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sim.config: " ^ m));
+  if shards < 1 then invalid_arg "Sim.config: shards must be positive";
   { params; clocks; delay; discovery_lag; initial_edges; algo; trace; scheduler;
-    faults; fault_seed }
+    shards; faults; fault_seed }
 
 type impl = Gradient_node of Node.t | Max_node of Baseline_max.t
 
@@ -86,7 +89,7 @@ let create cfg =
     Engine.create ~clocks:cfg.clocks ~delay:cfg.delay ~discovery_lag:cfg.discovery_lag
       ~initial_edges:cfg.initial_edges ?trace:cfg.trace
       ~faults:cfg.faults ~fault_seed:cfg.fault_seed ~corrupt_msg
-      ~timer_label:Proto.timer_label ~scheduler ()
+      ~timer_label:Proto.timer_label ~scheduler ~shards:cfg.shards ()
   in
   let n = cfg.params.Params.n in
   (* Build node implementations while installing handlers: the ctx only
@@ -101,8 +104,7 @@ let create cfg =
           Node.handlers node
         | Flat_gradient ->
           let node =
-            Node.create
-              ~tolerance:(fun ~peer:_ _ -> cfg.params.Params.b0)
+            Node.create ~tolerance:(Node.Tol_const cfg.params.Params.b0)
               cfg.params ctx
           in
           impls.(i) <- Some (Gradient_node node);

@@ -32,6 +32,7 @@ type config = {
   algo : algo;
   trace : Dsim.Trace.t option;
   scheduler : scheduler;
+  shards : int;
   faults : Dsim.Fault.schedule;
   fault_seed : int;
 }
@@ -41,6 +42,7 @@ val config :
   ?discovery_lag:float ->
   ?trace:Dsim.Trace.t ->
   ?scheduler:scheduler ->
+  ?shards:int ->
   ?faults:Dsim.Fault.schedule ->
   ?fault_seed:int ->
   params:Params.t ->
@@ -55,9 +57,12 @@ val config :
     [params.n], or [faults] fails {!Dsim.Fault.validate}. [scheduler]
     defaults to [Wheel]; both schedulers produce the same execution
     (pinned by a byte-identical-trace parity test), so the choice is
-    purely a performance one. [faults] (default none) is a deterministic
-    fault-injection schedule, replayed from [fault_seed]; Byzantine
-    windows corrupt outgoing ⟨L, Lmax⟩ upward by a few [b0] units. *)
+    purely a performance one. [shards] (default 1) partitions the engine's
+    node state into that many independently scheduled ranges; executions
+    are byte-identical at every value (see {!Dsim.Engine.create}).
+    [faults] (default none) is a deterministic fault-injection schedule,
+    replayed from [fault_seed]; Byzantine windows corrupt outgoing
+    ⟨L, Lmax⟩ upward by a few [b0] units. *)
 
 type t
 

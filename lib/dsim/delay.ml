@@ -2,6 +2,8 @@ type t = {
   bound : float;
   draw : src:int -> dst:int -> now:float -> float;
   drop : src:int -> dst:int -> now:float -> bool;
+  const : float;
+  may_drop : bool;
 }
 
 let never_drop ~src:_ ~dst:_ ~now:_ = false
@@ -13,7 +15,13 @@ let check_bound bound =
 let constant ~bound d =
   check_bound bound;
   if d < 0. || d > bound then invalid_arg "Delay.constant: delay out of range";
-  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> d); drop = never_drop }
+  {
+    bound;
+    draw = (fun ~src:_ ~dst:_ ~now:_ -> d);
+    drop = never_drop;
+    const = d;
+    may_drop = false;
+  }
 
 let zero ~bound = constant ~bound 0.
 
@@ -21,17 +29,29 @@ let maximal ~bound = constant ~bound bound
 
 let uniform prng ~bound =
   check_bound bound;
-  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float prng bound); drop = never_drop }
+  {
+    bound;
+    draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float prng bound);
+    drop = never_drop;
+    const = -1.;
+    may_drop = false;
+  }
 
 let uniform_in prng ~bound ~lo ~hi =
   check_bound bound;
   if lo < 0. || hi > bound || lo > hi then
     invalid_arg "Delay.uniform_in: range out of bounds";
-  { bound; draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float_in prng lo hi); drop = never_drop }
+  {
+    bound;
+    draw = (fun ~src:_ ~dst:_ ~now:_ -> Prng.float_in prng lo hi);
+    drop = never_drop;
+    const = (if lo = hi then lo else -1.);
+    may_drop = false;
+  }
 
 let directed ~bound f =
   check_bound bound;
-  { bound; draw = f; drop = never_drop }
+  { bound; draw = f; drop = never_drop; const = -1.; may_drop = false }
 
 let per_edge ~bound ~default f =
   check_bound bound;
@@ -41,7 +61,7 @@ let per_edge ~bound ~default f =
     | Some d -> d
     | None -> default.draw ~src ~dst ~now
   in
-  { bound; draw; drop = default.drop }
+  { bound; draw; drop = default.drop; const = -1.; may_drop = default.may_drop }
 
 let lossy prng ~rate inner =
   if rate < 0. || rate >= 1. then invalid_arg "Delay.lossy: rate must be in [0, 1)";
@@ -50,4 +70,5 @@ let lossy prng ~rate inner =
     drop =
       (fun ~src ~dst ~now ->
         inner.drop ~src ~dst ~now || Prng.float prng 1. < rate);
+    may_drop = true;
   }

@@ -17,6 +17,15 @@ type t = {
       wraps a policy to study robustness when that assumption breaks.
       Unlike an edge removal, a silent drop triggers no discovery — the
       receiver only notices through the [lost(v)] timeout. *)
+  const : float;
+  (** Fast path for fixed-delay policies: when non-negative, every call
+      to [draw] would return exactly this value (already in
+      [\[0, bound\]]), and the engine skips the closure call — a generic
+      closure-field call boxes its float result, which is measurable on
+      the per-send hot path. Negative for genuinely drawing policies. *)
+  may_drop : bool;
+  (** [false] guarantees [drop] is constantly [false], letting the engine
+      skip the call entirely. Only {!lossy} sets it. *)
 }
 
 val constant : bound:float -> float -> t

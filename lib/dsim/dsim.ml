@@ -11,6 +11,10 @@ module Prng = Prng
 module Pqueue = Pqueue
 (** Timestamped event queue (binary heap, FIFO at equal times). *)
 
+module Equeue = Equeue
+(** Flat SoA event queue the engine schedules on: int-encoded events in
+    an indirect heap, allocation-free push/pop. *)
+
 module Timewheel = Timewheel
 (** Hierarchical timer wheel the engine can keep armed timers in instead
     of the event heap. *)

@@ -9,9 +9,15 @@
 type t
 
 val create : n:int -> t
-(** Graph over nodes [0 .. n-1] with no edges. *)
+(** Graph over nodes [0 .. n-1] with no edges. Storage is edge-sparse:
+    O(n + edges ever touched), never O(n²). *)
 
 val n : t -> int
+
+val add_node : t -> int
+(** Grow the graph by one node and return its id (the previous {!n}).
+    Existing edges, epochs and adjacency are untouched; the new node may
+    immediately participate in {!add_edge}. *)
 
 val normalize : int -> int -> int * int
 (** Order an edge's endpoints as [(min, max)]. *)
@@ -53,6 +59,10 @@ val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
 val edge_count : t -> int
 
 val degree : t -> int -> int
+
+val footprint_words : t -> int
+(** Words currently allocated across adjacency and edge-pool arrays —
+    read by the engine's memory-growth checks. *)
 
 val is_connected : t -> bool
 (** Is the current static snapshot connected? (Singleton graphs count as

@@ -1,16 +1,31 @@
-type ('msg, 'timer) event =
-  | Edge_add of int * int
-  | Edge_remove of int * int
-  | Discover of { node : int; peer : int; epoch : int; add : bool }
-  | Absence of { node : int; peer : int }
-      (* Pending notification that a send failed because the edge is absent. *)
-  | Deliver of { src : int; dst : int; epoch : int; msg : 'msg; inc : int }
-      (* [inc] is the sender's incarnation at send time; a crash bumps it,
-         so everything the dead incarnation had in flight is dropped. *)
-  | Timer of { node : int; timer : 'timer; gen : int }
-  | Fault_crash_ev of int
-  | Fault_restart_ev of { node : int; corrupt : bool }
-  | Callback of (unit -> unit)
+(* Events are flattened into [Equeue]'s int encoding — a kind tag, four
+   int operands and one boxed payload (message, timer value or callback
+   closure) — so pushing an event allocates nothing. The decoding key:
+
+     kind              a      b        c      d      payload
+     k_edge_add        u      v
+     k_edge_remove     u      v
+     k_discover_add    node   peer     epoch
+     k_discover_rm     node   peer     epoch
+     k_absence         node   peer
+     k_deliver         src    dst      epoch  inc    'msg
+     k_timer           node   gen                    'timer (heap mode)
+     k_crash           node
+     k_restart         node   corrupt
+     k_callback                                      unit -> unit
+*)
+let k_edge_add = 0
+let k_edge_remove = 1
+let k_discover_add = 2
+let k_discover_rm = 3
+let k_absence = 4
+let k_deliver = 5
+let k_timer = 6
+let k_crash = 7
+let k_restart = 8
+let k_callback = 9
+
+let no_payload : Obj.t = Obj.repr ()
 
 (* Binary search in the first [len] cells of sorted [keys]: the index of
    [k], or [lnot] of its insertion point when absent (always negative).
@@ -27,9 +42,8 @@ let bfind (keys : int array) len k =
 
 (* FIFO floor of one source's outgoing links, sorted by destination:
    latest scheduled delivery time per dst, valid only for the edge epoch
-   it was recorded under. Replaces a global int-keyed Hashtbl — the send
-   path now touches one small per-source table instead of hashing
-   [src * n + dst] into a structure shared by all n^2 directed pairs. *)
+   it was recorded under. The send path touches one small per-source
+   table; memory is O(live out-degree), never O(n) per node. *)
 module Fifo_store = struct
   type t = {
     mutable dst : int array;
@@ -72,6 +86,8 @@ module Fifo_store = struct
       Array.blit s.deadline (i + 1) s.deadline i tail;
       s.len <- s.len - 1
     end
+
+  let footprint_words s = 3 * Array.length s.dst
 end
 
 (* Sorted set of peers with a pending absence notice (per node). *)
@@ -109,7 +125,7 @@ end
 (* One node's armed timers under the wheel scheduler, sorted by encoded
    label: the live generation plus the ['timer] value to hand back to
    [on_timer] when the wheel entry surfaces. Values are [Obj.t] so a
-   retired slot can be reset to a sentinel, exactly as in [Pqueue]; the
+   retired slot can be reset to a sentinel, exactly as in [Equeue]; the
    casts never escape: every stored value is a ['timer] of the owning
    engine and slots at or beyond [len] always hold [dummy]. *)
 module Armed = struct
@@ -157,7 +173,94 @@ module Armed = struct
     s.vals.(s.len) <- dummy
 end
 
-type sched = Heap | Wheel of Timewheel.t
+(* Cross-shard mailbox: events a shard schedules for nodes another shard
+   owns. They are exchanged at the merge barrier — flushed into the
+   destination shard's queue when the next candidate's time reaches the
+   outbox's earliest entry — rather than pushed directly, which is the
+   protocol a true multi-domain run would use (each domain drains peer
+   outboxes up to the barrier time before advancing). Sequence numbers
+   were allocated at send time from the engine's global counter, so the
+   flush timing cannot change the merge order. *)
+module Outbox = struct
+  type t = {
+    mutable dst : int array; (* destination shard *)
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable kinds : int array;
+    mutable ia : int array;
+    mutable ib : int array;
+    mutable ic : int array;
+    mutable id_ : int array;
+    mutable payloads : Obj.t array;
+    mutable len : int;
+    mutable min_time : float;
+  }
+
+  let create () =
+    {
+      dst = [||];
+      times = [||];
+      seqs = [||];
+      kinds = [||];
+      ia = [||];
+      ib = [||];
+      ic = [||];
+      id_ = [||];
+      payloads = [||];
+      len = 0;
+      min_time = infinity;
+    }
+
+  let grow ob =
+    let cap = max 8 (2 * Array.length ob.dst) in
+    let g_i a =
+      let a' = Array.make cap 0 in
+      Array.blit a 0 a' 0 ob.len;
+      a'
+    in
+    ob.dst <- g_i ob.dst;
+    ob.seqs <- g_i ob.seqs;
+    ob.kinds <- g_i ob.kinds;
+    ob.ia <- g_i ob.ia;
+    ob.ib <- g_i ob.ib;
+    ob.ic <- g_i ob.ic;
+    ob.id_ <- g_i ob.id_;
+    let f' = Array.make cap 0. in
+    Array.blit ob.times 0 f' 0 ob.len;
+    ob.times <- f';
+    let p' = Array.make cap no_payload in
+    Array.blit ob.payloads 0 p' 0 ob.len;
+    ob.payloads <- p'
+
+  let add ob ~dst ~time ~seq ~kind ~a ~b ~c ~d payload =
+    if ob.len >= Array.length ob.dst then grow ob;
+    let i = ob.len in
+    ob.dst.(i) <- dst;
+    ob.times.(i) <- time;
+    ob.seqs.(i) <- seq;
+    ob.kinds.(i) <- kind;
+    ob.ia.(i) <- a;
+    ob.ib.(i) <- b;
+    ob.ic.(i) <- c;
+    ob.id_.(i) <- d;
+    ob.payloads.(i) <- payload;
+    ob.len <- i + 1;
+    if time < ob.min_time then ob.min_time <- time
+
+  let flush ob (queues : Equeue.t array) =
+    for i = 0 to ob.len - 1 do
+      Equeue.push queues.(ob.dst.(i)) ~time:ob.times.(i) ~seq:ob.seqs.(i)
+        ~kind:ob.kinds.(i) ~a:ob.ia.(i) ~b:ob.ib.(i) ~c:ob.ic.(i) ~d:ob.id_.(i)
+        ob.payloads.(i);
+      ob.payloads.(i) <- no_payload
+    done;
+    ob.len <- 0;
+    ob.min_time <- infinity
+
+  let footprint_words ob = 9 * Array.length ob.dst
+end
+
+type sched = Heap | Wheel
 
 (* Live fault-injection state. Allocated only when the engine was created
    with a non-empty schedule, so the no-fault hot path pays exactly one
@@ -168,37 +271,61 @@ type sched = Heap | Wheel of Timewheel.t
 type fault_state = {
   ops : Fault.schedule;
   fprng : Prng.t;
-  f_alive : bool array;
-  f_inc : int array; (* per-node incarnation, bumped at each crash *)
+  mutable f_alive : bool array;
+  mutable f_inc : int array; (* per-node incarnation, bumped at each crash *)
 }
 
+(* All-float so the per-event [now] store writes an unboxed double; a
+   mutable float field in the main (mixed) record would box on every
+   assignment. *)
+type fscratch = { mutable now : float; mutable cand_time : float }
+
 type ('msg, 'timer) t = {
-  n : int;
-  clocks : Hwclock.t array;
+  mutable n : int;
+  mutable clocks : Hwclock.t array;
   delay : Delay.t;
   discovery_lag : float;
   graph : Dyngraph.t;
-  queue : ('msg, 'timer) event Pqueue.t;
+  (* Sharding: node ids are partitioned into [shards] contiguous ranges
+     of [chunk] ids each (nodes joining after construction land in the
+     last shard). Each shard owns an event queue, an outbox and — under
+     the wheel scheduler — a timer wheel; one global sequence counter
+     spans them all, so the (time, seq) merge order, and therefore the
+     trace, is byte-identical at every shard count. *)
+  shards : int;
+  chunk : int;
+  queues : Equeue.t array;
+  outboxes : Outbox.t array;
+  wheels : Timewheel.t array; (* per shard; empty under Heap *)
   trace : Trace.t;
-  handlers : ('msg, 'timer) handlers option array;
+  mutable handlers : ('msg, 'timer) handlers option array;
   timer_label : ('timer -> int) option;
       (* Encodes a label for Timer_fire/Timer_stale trace records; the
          wheel scheduler additionally keys its dense tables by it. *)
   sched : sched;
-  timers : ('timer, int) Hashtbl.t array; (* heap mode: label -> live generation *)
-  armed : Armed.t array; (* wheel mode: per-node armed-label table *)
-  absence_pending : Iset.t array; (* node -> peers with a pending absence notice *)
-  fifo : Fifo_store.t array; (* src -> per-destination delivery floors *)
+  mutable timers : ('timer, int) Hashtbl.t array;
+      (* heap mode: label -> live generation *)
+  mutable armed : Armed.t array; (* wheel mode: per-node armed-label table *)
+  mutable absence_pending : Iset.t array;
+      (* node -> peers with a pending absence notice *)
+  mutable fifo : Fifo_store.t array; (* src -> per-destination delivery floors *)
   mutable next_gen : int;
-  mutable now : float;
+  mutable next_seq : int; (* global (time, seq) tie-break counter *)
+  fs : fscratch;
   mutable started : bool;
   mutable events_processed : int;
   mutable live_timers : int; (* armed labels across all nodes *)
-  mutable stale_timer_entries : int; (* heap/wheel slots whose label was cancelled/re-armed *)
+  mutable stale_timer_entries : int;
+      (* heap/wheel slots whose label was cancelled/re-armed *)
+  mutable cur_shard : int; (* shard being dispatched; -1 outside the loop *)
+  (* Merge-loop candidate (scratch fields, not refs: allocation-free). *)
+  mutable cand_seq : int;
+  mutable cand_shard : int;
+  mutable cand_wheel : bool;
   faults : fault_state option;
   corrupt_msg : (src:int -> Prng.t -> 'msg -> 'msg) option;
       (* Applied to messages a Byzantine node sends during its window. *)
-  restart_handlers : (corrupt:Prng.t option -> unit) option array;
+  mutable restart_handlers : (corrupt:Prng.t option -> unit) option array;
 }
 
 and ('msg, 'timer) handlers = {
@@ -211,12 +338,29 @@ and ('msg, 'timer) handlers = {
 
 type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int }
 
+let shard_of t id =
+  let s = id / t.chunk in
+  if s >= t.shards then t.shards - 1 else s
+
+(* Push an encoded event for the node [owner]. During dispatch, an event
+   owned by another shard goes through the dispatching shard's outbox (the
+   barrier exchange); everything else — and every harness-side push — goes
+   straight into the owner's queue. *)
+let push_ev t ~owner ~time ~kind ~a ~b ~c ~d payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let dst = shard_of t owner in
+  if t.cur_shard >= 0 && dst <> t.cur_shard then
+    Outbox.add t.outboxes.(t.cur_shard) ~dst ~time ~seq ~kind ~a ~b ~c ~d payload
+  else Equeue.push t.queues.(dst) ~time ~seq ~kind ~a ~b ~c ~d payload
+
 let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
-    ?timer_label ?(scheduler = `Heap) ?(faults = []) ?(fault_seed = 0)
-    ?corrupt_msg () =
+    ?timer_label ?(scheduler = `Heap) ?(shards = 1) ?(faults = [])
+    ?(fault_seed = 0) ?corrupt_msg () =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Engine.create: no nodes";
   if discovery_lag < 0. then invalid_arg "Engine.create: negative discovery lag";
+  if shards < 1 then invalid_arg "Engine.create: need at least one shard";
   (match Fault.validate ~n faults with
   | Ok () -> ()
   | Error m -> invalid_arg ("Engine.create: " ^ m));
@@ -232,14 +376,15 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
           f_inc = Array.make n 0;
         }
   in
-  let sched =
+  let sched, granularity =
     match scheduler with
-    | `Heap -> Heap
+    | `Heap -> (Heap, 0.)
     | `Wheel granularity ->
       if timer_label = None then
         invalid_arg "Engine.create: the wheel scheduler needs ~timer_label";
-      Wheel (Timewheel.create ~granularity ())
+      (Wheel, granularity)
   in
+  let qcap = max 64 (8 * n / shards) in
   let t =
     {
       n;
@@ -247,7 +392,14 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       delay;
       discovery_lag;
       graph = Dyngraph.create ~n;
-      queue = Pqueue.create ~capacity:(max 64 (8 * n)) ();
+      shards;
+      chunk = (n + shards - 1) / shards;
+      queues = Array.init shards (fun _ -> Equeue.create ~capacity:qcap ());
+      outboxes = Array.init shards (fun _ -> Outbox.create ());
+      wheels =
+        (match sched with
+        | Heap -> [||]
+        | Wheel -> Array.init shards (fun _ -> Timewheel.create ~granularity ()));
       trace = (match trace with Some tr -> tr | None -> Trace.create ());
       handlers = Array.make n None;
       timer_label;
@@ -255,19 +407,24 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       timers =
         (match sched with
         | Heap -> Array.init n (fun _ -> Hashtbl.create 8)
-        | Wheel _ -> [||]);
+        | Wheel -> [||]);
       armed =
         (match sched with
         | Heap -> [||]
-        | Wheel _ -> Array.init n (fun _ -> Armed.create ()));
+        | Wheel -> Array.init n (fun _ -> Armed.create ()));
       absence_pending = Array.init n (fun _ -> Iset.create ());
       fifo = Array.init n (fun _ -> Fifo_store.create ());
       next_gen = 0;
-      now = 0.;
+      next_seq = 0;
+      fs = { now = 0.; cand_time = infinity };
       started = false;
       events_processed = 0;
       live_timers = 0;
       stale_timer_entries = 0;
+      cur_shard = -1;
+      cand_seq = max_int;
+      cand_shard = -1;
+      cand_wheel = false;
       faults = fault_state;
       corrupt_msg;
       restart_handlers = Array.make n None;
@@ -281,36 +438,98 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
            full edge history, not just the changes scheduled later. *)
         Trace.record t.trace ~time:0. Edge_add u v (-1);
         (* Initial topology is known immediately. *)
-        Pqueue.push t.queue ~time:0. (Discover { node = u; peer = v; epoch; add = true });
-        Pqueue.push t.queue ~time:0. (Discover { node = v; peer = u; epoch; add = true })
+        push_ev t ~owner:u ~time:0. ~kind:k_discover_add ~a:u ~b:v ~c:epoch ~d:0
+          no_payload;
+        push_ev t ~owner:v ~time:0. ~kind:k_discover_add ~a:v ~b:u ~c:epoch ~d:0
+          no_payload
       end)
     initial_edges;
-  (* Crash/restart ops flow through the shared queue as first-class
+  (* Crash/restart ops flow through the shared queues as first-class
      events: both schedulers pop them at identical (time, seq) ranks, so
      fault timing can never desynchronize the heap and wheel traces. *)
   List.iter
     (fun op ->
       match op with
       | Fault.Crash { node; at } ->
-        Pqueue.push t.queue ~time:at (Fault_crash_ev node)
+        push_ev t ~owner:node ~time:at ~kind:k_crash ~a:node ~b:0 ~c:0 ~d:0
+          no_payload
       | Fault.Restart { node; at; corrupt } ->
-        Pqueue.push t.queue ~time:at (Fault_restart_ev { node; corrupt })
+        push_ev t ~owner:node ~time:at ~kind:k_restart ~a:node
+          ~b:(if corrupt then 1 else 0)
+          ~c:0 ~d:0 no_payload
       | Fault.Duplicate _ | Fault.Reorder _ | Fault.Byzantine _ -> ())
     (List.stable_sort
        (fun a b -> Float.compare (Fault.op_time a) (Fault.op_time b))
        faults);
   t
 
-let install t i build =
-  if i < 0 || i >= t.n then invalid_arg "Engine.install: node out of range";
-  if t.started then invalid_arg "Engine.install: engine already started";
-  let ctx = { engine = t; id = i } in
-  t.handlers.(i) <- Some (build ctx)
+(* Growth: every per-node table doubles in place so nodes can join a
+   running engine. The graph grows through [Dyngraph.add_node]. *)
+let ensure_nodes t n' =
+  let cap = Array.length t.handlers in
+  if n' > cap then begin
+    let cap' = max n' (2 * cap) in
+    let grow_opt a =
+      let a' = Array.make cap' None in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.handlers <- grow_opt t.handlers;
+    t.restart_handlers <- grow_opt t.restart_handlers;
+    let grow_make a fresh =
+      Array.init cap' (fun i -> if i < cap then a.(i) else fresh ())
+    in
+    t.absence_pending <- grow_make t.absence_pending Iset.create;
+    t.fifo <- grow_make t.fifo Fifo_store.create;
+    (match t.sched with
+    | Heap -> t.timers <- grow_make t.timers (fun () -> Hashtbl.create 8)
+    | Wheel -> t.armed <- grow_make t.armed Armed.create);
+    match t.faults with
+    | None -> ()
+    | Some f ->
+      let alive' = Array.make cap' true in
+      Array.blit f.f_alive 0 alive' 0 cap;
+      f.f_alive <- alive';
+      let inc' = Array.make cap' 0 in
+      Array.blit f.f_inc 0 inc' 0 cap;
+      f.f_inc <- inc'
+  end
+
+let add_node t ~clock =
+  let id = Dyngraph.add_node t.graph in
+  ensure_nodes t (id + 1);
+  let ccap = Array.length t.clocks in
+  if id >= ccap then begin
+    let c' = Array.make (Array.length t.handlers) clock in
+    Array.blit t.clocks 0 c' 0 ccap;
+    t.clocks <- c'
+  end;
+  t.clocks.(id) <- clock;
+  t.n <- id + 1;
+  id
 
 let handlers_of t i =
   match t.handlers.(i) with
   | Some h -> h
   | None -> invalid_arg (Printf.sprintf "Engine: node %d has no handlers installed" i)
+
+let install t i build =
+  if i < 0 || i >= t.n then invalid_arg "Engine.install: node out of range";
+  if t.started then begin
+    (* A node that joined mid-run installs and initializes on the spot;
+       re-installing a live node's algorithm is not a thing. *)
+    match t.handlers.(i) with
+    | Some _ -> invalid_arg "Engine.install: engine already started"
+    | None ->
+      let ctx = { engine = t; id = i } in
+      let h = build ctx in
+      t.handlers.(i) <- Some h;
+      h.on_init ()
+  end
+  else begin
+    let ctx = { engine = t; id = i } in
+    t.handlers.(i) <- Some (build ctx)
+  end
 
 let trace_label t timer =
   match t.timer_label with Some encode -> encode timer | None -> -1
@@ -327,32 +546,33 @@ let on_restart ctx h =
 let alive t i =
   match t.faults with None -> true | Some f -> f.f_alive.(i)
 
-let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) ctx.engine.now
+let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) ctx.engine.fs.now
 
 let send ctx ~dst msg =
   let t = ctx.engine in
   let src = ctx.id in
   if dst < 0 || dst >= t.n || dst = src then invalid_arg "Engine.send: bad destination";
+  let now = t.fs.now in
   if Dyngraph.has_edge t.graph src dst then begin
     let epoch = Dyngraph.epoch t.graph src dst in
     (* The send carries its edge epoch so an offline auditor can pair it
        with the matching deliver/drop under the per-epoch FIFO discipline. *)
-    Trace.record t.trace ~time:t.now Send src dst epoch;
+    Trace.record t.trace ~time:now Send src dst epoch;
     (* A Byzantine sender's outgoing messages are corrupted in flight
        during its window; the substitution is traced so auditors can
        exclude the edge from guarantee probes. *)
     let msg =
       match (t.faults, t.corrupt_msg) with
-      | Some f, Some corrupt when Fault.byzantine f.ops ~node:src ~at:t.now ->
-        Trace.record t.trace ~time:t.now Fault_byzantine_msg src dst epoch;
+      | Some f, Some corrupt when Fault.byzantine f.ops ~node:src ~at:now ->
+        Trace.record t.trace ~time:now Fault_byzantine_msg src dst epoch;
         corrupt ~src f.fprng msg
       | _ -> msg
     in
-    if t.delay.Delay.drop ~src ~dst ~now:t.now then
+    if t.delay.Delay.may_drop && t.delay.Delay.drop ~src ~dst ~now then
       (* Silent loss (outside the paper's reliable-link model): no
          delivery and no discovery; only the receiver's lost-timer will
          notice the silence. *)
-      Trace.record t.trace ~time:t.now Drop_lossy src dst epoch
+      Trace.record t.trace ~time:now Drop_lossy src dst epoch
     else begin
       let inc =
         match t.faults with None -> 0 | Some f -> f.f_inc.(src)
@@ -360,11 +580,21 @@ let send ctx ~dst msg =
       let reordered =
         match t.faults with
         | None -> false
-        | Some f -> Fault.reordered f.ops ~src ~dst ~at:t.now
+        | Some f -> Fault.reordered f.ops ~src ~dst ~at:now
       in
-      let d = t.delay.Delay.draw ~src ~dst ~now:t.now in
-      let d = Float.min (Float.max d 0.) t.delay.Delay.bound in
-      let deliver_at = t.now +. d in
+      (* Fixed-delay policies skip the closure call: a generic
+         closure-field call boxes its float result on every send. *)
+      let d =
+        let c = t.delay.Delay.const in
+        if c >= 0. then c
+        else begin
+          let d = t.delay.Delay.draw ~src ~dst ~now in
+          if d < 0. then 0.
+          else if d > t.delay.Delay.bound then t.delay.Delay.bound
+          else d
+        end
+      in
+      let deliver_at = now +. d in
       (* FIFO per directed link *and* edge epoch: never deliver before an
          earlier message of the same epoch, but a floor recorded under a
          previous life of the edge is dead — in-flight messages of that
@@ -377,8 +607,9 @@ let send ctx ~dst msg =
         if reordered then deliver_at
         else if i >= 0 then begin
           let floor =
-            if fs.Fifo_store.epoch.(i) = epoch then
-              Float.max deliver_at fs.Fifo_store.deadline.(i)
+            if fs.Fifo_store.epoch.(i) = epoch
+               && fs.Fifo_store.deadline.(i) > deliver_at
+            then fs.Fifo_store.deadline.(i)
             else deliver_at
           in
           fs.Fifo_store.epoch.(i) <- epoch;
@@ -390,28 +621,30 @@ let send ctx ~dst msg =
           deliver_at
         end
       in
-      Pqueue.push t.queue ~time:deliver_at (Deliver { src; dst; epoch; msg; inc });
+      push_ev t ~owner:dst ~time:deliver_at ~kind:k_deliver ~a:src ~b:dst
+        ~c:epoch ~d:inc (Obj.repr msg);
       (* Bounded duplication: a second copy with its own (fault-PRNG)
          delay, floored at the original's delivery so the duplicate can
          never overtake the message it copies. *)
       match t.faults with
-      | Some f when Fault.duplicated f.ops ~src ~dst ~at:t.now ->
-        Trace.record t.trace ~time:t.now Fault_duplicate src dst epoch;
+      | Some f when Fault.duplicated f.ops ~src ~dst ~at:now ->
+        Trace.record t.trace ~time:now Fault_duplicate src dst epoch;
         let d2 = Prng.float f.fprng t.delay.Delay.bound in
-        let dup_at = Float.max deliver_at (t.now +. d2) in
-        Pqueue.push t.queue ~time:dup_at (Deliver { src; dst; epoch; msg; inc })
+        let dup_at = Float.max deliver_at (now +. d2) in
+        push_ev t ~owner:dst ~time:dup_at ~kind:k_deliver ~a:src ~b:dst ~c:epoch
+          ~d:inc (Obj.repr msg)
       | _ -> ()
     end
   end
   else begin
-    Trace.record t.trace ~time:t.now Send src dst (-1);
-    Trace.record t.trace ~time:t.now Drop_no_edge src dst (-1);
+    Trace.record t.trace ~time:now Send src dst (-1);
+    Trace.record t.trace ~time:now Drop_no_edge src dst (-1);
     (* The model: the sender discovers the absence within D. Coalesce
        multiple failed sends into a single pending notification. *)
     if not (Iset.mem t.absence_pending.(src) dst) then begin
       Iset.add t.absence_pending.(src) dst;
-      Pqueue.push t.queue ~time:(t.now +. t.discovery_lag)
-        (Absence { node = src; peer = dst })
+      push_ev t ~owner:src ~time:(now +. t.discovery_lag) ~kind:k_absence ~a:src
+        ~b:dst ~c:0 ~d:0 no_payload
     end
   end
 
@@ -419,7 +652,7 @@ let set_timer ctx ~after timer =
   let t = ctx.engine in
   if after < 0. then invalid_arg "Engine.set_timer: negative delay";
   let clock = t.clocks.(ctx.id) in
-  let deadline = Hwclock.inverse clock (Hwclock.value clock t.now +. after) in
+  let deadline = Hwclock.inverse clock (Hwclock.value clock t.fs.now +. after) in
   let gen = t.next_gen in
   t.next_gen <- gen + 1;
   (* A re-arm supersedes the pending entry: its heap or wheel slot goes
@@ -431,8 +664,9 @@ let set_timer ctx ~after timer =
       t.stale_timer_entries <- t.stale_timer_entries + 1
     else t.live_timers <- t.live_timers + 1;
     Hashtbl.replace t.timers.(ctx.id) timer gen;
-    Pqueue.push t.queue ~time:deadline (Timer { node = ctx.id; timer; gen })
-  | Wheel w ->
+    push_ev t ~owner:ctx.id ~time:deadline ~kind:k_timer ~a:ctx.id ~b:gen ~c:0
+      ~d:0 (Obj.repr timer)
+  | Wheel ->
     let label = trace_label t timer in
     let s = t.armed.(ctx.id) in
     let i = Armed.find s label in
@@ -445,10 +679,13 @@ let set_timer ctx ~after timer =
       t.live_timers <- t.live_timers + 1;
       Armed.insert s ~at:(lnot i) label gen (Obj.repr timer)
     end;
-    (* Draw the tie-break rank from the queue's counter so wheel timers
-       keep the exact (time, seq) position a heap push would have had. *)
-    let seq = Pqueue.alloc_seq t.queue in
-    Timewheel.arm w ~node:ctx.id ~label ~gen ~seq ~deadline
+    (* Draw the tie-break rank from the engine's global counter so wheel
+       timers keep the exact (time, seq) position a queue push would have
+       had. Timers never cross shards: a node only arms its own. *)
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Timewheel.arm t.wheels.(shard_of t ctx.id) ~node:ctx.id ~label ~gen ~seq
+      ~deadline
 
 let cancel_timer ctx timer =
   let t = ctx.engine in
@@ -459,7 +696,7 @@ let cancel_timer ctx timer =
       t.live_timers <- t.live_timers - 1;
       t.stale_timer_entries <- t.stale_timer_entries + 1
     end
-  | Wheel _ ->
+  | Wheel ->
     let s = t.armed.(ctx.id) in
     let i = Armed.find s (trace_label t timer) in
     if i >= 0 then begin
@@ -470,7 +707,7 @@ let cancel_timer ctx timer =
 
 (* Harness-side API --------------------------------------------------- *)
 
-let now t = t.now
+let now t = t.fs.now
 
 let graph t = t.graph
 
@@ -478,37 +715,80 @@ let clock t i = t.clocks.(i)
 
 let trace t = t.trace
 
+let shards t = t.shards
+
 let check_future t at =
-  if at < t.now then invalid_arg "Engine: cannot schedule in the past"
+  if at < t.fs.now then invalid_arg "Engine: cannot schedule in the past"
 
 let schedule_edge_add t ~at u v =
   check_future t at;
-  Pqueue.push t.queue ~time:at (Edge_add (u, v))
+  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_add ~a:u ~b:v ~c:0 ~d:0
+    no_payload
 
 let schedule_edge_remove t ~at u v =
   check_future t at;
-  Pqueue.push t.queue ~time:at (Edge_remove (u, v))
+  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_remove ~a:u ~b:v ~c:0 ~d:0
+    no_payload
 
 let at t ~time f =
   check_future t time;
-  Pqueue.push t.queue ~time (Callback f)
+  push_ev t ~owner:0 ~time ~kind:k_callback ~a:0 ~b:0 ~c:0 ~d:0 (Obj.repr f)
 
 let events_processed t = t.events_processed
 
-let queue_depth t = Pqueue.size t.queue
+let queue_depth t =
+  let acc = ref 0 in
+  for s = 0 to t.shards - 1 do
+    acc := !acc + Equeue.size t.queues.(s) + t.outboxes.(s).Outbox.len
+  done;
+  !acc
 
 let pending_events t =
-  let wheel_entries = match t.sched with Heap -> 0 | Wheel w -> Timewheel.size w in
-  Pqueue.size t.queue + wheel_entries - t.stale_timer_entries
+  let wheel_entries = ref 0 in
+  (match t.sched with
+  | Heap -> ()
+  | Wheel ->
+    for s = 0 to t.shards - 1 do
+      wheel_entries := !wheel_entries + Timewheel.size t.wheels.(s)
+    done);
+  queue_depth t + !wheel_entries - t.stale_timer_entries
 
 let live_timers t = t.live_timers
+
+(* Engine-owned storage in words — queues, outboxes, wheels, per-node
+   tables and the graph. The scaling tests pin this to O(n + live edges);
+   a pair-keyed regression would show up as O(n^2) growth here. *)
+let footprint_words t =
+  let acc = ref 0 in
+  for s = 0 to t.shards - 1 do
+    acc := !acc + Equeue.footprint_words t.queues.(s)
+           + Outbox.footprint_words t.outboxes.(s)
+  done;
+  (match t.sched with
+  | Heap -> ()
+  | Wheel ->
+    for s = 0 to t.shards - 1 do
+      acc := !acc + Timewheel.footprint_words t.wheels.(s)
+    done);
+  for i = 0 to t.n - 1 do
+    acc := !acc + Fifo_store.footprint_words t.fifo.(i)
+           + Array.length t.absence_pending.(i).Iset.keys
+  done;
+  (match t.sched with
+  | Heap -> ()
+  | Wheel ->
+    for i = 0 to t.n - 1 do
+      acc := !acc + (3 * Array.length t.armed.(i).Armed.labels)
+    done);
+  !acc + Dyngraph.footprint_words t.graph
 
 (* Event dispatch ----------------------------------------------------- *)
 
 let schedule_discovery t u v ~epoch ~add =
-  let time = t.now +. t.discovery_lag in
-  Pqueue.push t.queue ~time (Discover { node = u; peer = v; epoch; add });
-  Pqueue.push t.queue ~time (Discover { node = v; peer = u; epoch; add })
+  let time = t.fs.now +. t.discovery_lag in
+  let kind = if add then k_discover_add else k_discover_rm in
+  push_ev t ~owner:u ~time ~kind ~a:u ~b:v ~c:epoch ~d:0 no_payload;
+  push_ev t ~owner:v ~time ~kind ~a:v ~b:u ~c:epoch ~d:0 no_payload
 
 let node_dead t node =
   match t.faults with None -> false | Some f -> not f.f_alive.(node)
@@ -520,7 +800,7 @@ let node_dead t node =
    delivery by the incarnation check, so clearing the floors cannot let a
    post-restart message overtake a delivery that actually happens). *)
 let apply_crash t f node =
-  Trace.record t.trace ~time:t.now Fault_crash node (-1) (-1);
+  Trace.record t.trace ~time:t.fs.now Fault_crash node (-1) (-1);
   f.f_alive.(node) <- false;
   f.f_inc.(node) <- f.f_inc.(node) + 1;
   (match t.sched with
@@ -530,7 +810,7 @@ let apply_crash t f node =
     Hashtbl.reset tbl;
     t.live_timers <- t.live_timers - k;
     t.stale_timer_entries <- t.stale_timer_entries + k
-  | Wheel _ ->
+  | Wheel ->
     let s = t.armed.(node) in
     let k = s.Armed.len in
     for i = 0 to k - 1 do
@@ -543,10 +823,10 @@ let apply_crash t f node =
 
 let apply_restart t f node ~corrupt =
   f.f_alive.(node) <- true;
-  Trace.record t.trace ~time:t.now Fault_restart node (-1) (-1);
+  Trace.record t.trace ~time:t.fs.now Fault_restart node (-1) (-1);
   let corrupt_prng =
     if corrupt then begin
-      Trace.record t.trace ~time:t.now Fault_corrupt node (-1) (-1);
+      Trace.record t.trace ~time:t.fs.now Fault_corrupt node (-1) (-1);
       Some f.fprng
     end
     else None
@@ -559,55 +839,18 @@ let apply_restart t f node ~corrupt =
   List.iter
     (fun peer ->
       let epoch = Dyngraph.epoch t.graph node peer in
-      Pqueue.push t.queue ~time:(t.now +. t.discovery_lag)
-        (Discover { node; peer; epoch; add = true }))
+      push_ev t ~owner:node ~time:(t.fs.now +. t.discovery_lag)
+        ~kind:k_discover_add ~a:node ~b:peer ~c:epoch ~d:0 no_payload)
     (Dyngraph.neighbors t.graph node)
 
-let dispatch t event =
-  match event with
-  | Edge_add (u, v) ->
-    if Dyngraph.add_edge t.graph ~now:t.now u v then begin
-      Trace.record t.trace ~time:t.now Edge_add u v (-1);
-      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:true
-    end
-  | Edge_remove (u, v) ->
-    if Dyngraph.remove_edge t.graph ~now:t.now u v then begin
-      Trace.record t.trace ~time:t.now Edge_remove u v (-1);
-      (* The FIFO floors of the removed edge belong to a finished epoch:
-         drop them so a later re-add starts fresh instead of queueing new
-         messages behind the dead epoch's last delivery time. *)
-      Fifo_store.remove t.fifo.(u) v;
-      Fifo_store.remove t.fifo.(v) u;
-      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
-    end
-  | Discover { node; peer; epoch; add } ->
-    (* Deliver only if this is still the edge's latest change (a change
-       reversed within the lag is superseded by its reversal's own
-       discovery) and the observer is up — a crashed node observes
-       nothing; it relearns its neighborhood after restarting. *)
-    if node_dead t node then
-      Trace.record t.trace ~time:t.now Discover_stale node peer epoch
-    else if Dyngraph.epoch t.graph node peer = epoch then begin
-      if add then begin
-        Trace.record t.trace ~time:t.now Discover_add node peer epoch;
-        (handlers_of t node).on_discover_add peer
-      end
-      else begin
-        Trace.record t.trace ~time:t.now Discover_remove node peer epoch;
-        (handlers_of t node).on_discover_remove peer
-      end
-    end
-    else Trace.record t.trace ~time:t.now Discover_stale node peer epoch
-  | Absence { node; peer } ->
-    Iset.remove t.absence_pending.(node) peer;
-    if node_dead t node then
-      Trace.record t.trace ~time:t.now Discover_stale node peer (-1)
-    else if not (Dyngraph.has_edge t.graph node peer) then begin
-      Trace.record t.trace ~time:t.now Discover_remove node peer (-1);
-      (handlers_of t node).on_discover_remove peer
-    end
-    else Trace.record t.trace ~time:t.now Discover_stale node peer (-1)
-  | Deliver { src; dst; epoch; msg; inc } ->
+(* Dispatch the event latched in [q]'s registers (everything except
+   k_timer, which [run_queue_event] handles for the staleness check). *)
+let dispatch t q kind =
+  if kind = k_deliver then begin
+    let src = Equeue.ev_a q
+    and dst = Equeue.ev_b q
+    and epoch = Equeue.ev_c q
+    and inc = Equeue.ev_d q in
     let crash_lost =
       match t.faults with
       | None -> false
@@ -617,40 +860,79 @@ let dispatch t event =
            severs the node from the network, in both directions. *)
         (not f.f_alive.(dst)) || inc <> f.f_inc.(src)
     in
-    if crash_lost then Trace.record t.trace ~time:t.now Drop_lossy src dst epoch
+    if crash_lost then Trace.record t.trace ~time:t.fs.now Drop_lossy src dst epoch
     else if
       Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch
     then begin
-      Trace.record t.trace ~time:t.now Deliver src dst epoch;
-      (handlers_of t dst).on_receive src msg
+      Trace.record t.trace ~time:t.fs.now Deliver src dst epoch;
+      (handlers_of t dst).on_receive src (Obj.obj (Equeue.ev_payload q))
     end
-    else Trace.record t.trace ~time:t.now Drop_in_flight src dst epoch
-  | Timer { node; timer; _ } ->
-    (* Heap mode only (the wheel keeps timers out of the queue entirely).
-       Staleness is resolved in the run loop; only live timers reach here. *)
-    Hashtbl.remove t.timers.(node) timer;
-    t.live_timers <- t.live_timers - 1;
-    Trace.record t.trace ~time:t.now Timer_fire node (trace_label t timer) (-1);
-    (handlers_of t node).on_timer timer
-  | Fault_crash_ev node -> (
+    else Trace.record t.trace ~time:t.fs.now Drop_in_flight src dst epoch
+  end
+  else if kind = k_discover_add || kind = k_discover_rm then begin
+    let node = Equeue.ev_a q
+    and peer = Equeue.ev_b q
+    and epoch = Equeue.ev_c q in
+    (* Deliver only if this is still the edge's latest change (a change
+       reversed within the lag is superseded by its reversal's own
+       discovery) and the observer is up — a crashed node observes
+       nothing; it relearns its neighborhood after restarting. *)
+    if node_dead t node then
+      Trace.record t.trace ~time:t.fs.now Discover_stale node peer epoch
+    else if Dyngraph.epoch t.graph node peer = epoch then begin
+      if kind = k_discover_add then begin
+        Trace.record t.trace ~time:t.fs.now Discover_add node peer epoch;
+        (handlers_of t node).on_discover_add peer
+      end
+      else begin
+        Trace.record t.trace ~time:t.fs.now Discover_remove node peer epoch;
+        (handlers_of t node).on_discover_remove peer
+      end
+    end
+    else Trace.record t.trace ~time:t.fs.now Discover_stale node peer epoch
+  end
+  else if kind = k_absence then begin
+    let node = Equeue.ev_a q and peer = Equeue.ev_b q in
+    Iset.remove t.absence_pending.(node) peer;
+    if node_dead t node then
+      Trace.record t.trace ~time:t.fs.now Discover_stale node peer (-1)
+    else if not (Dyngraph.has_edge t.graph node peer) then begin
+      Trace.record t.trace ~time:t.fs.now Discover_remove node peer (-1);
+      (handlers_of t node).on_discover_remove peer
+    end
+    else Trace.record t.trace ~time:t.fs.now Discover_stale node peer (-1)
+  end
+  else if kind = k_edge_add then begin
+    let u = Equeue.ev_a q and v = Equeue.ev_b q in
+    if Dyngraph.add_edge t.graph ~now:t.fs.now u v then begin
+      Trace.record t.trace ~time:t.fs.now Edge_add u v (-1);
+      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:true
+    end
+  end
+  else if kind = k_edge_remove then begin
+    let u = Equeue.ev_a q and v = Equeue.ev_b q in
+    if Dyngraph.remove_edge t.graph ~now:t.fs.now u v then begin
+      Trace.record t.trace ~time:t.fs.now Edge_remove u v (-1);
+      (* The FIFO floors of the removed edge belong to a finished epoch:
+         drop them so a later re-add starts fresh instead of queueing new
+         messages behind the dead epoch's last delivery time. *)
+      Fifo_store.remove t.fifo.(u) v;
+      Fifo_store.remove t.fifo.(v) u;
+      schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:false
+    end
+  end
+  else if kind = k_crash then begin
     match t.faults with
-    | Some f -> apply_crash t f node
-    | None -> assert false)
-  | Fault_restart_ev { node; corrupt } -> (
+    | Some f -> apply_crash t f (Equeue.ev_a q)
+    | None -> assert false
+  end
+  else if kind = k_restart then begin
     match t.faults with
-    | Some f -> apply_restart t f node ~corrupt
-    | None -> assert false)
-  | Callback f -> f ()
-
-(* Is this heap entry a cancelled or superseded timer? Those are discarded
-   at the top of the run loop — they are bookkeeping garbage, not events:
-   they don't count as processed and never reach a handler. *)
-let is_stale_timer t = function
-  | Timer { node; timer; gen } -> (
-    match Hashtbl.find t.timers.(node) timer with
-    | live -> live <> gen
-    | exception Not_found -> true)
-  | _ -> false
+    | Some f -> apply_restart t f (Equeue.ev_a q) ~corrupt:(Equeue.ev_b q = 1)
+    | None -> assert false
+  end
+  else if kind = k_callback then (Obj.obj (Equeue.ev_payload q) : unit -> unit) ()
+  else assert false
 
 let start t =
   if not t.started then begin
@@ -673,75 +955,129 @@ let wheel_timer t ~node ~label ~gen =
     Armed.remove_at s i;
     t.live_timers <- t.live_timers - 1;
     t.events_processed <- t.events_processed + 1;
-    Trace.record t.trace ~time:t.now Timer_fire node label (-1);
+    Trace.record t.trace ~time:t.fs.now Timer_fire node label (-1);
     (handlers_of t node).on_timer timer
   end
   else begin
     t.stale_timer_entries <- t.stale_timer_entries - 1;
-    Trace.record t.trace ~time:t.now Timer_stale node label (-1)
+    Trace.record t.trace ~time:t.fs.now Timer_stale node label (-1)
   end
 
-let run_queue_event t event =
-  if is_stale_timer t event then begin
-    t.stale_timer_entries <- t.stale_timer_entries - 1;
-    match event with
-    | Timer { node; timer; _ } ->
-      Trace.record t.trace ~time:t.now Timer_stale node (trace_label t timer) (-1)
-    | _ -> assert false
+(* A queue event just popped into [q]'s registers. Heap-mode timer
+   entries resolve staleness here — cancelled or superseded slots are
+   bookkeeping garbage, not events: they don't count as processed and
+   never reach a handler. *)
+let run_queue_event t q =
+  let kind = Equeue.ev_kind q in
+  if kind = k_timer then begin
+    let node = Equeue.ev_a q and gen = Equeue.ev_b q in
+    let timer = Obj.obj (Equeue.ev_payload q) in
+    let stale =
+      match Hashtbl.find t.timers.(node) timer with
+      | live -> live <> gen
+      | exception Not_found -> true
+    in
+    if stale then begin
+      t.stale_timer_entries <- t.stale_timer_entries - 1;
+      Trace.record t.trace ~time:t.fs.now Timer_stale node (trace_label t timer) (-1)
+    end
+    else begin
+      Hashtbl.remove t.timers.(node) timer;
+      t.live_timers <- t.live_timers - 1;
+      t.events_processed <- t.events_processed + 1;
+      Trace.record t.trace ~time:t.fs.now Timer_fire node (trace_label t timer) (-1);
+      (handlers_of t node).on_timer timer
+    end
   end
   else begin
     t.events_processed <- t.events_processed + 1;
-    dispatch t event
+    dispatch t q kind
   end
 
-let run_until t horizon =
-  if horizon < t.now then invalid_arg "Engine.run_until: horizon in the past";
-  start t;
-  (match t.sched with
-  | Heap ->
-    (* [next_time]/[pop_exn] instead of [peek_time]/[pop]: no option or
-       tuple allocation per event. *)
-    let rec loop () =
-      let time = Pqueue.next_time t.queue in
-      if time <= horizon then begin
-        assert (time >= t.now);
-        t.now <- time;
-        let event = Pqueue.pop_exn t.queue in
-        run_queue_event t event;
-        loop ()
-      end
-    in
-    loop ()
-  | Wheel w ->
-    (* Two sources, one total (time, seq) order: the wheel is only asked
-       to resolve up to the queue's head (or the horizon), and an
-       equal-time tie goes to the smaller sequence number — the order a
-       single heap holding both kinds of event would have produced. *)
-    let rec loop () =
-      let qt = Pqueue.next_time t.queue in
-      let bound = Float.min qt horizon in
-      if
+(* Pick the earliest (time, seq) candidate across every shard's queue and
+   wheel into the [cand_*] scratch fields. The per-shard wheel is only
+   resolved up to its own queue head (or the horizon) — the same lazy
+   bound the single-shard loop used. *)
+let select t ~horizon =
+  t.fs.cand_time <- infinity;
+  t.cand_seq <- max_int;
+  t.cand_shard <- -1;
+  t.cand_wheel <- false;
+  for s = 0 to t.shards - 1 do
+    let q = t.queues.(s) in
+    let qt = Equeue.next_time q in
+    let qseq = Equeue.top_seq q in
+    let wheel_wins =
+      match t.sched with
+      | Heap -> false
+      | Wheel ->
+        let w = t.wheels.(s) in
+        let bound = if qt < horizon then qt else horizon in
         Timewheel.peek w ~upto:bound
-        && (Timewheel.top_time w < qt
-           || Timewheel.top_seq w < Pqueue.top_seq t.queue)
-      then begin
-        let time = Timewheel.top_time w in
-        assert (time >= t.now);
-        t.now <- time;
-        let node = Timewheel.top_node w
-        and label = Timewheel.top_label w
-        and gen = Timewheel.top_gen w in
-        Timewheel.pop w;
-        wheel_timer t ~node ~label ~gen;
-        loop ()
-      end
-      else if qt <= horizon then begin
-        assert (qt >= t.now);
-        t.now <- qt;
-        let event = Pqueue.pop_exn t.queue in
-        run_queue_event t event;
-        loop ()
-      end
+        && (Timewheel.top_time w < qt || Timewheel.top_seq w < qseq)
     in
-    loop ());
-  t.now <- horizon
+    if wheel_wins then begin
+      let w = t.wheels.(s) in
+      let wt = Timewheel.top_time w and wseq = Timewheel.top_seq w in
+      if wt < t.fs.cand_time || (wt = t.fs.cand_time && wseq < t.cand_seq)
+      then begin
+        t.fs.cand_time <- wt;
+        t.cand_seq <- wseq;
+        t.cand_shard <- s;
+        t.cand_wheel <- true
+      end
+    end
+    else if qt < t.fs.cand_time || (qt = t.fs.cand_time && qseq < t.cand_seq)
+    then begin
+      t.fs.cand_time <- qt;
+      t.cand_seq <- qseq;
+      t.cand_shard <- s;
+      t.cand_wheel <- false
+    end
+  done
+
+let run_until t horizon =
+  if horizon < t.fs.now then invalid_arg "Engine.run_until: horizon in the past";
+  start t;
+  let running = ref true in
+  let flushed = ref false in
+  while !running do
+    select t ~horizon;
+    (* The barrier exchange: flush any outbox whose earliest cross-shard
+       event is due at or before the candidate — it may preempt it (a
+       zero-delay cross-shard send lands at the current instant). A flush
+       can surface an earlier candidate, so re-select afterwards. *)
+    flushed := false;
+    for s = 0 to t.shards - 1 do
+      let ob = t.outboxes.(s) in
+      if ob.Outbox.len > 0 && ob.Outbox.min_time <= t.fs.cand_time then begin
+        Outbox.flush ob t.queues;
+        flushed := true
+      end
+    done;
+    if not !flushed then begin
+      if t.fs.cand_time <= horizon then begin
+        assert (t.fs.cand_time >= t.fs.now);
+        t.fs.now <- t.fs.cand_time;
+        let s = t.cand_shard in
+        t.cur_shard <- s;
+        (if t.cand_wheel then begin
+           let w = t.wheels.(s) in
+           let node = Timewheel.top_node w
+           and label = Timewheel.top_label w
+           and gen = Timewheel.top_gen w in
+           Timewheel.pop w;
+           wheel_timer t ~node ~label ~gen
+         end
+         else begin
+           let q = t.queues.(s) in
+           Equeue.pop q;
+           run_queue_event t q;
+           Equeue.release q
+         end);
+        t.cur_shard <- -1
+      end
+      else running := false
+    end
+  done;
+  t.fs.now <- horizon

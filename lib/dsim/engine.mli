@@ -2,8 +2,9 @@
 
     The engine realizes the model of Section 3.2 of the paper:
 
-    - a static node set [0 .. n-1], each with a hardware clock that is an
-      arbitrary piecewise-linear function within the drift bound;
+    - a node set [0 .. n-1] (growable through {!add_node}), each with a
+      hardware clock that is an arbitrary piecewise-linear function
+      within the drift bound;
     - an undirected dynamic edge set changed by scheduled add/remove
       events;
     - discovery: endpoints learn of a persistent change [discovery_lag]
@@ -50,6 +51,7 @@ val create :
   ?trace:Trace.t ->
   ?timer_label:('timer -> int) ->
   ?scheduler:[ `Heap | `Wheel of float ] ->
+  ?shards:int ->
   ?faults:Fault.schedule ->
   ?fault_seed:int ->
   ?corrupt_msg:(src:int -> Prng.t -> 'msg -> 'msg) ->
@@ -78,6 +80,16 @@ val create :
     wheel entries draw their tie-break ranks from the queue's sequence
     counter and surface in the same total [(time, seq)] order.
 
+    [shards] (default 1) partitions the node ids into that many
+    contiguous ranges, each owning its own event queue (and, under the
+    wheel scheduler, its own timer wheel). Events a shard schedules for
+    another shard's nodes are exchanged at a merge barrier instead of
+    pushed directly — the protocol a multi-domain run would use — but
+    every event draws its tie-break rank from one global sequence
+    counter, so the dispatch order and trace are byte-identical at every
+    shard count, including [shards = 1]. Raises [Invalid_argument] when
+    [shards < 1].
+
     [faults] (default []) is a deterministic fault schedule (validated
     against [n]; raises [Invalid_argument] on a malformed one). Crash and
     restart ops flow through the shared event queue as first-class traced
@@ -97,7 +109,17 @@ val create :
 
 val install : ('msg, 'timer) t -> int -> (('msg, 'timer) ctx -> ('msg, 'timer) handlers) -> unit
 (** Install node [i]'s algorithm. Must be called for every node before
-    running. The builder receives the node's {!ctx}. *)
+    running. The builder receives the node's {!ctx}. After the engine has
+    started, only a node without handlers — one that just joined through
+    {!add_node} — may be installed; its [on_init] then runs immediately.
+    Re-installing a live node raises [Invalid_argument]. *)
+
+val add_node : ('msg, 'timer) t -> clock:Hwclock.t -> int
+(** Grow the network by one node and return its id (the previous node
+    count). The node starts isolated and without handlers; call {!install}
+    to give it an algorithm and {!schedule_edge_add} to connect it. Ids
+    are never reused, and every engine structure grows by O(1) amortized —
+    joining nodes never re-keys existing state. *)
 
 (** {1 Node-side API (used from handlers)} *)
 
@@ -166,9 +188,18 @@ val pending_events : ('msg, 'timer) t -> int
     entries still awaiting lazy removal. *)
 
 val queue_depth : ('msg, 'timer) t -> int
-(** Raw size of the event heap alone. Under the [`Wheel] scheduler this
-    excludes timers entirely, so sustained timer re-arm traffic leaves it
-    bounded by the in-flight message and discovery count. *)
+(** Raw size of the event queues (and pending outbox entries) alone.
+    Under the [`Wheel] scheduler this excludes timers entirely, so
+    sustained timer re-arm traffic leaves it bounded by the in-flight
+    message and discovery count. *)
+
+val shards : ('msg, 'timer) t -> int
+
+val footprint_words : ('msg, 'timer) t -> int
+(** Words currently allocated by engine-owned storage: event queues,
+    outboxes, timer wheels, per-node FIFO/absence/armed tables and the
+    dynamic graph. Grows as O(n + edges ever present), never O(n²) —
+    pinned by the scaling tests. *)
 
 val live_timers : ('msg, 'timer) t -> int
 (** Currently armed timer labels across all nodes (each cancel or re-arm

@@ -1,0 +1,68 @@
+(** Struct-of-arrays event queue for the engine's encoded events.
+
+    A binary heap ordered by [(time, seq)] — the same total order as
+    {!Pqueue} — holding events flattened to a kind tag, four int operands
+    and one optional boxed payload. Times live in an off-heap Float64
+    [Bigarray]; the operand columns sit in a free-listed slot pool so a
+    sift moves [(time, seq, slot)] triples only. The steady-state
+    push/pop cycle allocates nothing.
+
+    Unlike {!Pqueue}, tie-break sequence numbers are supplied by the
+    caller: the engine owns one global counter shared by all of its
+    per-shard queues and its timer wheels, which is what makes the
+    sharded merge order — and therefore the trace — independent of the
+    shard count. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] pre-allocates room for [capacity] events
+    (default 64); the queue still grows on demand past it. Raises
+    [Invalid_argument] on a negative capacity. *)
+
+val push :
+  t ->
+  time:float ->
+  seq:int ->
+  kind:int ->
+  a:int ->
+  b:int ->
+  c:int ->
+  d:int ->
+  Obj.t ->
+  unit
+(** Insert an encoded event. [time] must be finite; [seq] must be unique
+    across every queue sharing the engine's counter. *)
+
+val pop : t -> unit
+(** Remove the earliest event and latch it into the registers read by
+    {!ev_kind} .. {!ev_payload}. Raises [Invalid_argument] when empty. *)
+
+val next_time : t -> float
+(** Time of the earliest event, or [infinity] when empty. *)
+
+val top_seq : t -> int
+(** Sequence of the earliest event, or [max_int] when empty — an
+    equal-time comparison against another source then always prefers the
+    non-empty side. *)
+
+val ev_kind : t -> int
+val ev_a : t -> int
+val ev_b : t -> int
+val ev_c : t -> int
+val ev_d : t -> int
+
+val ev_payload : t -> Obj.t
+(** Registers of the last {!pop}ped event. The payload register keeps the
+    payload alive until the next pop (or {!release}). *)
+
+val release : t -> unit
+(** Clear the payload register so the GC can reclaim the last payload. *)
+
+val size : t -> int
+val is_empty : t -> bool
+
+val footprint_words : t -> int
+(** Words currently allocated across the heap and pool columns (the
+    off-heap time column counted at one word per cell) — the engine's
+    memory-growth checks read this. *)

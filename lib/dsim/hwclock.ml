@@ -40,15 +40,29 @@ let segment_index starts t =
   done;
   !lo
 
-let value c t =
-  if t < 0. then invalid_arg "Hwclock.value: negative time";
+(* [value]/[inverse] sit on the engine's per-event path (every timer arm
+   and clock read). The constant-rate single-segment case — most bench
+   and experiment clocks — is forced inline as straight-line arithmetic:
+   an out-of-line call here boxes the float argument and result every
+   time, several words per event for pure math. The multi-segment search
+   stays out of line (Closure cannot inline the loop). *)
+let value_multi c t =
   let i = segment_index c.starts t in
   c.values.(i) +. (c.rates.(i) *. (t -. c.starts.(i)))
 
-let inverse c h =
-  if h < 0. then invalid_arg "Hwclock.inverse: negative value";
+let[@inline always] value c t =
+  if t < 0. then invalid_arg "Hwclock.value: negative time";
+  if Array.length c.starts = 1 then c.values.(0) +. (c.rates.(0) *. t)
+  else value_multi c t
+
+let inverse_multi c h =
   let i = segment_index c.values h in
   c.starts.(i) +. ((h -. c.values.(i)) /. c.rates.(i))
+
+let[@inline always] inverse c h =
+  if h < 0. then invalid_arg "Hwclock.inverse: negative value";
+  if Array.length c.starts = 1 then h /. c.rates.(0)
+  else inverse_multi c h
 
 let rate_at c t =
   if t < 0. then invalid_arg "Hwclock.rate_at: negative time";

@@ -47,6 +47,16 @@ type t = {
   mutable d_node : int array;
   mutable d_label : int array;
   mutable d_gen : int array;
+  (* Detached-bucket scratch: draining a bucket swaps its arrays with
+     these instead of dropping them to [empty_*], so the capacity a
+     bucket built up keeps circulating instead of being reallocated from
+     4 on the next push — under sustained re-arm traffic that detach
+     churn dominated the wheel's minor-heap traffic. *)
+  mutable s_deadline : float array;
+  mutable s_seq : int array;
+  mutable s_node : int array;
+  mutable s_label : int array;
+  mutable s_gen : int array;
 }
 
 let empty_f : float array = [||]
@@ -82,9 +92,21 @@ let create ~granularity ?(slots = 64) ?(levels = 4) () =
     d_node = Array.make 16 0;
     d_label = Array.make 16 0;
     d_gen = Array.make 16 0;
+    s_deadline = empty_f;
+    s_seq = empty_i;
+    s_node = empty_i;
+    s_label = empty_i;
+    s_gen = empty_i;
   }
 
 let size t = t.bucket_count + t.d_len
+
+let footprint_words t =
+  let acc = ref (5 * Array.length t.d_deadline) in
+  for b = 0 to Array.length t.b_deadline - 1 do
+    acc := !acc + (5 * Array.length t.b_deadline.(b))
+  done;
+  !acc + (5 * Array.length t.s_deadline) + (6 * Array.length t.b_len)
 
 (* Due heap ----------------------------------------------------------- *)
 
@@ -214,23 +236,40 @@ let arm t ~node ~label ~gen ~seq ~deadline =
     invalid_arg "Timewheel.arm: bad deadline";
   place t ~deadline ~seq ~node ~label ~gen
 
-(* Empty bucket [b] and re-place every entry it held. The inner arrays
-   are detached first because a re-placed entry may land back in [b]
-   (a parked far-future entry can stay on the top ring). *)
+(* Detach bucket [b]'s arrays for draining: a re-placed entry may land
+   back in [b] (a parked far-future entry can stay on the top ring), so
+   the drain must read from arrays the concurrent pushes cannot touch.
+   The bucket is handed the scratch set in exchange, and the caller
+   returns the detached arrays to scratch when the drain ends — capacity
+   circulates instead of being reallocated from 4 on the next push. *)
+let detach t b =
+  t.b_len.(b) <- 0;
+  let d = t.b_deadline.(b) in
+  t.b_deadline.(b) <- t.s_deadline;
+  t.s_deadline <- d;
+  let s = t.b_seq.(b) in
+  t.b_seq.(b) <- t.s_seq;
+  t.s_seq <- s;
+  let n = t.b_node.(b) in
+  t.b_node.(b) <- t.s_node;
+  t.s_node <- n;
+  let l = t.b_label.(b) in
+  t.b_label.(b) <- t.s_label;
+  t.s_label <- l;
+  let g = t.b_gen.(b) in
+  t.b_gen.(b) <- t.s_gen;
+  t.s_gen <- g
+
+(* Empty bucket [b] and re-place every entry it held. *)
 let redistribute t b =
   let len = t.b_len.(b) in
   if len > 0 then begin
-    let deadline = t.b_deadline.(b)
-    and seq = t.b_seq.(b)
-    and node = t.b_node.(b)
-    and label = t.b_label.(b)
-    and gen = t.b_gen.(b) in
-    t.b_deadline.(b) <- empty_f;
-    t.b_seq.(b) <- empty_i;
-    t.b_node.(b) <- empty_i;
-    t.b_label.(b) <- empty_i;
-    t.b_gen.(b) <- empty_i;
-    t.b_len.(b) <- 0;
+    detach t b;
+    let deadline = t.s_deadline
+    and seq = t.s_seq
+    and node = t.s_node
+    and label = t.s_label
+    and gen = t.s_gen in
     t.bucket_count <- t.bucket_count - len;
     for k = 0 to len - 1 do
       place t ~deadline:deadline.(k) ~seq:seq.(k) ~node:node.(k)
@@ -258,17 +297,12 @@ let resolve t =
        bucket [b], so [place] below can push into the slot being read.
        Detaching makes the reads immune to those writes instead of
        relying on the write index trailing the read index. *)
-    let deadline = t.b_deadline.(b)
-    and seq = t.b_seq.(b)
-    and node = t.b_node.(b)
-    and label = t.b_label.(b)
-    and gen = t.b_gen.(b) in
-    t.b_deadline.(b) <- empty_f;
-    t.b_seq.(b) <- empty_i;
-    t.b_node.(b) <- empty_i;
-    t.b_label.(b) <- empty_i;
-    t.b_gen.(b) <- empty_i;
-    t.b_len.(b) <- 0;
+    detach t b;
+    let deadline = t.s_deadline
+    and seq = t.s_seq
+    and node = t.s_node
+    and label = t.s_label
+    and gen = t.s_gen in
     t.bucket_count <- t.bucket_count - len;
     t.cursor <- c + 1;
     for k = 0 to len - 1 do

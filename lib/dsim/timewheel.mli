@@ -40,6 +40,10 @@ val size : t -> int
 (** Entries currently held, including superseded ones that have not yet
     surfaced. *)
 
+val footprint_words : t -> int
+(** Words currently allocated across bucket, due-heap and scratch
+    arrays — read by the engine's memory-growth checks. *)
+
 val peek : t -> upto:float -> bool
 (** [peek w ~upto] is [true] iff the earliest entry's deadline is
     [<= upto], resolving granules no further than [upto]. When it returns

@@ -105,15 +105,21 @@ let pp_entry fmt e =
   Format.fprintf fmt "@[<h>%12.6f  %-16s %a@]" e.time (kind_to_string e.kind)
     pp_detail e
 
-let record t ~time kind a b c =
-  let i = kind_index kind in
-  Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1);
+let record_slow t ~time kind a b c =
   if t.log_limit > 0 && t.log_size < t.log_limit then begin
     t.log <- { time; kind; a; b; c } :: t.log;
     t.log_size <- t.log_size + 1
   end;
   if t.verbosity > 0 then
     Format.fprintf t.sink "%a@." pp_entry { time; kind; a; b; c }
+
+(* Inlined so the counters-only configuration — every experiment's hot
+   path — compiles to an in-caller counter bump: crossing a function
+   boundary here would box [time] on every traced event. *)
+let[@inline] record t ~time kind a b c =
+  let i = kind_index kind in
+  Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1);
+  if t.log_limit > 0 || t.verbosity > 0 then record_slow t ~time kind a b c
 
 let count t kind = t.counters.(kind_index kind)
 

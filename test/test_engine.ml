@@ -459,9 +459,163 @@ let prop_fifo_random_delays =
       Engine.run_until engine 10.;
       List.rev !received = List.init (2 * burst) (fun i -> i + 1))
 
+(* A bare engine over [n] seed nodes whose receive events are logged as
+   (time, src, dst, msg); [grow] more nodes join through [add_node] before
+   the run starts. Used by the join/churn regressions below, which need
+   node ids beyond the seed count — the [make] harness only installs the
+   initial range. *)
+let make_grown ~n ~grow ~delay =
+  let clocks = Array.init n (fun _ -> Hwclock.perfect) in
+  let engine = Engine.create ~clocks ~delay () in
+  let log = ref [] in
+  let ctxs = Hashtbl.create 16 in
+  let install i =
+    Engine.install engine i (fun ctx ->
+        Hashtbl.replace ctxs i ctx;
+        {
+          Engine.on_init = (fun () -> ());
+          on_discover_add = (fun _ -> ());
+          on_discover_remove = (fun _ -> ());
+          on_receive =
+            (fun src msg -> log := (Engine.now engine, src, i, msg) :: !log);
+          on_timer = (fun _ -> ());
+        })
+  in
+  for i = 0 to n - 1 do
+    install i
+  done;
+  for _ = 1 to grow do
+    let id = Engine.add_node engine ~clock:Hwclock.perfect in
+    install id
+  done;
+  (engine, log, fun i -> Hashtbl.find ctxs i)
+
+(* Joined nodes must get their own FIFO keys. The retired encoding packed
+   the pair (src, dst) as [src * n + dst] with [n] frozen at creation;
+   after joins pushed ids past the seed count, distinct pairs aliased —
+   with a seed of 4 nodes, (1, 7) and (2, 3) both packed to 11, so a slow
+   in-flight message on one link dragged the other link's FIFO floor up
+   and delayed an unrelated delivery. Keying by destination inside a
+   per-source store makes ids collision-free by construction; this pins
+   the exact aliasing pair. *)
+let test_join_no_pair_key_collision () =
+  let delay =
+    Delay.directed ~bound:1.0 (fun ~src ~dst ~now:_ ->
+        if src = 1 && dst = 7 then 0.9 else 0.1)
+  in
+  let engine, log, ctx = make_grown ~n:4 ~grow:4 ~delay in
+  Engine.schedule_edge_add engine ~at:0. 1 7;
+  Engine.schedule_edge_add engine ~at:0. 2 3;
+  Engine.at engine ~time:1. (fun () ->
+      (* The slow (1 -> 7) message first: under aliased keys its arrival
+         at t=1.9 becomes (2, 3)'s FIFO floor too. *)
+      Engine.send (ctx 1) ~dst:7 "slow";
+      Engine.send (ctx 2) ~dst:3 "fast");
+  Engine.run_until engine 3.;
+  let find msg =
+    match List.find_opt (fun (_, _, _, m) -> m = msg) !log with
+    | Some (t, src, dst, _) -> (t, src, dst)
+    | None -> Alcotest.failf "message %S never delivered" msg
+  in
+  Alcotest.(check (triple feq int int)) "slow delivery" (1.9, 1, 7) (find "slow");
+  Alcotest.(check (triple feq int int)) "fast delivery" (1.1, 2, 3) (find "fast")
+
+(* Join-heavy churn: double the network after creation, wire every joined
+   node to a seed node, and check each link keeps per-link FIFO order
+   under a delay policy that begs for clamping (later messages drawn
+   faster than earlier ones). Crossing 4 then 8 destinations per source
+   also drags each per-source FIFO store through its growth seam
+   (capacity 4 -> 8 -> 16) with live floors in it. *)
+let test_join_churn_fifo_order () =
+  let delay =
+    (* Round 0 (sent at t=1) draws the full bound; later rounds draw a
+       near-zero delay, so every link's later messages would overtake
+       round 0 and must clamp behind its arrival instead. *)
+    Delay.directed ~bound:1.0 (fun ~src:_ ~dst:_ ~now ->
+        if now < 1.1 then 1.0 else 0.05)
+  in
+  let seed = 4 and grow = 12 in
+  let engine, log, ctx = make_grown ~n:seed ~grow ~delay in
+  (* Star: node 0 reaches every other node, joined ids included. *)
+  for v = 1 to seed + grow - 1 do
+    Engine.schedule_edge_add engine ~at:0. 0 v
+  done;
+  for round = 0 to 2 do
+    Engine.at engine
+      ~time:(1. +. (0.3 *. float_of_int round))
+      (fun () ->
+        for v = 1 to seed + grow - 1 do
+          Engine.send (ctx 0) ~dst:v (Printf.sprintf "%d:%d" v round)
+        done)
+  done;
+  Engine.run_until engine 5.;
+  (* Per destination, rounds must arrive in send order. *)
+  for v = 1 to seed + grow - 1 do
+    let arrivals =
+      List.rev !log
+      |> List.filter_map (fun (t, src, dst, msg) ->
+             if src = 0 && dst = v then Some (t, msg) else None)
+    in
+    let rounds = List.map (fun (_, m) -> Scanf.sscanf m "%d:%d" (fun _ r -> r)) arrivals in
+    Alcotest.(check (list int))
+      (Printf.sprintf "link 0->%d FIFO order" v)
+      [ 0; 1; 2 ] rounds;
+    let times = List.map fst arrivals in
+    Alcotest.(check bool)
+      (Printf.sprintf "link 0->%d non-decreasing arrivals" v)
+      true
+      (List.sort compare times = times)
+  done
+
+(* Engine storage must grow as O(n + live edges), not O(n^2): quadrupling
+   the node count of a ring (edges = n) may grow the footprint by ~4x.
+   The pre-rework engine kept pair-keyed arrays that made this 16x. The
+   check runs after a burst of traffic so FIFO floors, armed timers and
+   queue capacities are all warm. *)
+let test_footprint_linear_in_n () =
+  let footprint n =
+    let delay = Delay.constant ~bound:1. 0.5 in
+    let clocks = Array.init n (fun _ -> Hwclock.perfect) in
+    let engine =
+      Engine.create ~clocks ~delay ~initial_edges:(Topology.Static.ring n) ()
+    in
+    let ctxs = Array.make n None in
+    for i = 0 to n - 1 do
+      Engine.install engine i (fun ctx ->
+          ctxs.(i) <- Some ctx;
+          {
+            Engine.on_init = (fun () -> ());
+            on_discover_add = (fun _ -> ());
+            on_discover_remove = (fun _ -> ());
+            on_receive = (fun _ _ -> ());
+            on_timer = (fun _ -> ());
+          })
+    done;
+    (* Every node pings both ring neighbours to warm FIFO stores. *)
+    Engine.at engine ~time:1. (fun () ->
+        Array.iteri
+          (fun i -> function
+            | Some ctx ->
+              Engine.send ctx ~dst:((i + 1) mod n) ();
+              Engine.send ctx ~dst:((i + n - 1) mod n) ()
+            | None -> ())
+          ctxs);
+    Engine.run_until engine 3.;
+    Engine.footprint_words engine
+  in
+  let f1 = footprint 256 and f4 = footprint 1024 in
+  let ratio = float_of_int f4 /. float_of_int f1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint 256 -> 1024 grew %.2fx (must be < 8, O(n^2) gives ~16)"
+       ratio)
+    true (ratio < 8.)
+
 let suite =
   [
     case "message delivery" test_delivery;
+    case "joined pair keys cannot collide" test_join_no_pair_key_collision;
+    case "join-heavy churn keeps per-link FIFO" test_join_churn_fifo_order;
+    case "footprint grows O(n), not O(n^2)" test_footprint_linear_in_n;
     QCheck_alcotest.to_alcotest prop_fifo_random_delays;
     case "absence notifications coalesce" test_absence_notifications_coalesce;
     case "same-time add then remove" test_same_time_add_then_remove;

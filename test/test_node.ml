@@ -115,7 +115,7 @@ let test_tolerance_decays () =
   Alcotest.(check bool) "B at least B0" true (b2 >= p.Params.b0)
 
 let test_custom_tolerance () =
-  let engine, nodes, p = build ~tolerance:(fun ~peer:_ _ -> 42.) () in
+  let engine, nodes, p = build ~tolerance:(Node.Tol_fun (fun ~peer:_ _ -> 42.)) () in
   Engine.run_until engine 5.;
   Alcotest.check (feq 1e-9) "flat tolerance" 42.
     (Option.get (Node.peer_tolerance nodes.(0) 1));
@@ -157,7 +157,7 @@ let test_blocked_detection () =
   in
   let engine, nodes, _ =
     build ~n:3 ~clocks:(Some clocks) ~initial_edges:[ (0, 1); (1, 2) ]
-      ~tolerance:(fun ~peer:_ _ -> 25.6) ()
+      ~tolerance:(Node.Tol_fun (fun ~peer:_ _ -> 25.6)) ()
   in
   Engine.run_until engine 400.;
   (* node 1 wants Lmax (from node 2) but is held back by node 0. *)
@@ -219,7 +219,7 @@ let test_discover_remove_cancels_lost_timer () =
   in
   let trace = Dsim.Trace.create () in
   let engine, nodes, _ =
-    build ~params:p ~trace ~timeout:(fun ~peer:_ -> 3.) ()
+    build ~params:p ~trace ~timeout:(Node.Timeout_fun (fun ~peer:_ -> 3.)) ()
   in
   Engine.schedule_edge_remove engine ~at:1. 0 1;
   (* Updates exchanged at t=0 arrive at t=0.5 and arm Lost timers for

@@ -121,7 +121,7 @@ let test_clear_and_rerun_merge_order () =
 (* Full-stack parity: the gradient algorithm on a seeded churned topology,
    audited trace and all. This is the scenario class the wheel was built
    for (periodic ΔH ticks plus per-peer ΔT' lost timers at scale). *)
-let run_sim ?(faults = []) scheduler =
+let run_sim ?(faults = []) ?(shards = 1) scheduler =
   let n = 24 in
   let horizon = 50. in
   let params = Gcs.Params.make ~n () in
@@ -132,8 +132,8 @@ let run_sim ?(faults = []) scheduler =
   in
   let trace = Trace.create ~log_limit:500_000 () in
   let cfg =
-    Gcs.Sim.config ~scheduler ~params ~clocks ~delay ~initial_edges:edges ~trace
-      ~faults ~fault_seed:21 ()
+    Gcs.Sim.config ~scheduler ~shards ~params ~clocks ~delay ~initial_edges:edges
+      ~trace ~faults ~fault_seed:21 ()
   in
   let sim = Gcs.Sim.create cfg in
   Topology.Churn.schedule (Gcs.Sim.engine sim)
@@ -221,9 +221,47 @@ let test_sim_parity_faulted () =
         (List.length report.Audit.Report.violations))
     [ ("heap", heap_trace); ("wheel", wheel_trace) ]
 
+(* Shard parity: partitioning the node ids across per-shard queues and
+   wheels moves every cross-shard event through the outbox merge barrier,
+   yet the global sequence counter keeps the merged (time, seq) order —
+   and therefore the trace — byte-identical at every shard count
+   (DESIGN.md §12). n=24 with 7 shards exercises uneven ranges (the last
+   shard owns a wider tail). *)
+let test_shard_parity () =
+  let base, base_trace = run_sim ~shards:1 Gcs.Sim.Wheel in
+  let base_csv = Trace.to_csv base_trace in
+  List.iter
+    (fun shards ->
+      let sim, trace = run_sim ~shards Gcs.Sim.Wheel in
+      Alcotest.(check int)
+        (Printf.sprintf "events processed (shards=%d)" shards)
+        (Dsim.Engine.events_processed (Gcs.Sim.engine base))
+        (Dsim.Engine.events_processed (Gcs.Sim.engine sim));
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical trace (shards=%d)" shards)
+        base_csv (Trace.to_csv trace))
+    [ 2; 4; 7 ];
+  (* And across the scheduler axis at the same time: a sharded wheel run
+     must still match the single-queue heap engine. *)
+  let _, heap_trace = run_sim Gcs.Sim.Heap in
+  let _, sharded_trace = run_sim ~shards:4 Gcs.Sim.Wheel in
+  Alcotest.(check string) "sharded wheel = unsharded heap"
+    (Trace.to_csv heap_trace) (Trace.to_csv sharded_trace)
+
+(* Fault events cross shard boundaries too: crashes purge remote state,
+   duplication re-pushes on the send path, restarts re-discover. All of
+   it must replay byte-identically under sharding. *)
+let test_shard_parity_faulted () =
+  let _, base_trace = run_sim ~faults:parity_faults Gcs.Sim.Wheel in
+  let _, sharded_trace = run_sim ~faults:parity_faults ~shards:3 Gcs.Sim.Wheel in
+  Alcotest.(check string) "byte-identical faulted trace (shards=3)"
+    (Trace.to_csv base_trace) (Trace.to_csv sharded_trace)
+
 let suite =
   [
     case "engine: heap = wheel (timer-heavy protocol)" test_engine_parity;
+    case "sim: sharded = unsharded, byte-identical" test_shard_parity;
+    case "sim: sharded fault campaign, byte-identical" test_shard_parity_faulted;
     case "pqueue clear-and-rerun keeps the seam's total order"
       test_clear_and_rerun_merge_order;
     case "sim: heap = wheel (seeded churn)" test_sim_parity;

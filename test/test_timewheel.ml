@@ -275,9 +275,76 @@ let test_differential_vs_reference () =
       done)
     [ (2, 1, 1.0); (4, 2, 1.0); (3, 2, 0.25); (4, 3, 1.0) ]
 
+(* Bucket growth seam: a hot bucket (one granule hammered by hundreds of
+   entries, the shape a dense node range's Tick timers produce) must keep
+   the (deadline, seq) surfacing order and every entry's generation while
+   its arrays double repeatedly from the cold start, and again when its
+   storage circulates through the detached-bucket scratch on a second
+   burst into the same granule. *)
+let test_bucket_growth_preserves_order_and_gens () =
+  let w = Tw.create ~granularity:1.0 () in
+  let burst ~seq0 ~deadline count =
+    (* Interleave two deadlines inside the granule and give every entry a
+       distinct gen so a dropped or reordered slot is visible. *)
+    for k = 0 to count - 1 do
+      let d = if k mod 2 = 0 then deadline else deadline +. 0.25 in
+      Tw.arm w ~node:(k mod 7) ~label:k ~gen:(1000 + k) ~seq:(seq0 + k) ~deadline:d
+    done
+  in
+  burst ~seq0:0 ~deadline:5.0 300;
+  Alcotest.(check int) "all held" 300 (Tw.size w);
+  let fp_grown = Tw.footprint_words w in
+  let popped = drain w ~upto:6.0 in
+  Alcotest.(check int) "all surfaced" 300 (List.length popped);
+  (* Expected order: the 150 entries at d=5.0 by seq, then the 150 at
+     d=5.25 by seq; gens ride along untouched. *)
+  let expect =
+    List.init 150 (fun i -> (5.0, 2 * i)) @ List.init 150 (fun i -> (5.25, (2 * i) + 1))
+  in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "(deadline, seq) order across growth" expect (deadlines_seqs popped);
+  List.iter
+    (fun (_, seq, node, label, gen) ->
+      Alcotest.(check int) "gen preserved" (1000 + seq) gen;
+      Alcotest.(check int) "label preserved" seq label;
+      Alcotest.(check int) "node preserved" (seq mod 7) node)
+    popped;
+  (* Second burst into a later granule: the grown arrays circulate via the
+     drain scratch; ordering must survive the swap and no growth beyond
+     the first warm-up is required. *)
+  burst ~seq0:1000 ~deadline:9.0 300;
+  let popped2 = drain w ~upto:10.0 in
+  let expect2 =
+    List.init 150 (fun i -> (9.0, 1000 + (2 * i)))
+    @ List.init 150 (fun i -> (9.25, 1000 + (2 * i) + 1))
+  in
+  Alcotest.(check (list (pair (float 1e-12) int)))
+    "(deadline, seq) order after scratch swap" expect2 (deadlines_seqs popped2);
+  ignore fp_grown;
+  (* Storage circulates: each drain swaps the hot bucket's arrays with
+     the scratch set, so after a burst per slot plus one revisit (one
+     revolution later, 64 level-0 granules of 1.0, deadlines 69/73 land
+     back in the slots 5/9 warmed above) every party of the rotation —
+     both hot slots and the scratch — holds full-sized arrays. From that
+     point further equal-sized bursts must not grow the footprint at
+     all. *)
+  burst ~seq0:2000 ~deadline:69.0 300;
+  let popped3 = drain w ~upto:70.0 in
+  Alcotest.(check int) "third burst surfaced" 300 (List.length popped3);
+  let fp_warm = Tw.footprint_words w in
+  burst ~seq0:3000 ~deadline:73.0 300;
+  let popped4 = drain w ~upto:74.0 in
+  Alcotest.(check int) "fourth burst surfaced" 300 (List.length popped4);
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint steady once warm (%d then %d words)" fp_warm
+       (Tw.footprint_words w))
+    true
+    (Tw.footprint_words w <= fp_warm)
+
 let suite =
   [
     case "pops in (deadline, seq) order" test_ordering;
+    case "bucket growth keeps order and gens" test_bucket_growth_preserves_order_and_gens;
     case "equal deadlines break by seq" test_seq_ties;
     case "cascade across levels" test_cascade_across_levels;
     case "far-future deadlines clamp and re-cascade" test_far_future_clamped;
