@@ -79,6 +79,38 @@ let run_experiments () =
   !failures
 
 (* ------------------------------------------------------------------ *)
+(* Explorer throughput (--only mcheck)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [--only mcheck] is not an experiment id: it times the bounded model
+   explorer (lib/mcheck/) exhausting two fixed configurations and
+   reports states/s and events/s for BENCH_engine.json. It must be
+   handled before [run_experiments], whose registry lookup exits 2 on
+   unknown ids. *)
+let run_mcheck () =
+  let configs =
+    [ Mcheck.Spec.make ~n:2 (); Mcheck.Spec.make ~n:3 () ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let t0 = Unix.gettimeofday () in
+      let o = Mcheck.Explorer.explore spec in
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = o.Mcheck.Explorer.stats in
+      Format.printf
+        "mcheck n=%d depth=%-2d traces=%-4d pruned=%-4d states=%-4d \
+         events=%-6d %.3fs (%.0f states/s, %.0f events/s)%s@."
+        spec.Mcheck.Spec.n spec.Mcheck.Spec.depth s.Mcheck.Explorer.traces
+        s.pruned s.distinct_states s.events dt
+        (float_of_int s.distinct_states /. dt)
+        (float_of_int s.events /. dt)
+        (if o.Mcheck.Explorer.violations = [] then "" else "  VIOLATIONS");
+      if o.Mcheck.Explorer.violations <> [] then incr failures)
+    configs;
+  !failures
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -207,6 +239,13 @@ let bench_hetero_tolerance =
   Test.make ~name:"hetero tolerance B_e(dt)"
     (Staged.stage (fun () -> ignore (Gcs.Hetero.b_e p ~t_e:0.25 137.5)))
 
+let bench_mcheck_explore =
+  (* Tiny but complete choice tree: the same shape the smoke sweep
+     exhausts, small enough for a sub-second Bechamel quota. *)
+  let spec = Mcheck.Spec.make ~n:2 ~depth:6 ~horizon:2. () in
+  Test.make ~name:"mcheck explore (n=2, depth=6)"
+    (Staged.stage (fun () -> ignore (Mcheck.Explorer.explore spec)))
+
 let bench_weighted_diameter =
   let weighted =
     List.map (fun (e : int * int) -> (e, 13.2)) (Topology.Static.ring 32)
@@ -220,6 +259,7 @@ let microbenches =
     bench_params_b;
     bench_hetero_tolerance; bench_global_skew; bench_local_skew; bench_simulation;
     bench_simulation_faults; bench_flexible_distance; bench_weighted_diameter;
+    bench_mcheck_explore;
   ]
 
 let run_micro () =
@@ -279,6 +319,17 @@ let () =
     end
     else begin
       Format.printf "@.all scaling checks passed@.";
+      exit 0
+    end
+  end;
+  if only = Some "mcheck" then begin
+    let failures = run_mcheck () in
+    if failures > 0 then begin
+      Format.printf "@.%d mcheck configuration(s) had violations@." failures;
+      exit 1
+    end
+    else begin
+      Format.printf "@.all mcheck configurations clean@.";
       exit 0
     end
   end;

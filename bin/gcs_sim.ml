@@ -435,6 +435,45 @@ let sim_cmd =
     List.iter
       (fun v -> Format.printf "  %a@." Gcs.Invariant.pp_violation v)
       (Gcs.Invariant.violations monitor);
+    (* A sim --audit failure should hand back a one-command repro the way
+       fuzz failures do. Only the part of sim's knob space whose recipe
+       coincides with Scenario.run's maps to a spec that replays the
+       identical execution (same PRNG streams, same clock assignment):
+       anything else would print a spec reproducing a different run. *)
+    let scenario_of_sim () =
+      let ( let* ) = Option.bind in
+      let* s_topo =
+        match topology with
+        | Path -> Some 0 | Ring -> Some 1 | Tree -> Some 2 | _ -> None
+      in
+      let* s_drift =
+        (* alternating/walk periods differ (Scenario pins 17/9, sim scales
+           with the horizon), so only the horizon-free patterns map *)
+        match drift with Dperfect -> Some 0 | Dsplit -> Some 1 | _ -> None
+      in
+      let s_delay = match delay with Ymax -> 0 | Yzero -> 1 | Yuniform -> 2 in
+      let s_algo =
+        match algo with
+        | Gcs.Sim.Gradient -> 0 | Gcs.Sim.Flat_gradient -> 1 | Gcs.Sim.Max_only -> 2
+      in
+      let* s_churn =
+        (* Scenario churn is rate 0.3 from seed + 2; sim matches exactly
+           at that rate *)
+        if churn_rate = 0. then Some false
+        else if churn_rate = 0.3 then Some true
+        else None
+      in
+      if
+        rho <> 0.05 || b0 <> None || loss > 0. || new_edge <> None
+        || faults <> [] (* scenario fault replay uses fault seed + 4 *)
+      then None
+      else
+        Some
+          {
+            Audit.Scenario.n; topo = s_topo; drift = s_drift; delay = s_delay;
+            algo = s_algo; churn = s_churn; seed; horizon; faults = [];
+          }
+    in
     Option.iter
       (fun guarantees ->
         let conformance =
@@ -448,7 +487,17 @@ let sim_cmd =
           Audit.Report.merge conformance (Audit.Guarantees.report guarantees)
         in
         Format.printf "audit: %a@." Audit.Report.pp report;
-        if not (Audit.Report.ok report && Gcs.Invariant.ok monitor) then exit 1)
+        if not (Audit.Report.ok report && Gcs.Invariant.ok monitor) then begin
+          (match scenario_of_sim () with
+          | Some sc ->
+            Format.printf "replay spec: %s@." (Audit.Scenario.to_spec sc)
+          | None ->
+            Format.printf
+              "replay spec: (these flags fall outside the fuzz scenario \
+               space — rerun gcs_sim sim with the same arguments to \
+               reproduce)@.");
+          exit 1
+        end)
       guarantees;
     if timeline then begin
       Format.printf "@.%-10s %-12s %-12s %-12s@." "time" "global" "local" "lmax-lag";
@@ -569,9 +618,257 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed_arg $ count $ replay $ out $ jobs_arg $ faults)
 
+(* ------------------------------ mcheck ------------------------------ *)
+
+let mcheck_cmd =
+  let doc =
+    "Exhaustively explore every adversary choice sequence of a tiny configuration \
+     (delay picks from a discretized grid, same-instant dispatch orders, optional \
+     churn and faults) on the real engine, checking each execution against the \
+     model obligations. Counterexamples come out as one-line replay specs and \
+     TLA+ trace instances."
+  in
+  let n =
+    Arg.(value & opt int 2
+         & info [ "n"; "nodes" ] ~docv:"N"
+             ~doc:"Nodes (complete graph). Exhaustive exploration only scales to 2-4.")
+  in
+  let depth =
+    Arg.(value & opt int 12
+         & info [ "depth" ] ~docv:"D"
+             ~doc:
+               "Branching depth: adversary choice points beyond $(docv) take the \
+                canonical option instead of branching.")
+  in
+  let delays =
+    Arg.(value & opt int 3
+         & info [ "delays" ] ~docv:"K"
+             ~doc:
+               "Delay grid size: each message delay is chosen from {i*T/(K-1)}; \
+                3 gives {0, T/2, T}.")
+  in
+  let drifts =
+    Arg.(value & opt string "sf"
+         & info [ "drifts" ] ~docv:"LETTERS"
+             ~doc:
+               "Drift-rate alphabet; every assignment over it is explored. Letters: \
+                s(low, 1-rho), n(ominal), f(ast, 1+rho).")
+  in
+  let horizon =
+    Arg.(value & opt float 4. & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time per branch.")
+  in
+  let churn =
+    Arg.(value & flag
+         & info [ "churn" ] ~doc:"Flap the edge {0,1}: remove at t=1, re-add at t=2.")
+  in
+  let fault_spec =
+    Arg.(value & opt string ""
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fixed fault schedule applied to every explored configuration \
+                   (same grammar as sim --faults).")
+  in
+  let fault_grid =
+    Arg.(value & flag
+         & info [ "fault-grid" ]
+             ~doc:
+               "Also explore each drift assignment under a crash of the last node \
+                at t=1 with restart at t=2.")
+  in
+  let no_tie =
+    Arg.(value & flag
+         & info [ "no-tie" ]
+             ~doc:
+               "Do not enumerate same-instant dispatch orders; use the engine's \
+                default (time, seq) order.")
+  in
+  let max_states =
+    Arg.(value & opt int 0
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Stop a configuration after $(docv) distinct states (0 = unlimited).")
+  in
+  let budget_ms =
+    Arg.(value & opt float 0.
+         & info [ "budget-ms" ] ~docv:"MS"
+             ~doc:"Wall-clock budget over the whole sweep (0 = unlimited).")
+  in
+  let max_violations =
+    Arg.(value & opt int 16
+         & info [ "max-violations" ] ~docv:"N"
+             ~doc:"Stop a configuration after $(docv) counterexamples.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:
+               "Write artifacts into $(docv): counterexample replay specs, their \
+                TLA+ trace instances, and one passing trace instance.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SPEC"
+             ~doc:
+               "Skip exploration and deterministically replay this one-line mcheck \
+                spec (as printed for a counterexample).")
+  in
+  let pp_stats fmt (o : Mcheck.Explorer.outcome) =
+    Format.fprintf fmt
+      "traces=%d pruned=%d states=%d choices=%d events=%d%s%s"
+      o.stats.traces o.stats.pruned o.stats.distinct_states o.stats.choice_points
+      o.stats.events
+      (if o.exhausted then "" else " BUDGET-STOPPED")
+      (if o.truncated then " (truncated at depth)" else "")
+  in
+  let write_tla dir name spec =
+    let module_name = name in
+    let path = Filename.concat dir (module_name ^ ".tla") in
+    write_file path (Mcheck.Tla.export ~module_name spec (Mcheck.Explorer.samples spec));
+    Format.printf "wrote %s@." path
+  in
+  let run n depth delays drifts horizon churn fault_spec fault_grid no_tie max_states
+      budget_ms max_violations out replay =
+    match replay with
+    | Some spec_line -> (
+      match Mcheck.Spec.of_spec spec_line with
+      | Error msg ->
+        Format.eprintf "bad mcheck replay spec: %s@." msg;
+        exit 2
+      | Ok spec -> (
+        match Mcheck.Explorer.replay spec with
+        | exception Mcheck.Explorer.Replay_diverged msg ->
+          Format.eprintf "replay diverged: %s@." msg;
+          exit 2
+        | report, csv ->
+          Format.printf "replaying: %s@.%a@." (Mcheck.Spec.to_spec spec)
+            Audit.Report.pp report;
+          Option.iter
+            (fun dir ->
+              mkdir_p dir;
+              let path = Filename.concat dir "replay_trace.csv" in
+              write_file path csv;
+              Format.printf "wrote %s@." path;
+              write_tla dir "McheckTrace_replay" spec)
+            out;
+          if not (Audit.Report.ok report) then exit 1))
+    | None ->
+      let faults =
+        if fault_spec = "" then []
+        else
+          match Dsim.Fault.of_spec fault_spec with
+          | Ok sched -> sched
+          | Error msg ->
+            Format.eprintf "cannot parse --faults spec: %s@." msg;
+            exit 2
+      in
+      if faults <> [] && fault_grid then begin
+        Format.eprintf "--faults and --fault-grid are mutually exclusive@.";
+        exit 2
+      end;
+      let roots =
+        try
+          let base =
+            Mcheck.Explorer.roots ~delays ~horizon ~depth ~tie:(not no_tie) ~churn
+              ~fault_grid ~alphabet:drifts ~n ()
+          in
+          if faults = [] then base
+          else
+            List.map
+              (fun s ->
+                let s = { s with Mcheck.Spec.faults } in
+                match Mcheck.Spec.validate s with
+                | Ok () -> s
+                | Error msg -> Fmt.failwith "invalid configuration: %s" msg)
+              base
+        with Invalid_argument msg | Failure msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+      in
+      let t0 = Unix.gettimeofday () in
+      let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+      let max_states = if max_states <= 0 then max_int else max_states in
+      let tr = ref 0 and st = ref 0 and ev = ref 0 and stopped = ref 0 in
+      let cexs = ref [] in
+      List.iter
+        (fun root ->
+          Format.printf "config: %s@." (Mcheck.Spec.to_spec root);
+          let budget =
+            if budget_ms <= 0. then 0.
+            else Float.max 1. (budget_ms -. elapsed_ms ())
+          in
+          let levels =
+            Mcheck.Explorer.explore_deepening ~max_states ~budget_ms:budget
+              ~max_violations root
+          in
+          List.iter
+            (fun (l : Mcheck.Explorer.level) ->
+              Format.printf "  depth %2d: %a@." l.at_depth pp_stats l.outcome;
+              List.iter
+                (fun (c : Mcheck.Explorer.counterexample) ->
+                  let key = Mcheck.Spec.to_spec c.spec in
+                  if not (List.exists (fun (k, _) -> k = key) !cexs) then
+                    cexs := (key, c) :: !cexs)
+                l.outcome.violations)
+            levels;
+          (match List.rev levels with
+          | (last : Mcheck.Explorer.level) :: _ ->
+            tr := !tr + last.outcome.stats.traces;
+            st := !st + last.outcome.stats.distinct_states;
+            ev := !ev + last.outcome.stats.events;
+            if not last.outcome.exhausted then incr stopped
+          | [] -> ()))
+        roots;
+      let dt = Float.max 1e-9 (elapsed_ms () /. 1000.) in
+      Format.printf
+        "mcheck: %d configurations, %d traces, %d distinct states, %d events in \
+         %.2fs (%.0f states/s, %.0f events/s)%s@."
+        (List.length roots) !tr !st !ev dt
+        (float_of_int !st /. dt)
+        (float_of_int !ev /. dt)
+        (if !stopped = 0 then "" else Printf.sprintf ", %d budget-stopped" !stopped);
+      let cexs = List.rev !cexs in
+      Option.iter
+        (fun dir ->
+          mkdir_p dir;
+          (* one passing trace instance so CI always has an Apalache input *)
+          (match roots with
+          | first :: _ when cexs = [] ->
+            write_tla dir "McheckTrace_ok" { first with Mcheck.Spec.choices = [] }
+          | _ -> ());
+          if cexs <> [] then begin
+            let buf = Buffer.create 256 in
+            List.iteri
+              (fun i (_, (c : Mcheck.Explorer.counterexample)) ->
+                let shrunk = Mcheck.Explorer.shrink c.spec in
+                Buffer.add_string buf (Mcheck.Spec.to_spec shrunk);
+                Buffer.add_char buf '\n';
+                write_tla dir (Printf.sprintf "McheckTrace_cex_%d" (i + 1)) shrunk)
+              cexs;
+            let path = Filename.concat dir "counterexamples.spec" in
+            write_file path (Buffer.contents buf);
+            Format.printf "wrote %s@." path
+          end)
+        out;
+      if cexs <> [] then begin
+        Format.printf "%d counterexample(s):@." (List.length cexs);
+        List.iter
+          (fun (_, (c : Mcheck.Explorer.counterexample)) ->
+            Format.printf "  replay spec: %s@." (Mcheck.Spec.to_spec c.spec);
+            List.iter
+              (fun v -> Format.printf "    %a@." Audit.Report.pp_violation v)
+              c.report.Audit.Report.violations)
+          cexs;
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "mcheck" ~doc)
+    Term.(
+      const run $ n $ depth $ delays $ drifts $ horizon $ churn $ fault_spec
+      $ fault_grid $ no_tie $ max_states $ budget_ms $ max_violations $ out $ replay)
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
   let doc = "Gradient clock synchronization in dynamic networks (SPAA 2009) simulator." in
   let info = Cmd.info "gcs_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; params_cmd; sim_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; exp_cmd; params_cmd; sim_cmd; fuzz_cmd; mcheck_cmd ]))

@@ -349,47 +349,61 @@ let finish st =
         e.obligations)
     st.edges
 
-let audit cfg entries =
-  let st =
-    {
-      cfg;
-      edges = Hashtbl.create 64;
-      links = Hashtbl.create 64;
-      violations = [];
-      audited = 0;
-    }
-  in
-  List.iter
-    (fun { Trace.time; kind; a; b; c } ->
-      st.audited <- st.audited + 1;
-      match kind with
-      | Trace.Send -> on_send st ~time a b c
-      | Trace.Deliver -> on_deliver st ~time a b c
-      | Trace.Drop_no_edge ->
-        let e = edge_state st a b in
-        if e.present then
-          violationf st ~time "drop-no-edge-but-present" "%d->%d dropped as edgeless but {%d,%d} exists" a b a b
-      | Trace.Drop_in_flight -> on_drop_in_flight st ~time a b c
-      | Trace.Drop_lossy -> on_drop_lossy st ~time a b c
-      | Trace.Edge_add -> on_edge_change st ~time ~add:true a b
-      | Trace.Edge_remove -> on_edge_change st ~time ~add:false a b
-      | Trace.Discover_add -> on_discover st ~time ~add:true a b c
-      | Trace.Discover_remove -> on_discover st ~time ~add:false a b c
-      | Trace.Timer_fire -> on_timer_fire st ~time a b
-      | Trace.Fault_duplicate ->
-        (* Recorded at send time: licenses one extra sendless deliver or
-           drop on this directed link, whenever the copy lands. *)
-        let link = link_state st a b in
-        link.dup_credit <- link.dup_credit + 1
-      | Trace.Fault_crash | Trace.Fault_restart | Trace.Fault_corrupt
-      | Trace.Fault_byzantine_msg ->
-        (* Informational: excusals key off the schedule in the config. *)
-        ()
-      | Trace.Discover_stale | Trace.Timer_stale -> ())
-    entries;
+(* ---- Incremental API: the explorer feeds entries one at a time as the
+   engine produces them; [audit] below is the offline replay built on the
+   same three calls, so the two can never drift apart. ---- *)
+
+let create cfg =
+  {
+    cfg;
+    edges = Hashtbl.create 64;
+    links = Hashtbl.create 64;
+    violations = [];
+    audited = 0;
+  }
+
+let step st { Trace.time; kind; a; b; c } =
+  st.audited <- st.audited + 1;
+  match kind with
+  | Trace.Send -> on_send st ~time a b c
+  | Trace.Deliver -> on_deliver st ~time a b c
+  | Trace.Drop_no_edge ->
+    let e = edge_state st a b in
+    if e.present then
+      violationf st ~time "drop-no-edge-but-present" "%d->%d dropped as edgeless but {%d,%d} exists" a b a b
+  | Trace.Drop_in_flight -> on_drop_in_flight st ~time a b c
+  | Trace.Drop_lossy -> on_drop_lossy st ~time a b c
+  | Trace.Edge_add -> on_edge_change st ~time ~add:true a b
+  | Trace.Edge_remove -> on_edge_change st ~time ~add:false a b
+  | Trace.Discover_add -> on_discover st ~time ~add:true a b c
+  | Trace.Discover_remove -> on_discover st ~time ~add:false a b c
+  | Trace.Timer_fire -> on_timer_fire st ~time a b
+  | Trace.Fault_duplicate ->
+    (* Recorded at send time: licenses one extra sendless deliver or
+       drop on this directed link, whenever the copy lands. *)
+    let link = link_state st a b in
+    link.dup_credit <- link.dup_credit + 1
+  | Trace.Fault_crash | Trace.Fault_restart | Trace.Fault_corrupt
+  | Trace.Fault_byzantine_msg ->
+    (* Informational: excusals key off the schedule in the config. *)
+    ()
+  | Trace.Delay_clamped ->
+    (* A clamped adversary draw is the policy's bug, not the engine's;
+       the explorer treats it as fatal separately (it voids coverage). *)
+    ()
+  | Trace.Discover_stale | Trace.Timer_stale -> ()
+
+let violation_count st = List.length st.violations
+
+let finish st =
   finish st;
   {
     Report.violations = List.rev st.violations;
     events_audited = st.audited;
     probes = 0;
   }
+
+let audit cfg entries =
+  let st = create cfg in
+  List.iter (step st) entries;
+  finish st

@@ -73,4 +73,31 @@ val of_params :
 
 val audit : config -> Dsim.Trace.entry list -> Report.t
 (** Replay the entries (which must be in time order, as recorded) and
-    return every violation found. *)
+    return every violation found. Equivalent to {!create}, {!step} over
+    each entry, then {!finish}. *)
+
+(** {1 Incremental interface}
+
+    The same checks, fed one entry at a time — this is what the bounded
+    model explorer uses to audit a trace as the engine produces it, and
+    [audit] above is implemented on top of it, so the two can never
+    diverge. *)
+
+type state
+(** In-progress audit: the reconstructed edge set, per-link send queues
+    and the violations found so far. *)
+
+val create : config -> state
+
+val step : state -> Dsim.Trace.entry -> unit
+(** Feed the next entry. Entries must arrive in recorded (time) order. *)
+
+val finish : state -> Report.t
+(** Run the end-of-execution checks (undelivered sends, final receipt
+    gaps, unmet discovery obligations) and return the full report. Call
+    at most once; the state must not be stepped afterwards. *)
+
+val violation_count : state -> int
+(** Violations found so far, {e not} counting end-of-run checks — cheap
+    enough to poll after every [step] so an explorer can abandon a branch
+    at the first violation. *)

@@ -56,7 +56,11 @@ let candidates s =
       (if s.Scenario.topo <> 0 then Some { s with Scenario.topo = 0 } else None);
     ]
 
-let shrink_with ~fails s =
+(* The generic greedy fixpoint: take the first candidate that still
+   fails and restart from it, so a given failing input always walks the
+   same path to its minimum. Polymorphic so other spec types (e.g. the
+   model explorer's counterexample specs) shrink with the same engine. *)
+let greedy ~fails ~candidates s =
   if not (fails s) then s
   else begin
     let rec go s =
@@ -66,6 +70,8 @@ let shrink_with ~fails s =
     in
     go s
   end
+
+let shrink_with ~fails s = greedy ~fails ~candidates s
 
 let shrink s = shrink_with ~fails s
 

@@ -20,6 +20,15 @@ type outcome = {
   failures : failure list;
 }
 
+val greedy : fails:('a -> bool) -> candidates:('a -> 'a list) -> 'a -> 'a
+(** The shrinking engine, polymorphic over the spec type: repeatedly
+    replace the input with the first candidate that still satisfies
+    [fails], restarting from it, until no candidate fails. [candidates]
+    must eventually return an empty (or all-passing) list or shrinking
+    diverges. Returns the input unchanged if it does not fail. The model
+    explorer shrinks its counterexample specs through this with its own
+    candidate rules. *)
+
 val shrink_with : fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
 (** Greedy deterministic minimization against an arbitrary failure
     predicate: repeatedly take the first simplification (drop faults,

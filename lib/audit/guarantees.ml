@@ -9,6 +9,14 @@ let eps_abs = 1e-9
 let eps_rel = 1e-7
 let slack m = eps_abs +. (eps_rel *. Float.abs m)
 
+(* Lemma 6.8: on a connected network the spread of the Lmax estimates is
+   at most (1+rho)(n-1)dT — one dT propagation hop per node, each aged by
+   at most the fastest clock rate. Shared with the model explorer. *)
+let lmax_lag_bound params =
+  (1. +. params.Gcs.Params.rho)
+  *. float_of_int (params.Gcs.Params.n - 1)
+  *. Gcs.Params.delta_t params
+
 (* Fold a node statistic over the nodes that are up at [time]; crashed
    nodes keep stale frozen state that proves nothing about the engine. *)
 let fold_alive view faults ~time f init =
@@ -46,11 +54,7 @@ let probe engine view ~params ~check_envelope ~faults ~suspend_from ~suspend_unt
                                          | Some l -> l
                                          | None -> suspend_until)))
       else add "global-skew-bound" (Printf.sprintf "global skew %.9g > G(n)=%.9g" g g_bound);
-    let lag_bound =
-      (1. +. params.Gcs.Params.rho)
-      *. float_of_int (params.Gcs.Params.n - 1)
-      *. Gcs.Params.delta_t params
-    in
+    let lag_bound = lmax_lag_bound params in
     let lag =
       fold_alive view faults ~time
         (fun (lo, hi) i ->

@@ -25,6 +25,11 @@
 
 type t
 
+val lmax_lag_bound : Gcs.Params.t -> float
+(** The Lemma 6.8 bound [(1+ρ)(n-1)ΔT] on the spread of the [Lmax]
+    estimates over a connected network — the exact expression the probe
+    checks, exported so the model explorer checks the same number. *)
+
 val attach :
   (Gcs.Proto.message, Gcs.Proto.timer) Dsim.Engine.t ->
   Gcs.Metrics.view ->

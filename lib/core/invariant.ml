@@ -2,13 +2,21 @@ module Engine = Dsim.Engine
 
 type violation = { time : float; node : int; kind : string; detail : string }
 
-type monitor = {
+(* The checker is engine-independent: it sees only probe instants and the
+   per-node clock accessors, so the offline monitor ([attach]) and the
+   bounded model explorer share one implementation of the rules. *)
+type checker = {
+  n : int;
+  rate_floor : float;
+  faults : Dsim.Fault.schedule;
   mutable violations : violation list; (* newest first *)
   mutable probes : int;
   prev_clock : float array;
   mutable prev_time : float;
   mutable primed : bool;
 }
+
+type monitor = checker
 
 (* Float slack must scale with the magnitudes compared: clocks and probe
    gaps grow with the horizon, and a fixed absolute epsilon both masks
@@ -18,68 +26,87 @@ let eps_abs = 1e-9
 let eps_rel = 1e-7
 let slack magnitude = eps_abs +. (eps_rel *. Float.abs magnitude)
 
-let probe view faults rate_floor monitor time =
-  monitor.probes <- monitor.probes + 1;
-  for i = 0 to view.Metrics.n - 1 do
+let checker ~n ~params ?rate_floor ?(faults = []) () =
+  let rate_floor =
+    match rate_floor with
+    | Some f -> f
+    | None -> 1. -. params.Params.rho
+  in
+  {
+    n;
+    rate_floor;
+    faults;
+    violations = [];
+    probes = 0;
+    prev_clock = Array.make n 0.;
+    prev_time = 0.;
+    primed = false;
+  }
+
+let observe c ~time ~l:clock_of ~lmax:lmax_of =
+  c.probes <- c.probes + 1;
+  for i = 0 to c.n - 1 do
     (* Crashed nodes have no state to check; a node that crashed or
        restarted since the previous probe lost (or had corrupted) its
        clock, so the min-rate window does not span the discontinuity. *)
-    let up = Dsim.Fault.alive faults ~node:i ~at:time in
+    let up = Dsim.Fault.alive c.faults ~node:i ~at:time in
+    (* Left-closed window, unlike [Fault.crashed_in]: a probe can land at
+       the exact instant of a pending op but before its dispatch (the
+       explorer probes before every same-instant event), so an op at
+       [prev_time] may postdate the previous sample and must still
+       suspend this window. *)
     let discontinuity =
-      Dsim.Fault.crashed_in faults ~node:i monitor.prev_time time
-      || Dsim.Fault.restarted_in faults ~node:i monitor.prev_time time
+      List.exists
+        (function
+          | Dsim.Fault.Crash { node = v; at }
+          | Dsim.Fault.Restart { node = v; at; _ } ->
+            v = i && at >= c.prev_time && at <= time
+          | _ -> false)
+        c.faults
     in
     if up then begin
-      let l = view.Metrics.clock_of i in
-      let lmax = view.Metrics.lmax_of i in
+      let l = clock_of i in
+      let lmax = lmax_of i in
       if lmax < l -. slack l then
-        monitor.violations <-
+        c.violations <-
           {
             time;
             node = i;
             kind = "lmax-dominance";
             detail = Printf.sprintf "L=%.9g > Lmax=%.9g" l lmax;
           }
-          :: monitor.violations;
-      if monitor.primed && not discontinuity then begin
-        let dt = time -. monitor.prev_time in
-        let dl = l -. monitor.prev_clock.(i) in
-        if dl < (rate_floor *. dt) -. slack (Float.abs l +. dt) then
-          monitor.violations <-
+          :: c.violations;
+      if c.primed && not discontinuity then begin
+        let dt = time -. c.prev_time in
+        let dl = l -. c.prev_clock.(i) in
+        if dl < (c.rate_floor *. dt) -. slack (Float.abs l +. dt) then
+          c.violations <-
             {
               time;
               node = i;
               kind = "min-rate";
-              detail = Printf.sprintf "dL=%.9g over dt=%.9g (floor %.3g)" dl dt rate_floor;
+              detail =
+                Printf.sprintf "dL=%.9g over dt=%.9g (floor %.3g)" dl dt
+                  c.rate_floor;
             }
-            :: monitor.violations
+            :: c.violations
       end;
-      monitor.prev_clock.(i) <- l
+      c.prev_clock.(i) <- l
     end
   done;
-  monitor.prev_time <- time;
-  monitor.primed <- true
+  c.prev_time <- time;
+  c.primed <- true
+
+let observe_view c view ~time =
+  observe c ~time ~l:view.Metrics.clock_of ~lmax:view.Metrics.lmax_of
 
 let attach engine view ~params ~every ~until ?rate_floor ?(faults = []) () =
   if every <= 0. then invalid_arg "Invariant.attach: period must be positive";
-  let rate_floor =
-    match rate_floor with
-    | Some f -> f
-    | None -> 1. -. params.Params.rho
-  in
-  let monitor =
-    {
-      violations = [];
-      probes = 0;
-      prev_clock = Array.make view.Metrics.n 0.;
-      prev_time = 0.;
-      primed = false;
-    }
-  in
+  let monitor = checker ~n:view.Metrics.n ~params ?rate_floor ~faults () in
   let rec schedule time =
     if time <= until then
       Engine.at engine ~time (fun () ->
-          probe view faults rate_floor monitor (Engine.now engine);
+          observe_view monitor view ~time:(Engine.now engine);
           schedule (time +. every))
   in
   schedule (Engine.now engine);

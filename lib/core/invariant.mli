@@ -15,7 +15,32 @@
 
 type violation = { time : float; node : int; kind : string; detail : string }
 
-type monitor
+type checker
+(** The engine-independent core: a sequence of probe observations checked
+    against the rules above. {!attach} drives one from engine callbacks;
+    the bounded model explorer drives one directly at its choice points.
+    Both paths run the identical rule code. *)
+
+type monitor = checker
+
+val checker :
+  n:int ->
+  params:Params.t ->
+  ?rate_floor:float ->
+  ?faults:Dsim.Fault.schedule ->
+  unit ->
+  checker
+(** A fresh checker over [n] nodes. [rate_floor] defaults to
+    [1 - params.rho]; [faults] (default none) must match the schedule the
+    observed execution runs under. *)
+
+val observe :
+  checker -> time:float -> l:(int -> float) -> lmax:(int -> float) -> unit
+(** Feed one probe: the clock accessors are sampled for every node alive
+    at [time]. Observation times must be non-decreasing. *)
+
+val observe_view : checker -> Metrics.view -> time:float -> unit
+(** {!observe} with the accessors of a metrics view. *)
 
 val attach :
   (Proto.message, Proto.timer) Dsim.Engine.t ->

@@ -45,7 +45,10 @@ val uniform_in : Prng.t -> bound:float -> lo:float -> hi:float -> t
 
 val directed : bound:float -> (src:int -> dst:int -> now:float -> float) -> t
 (** Fully custom policy; used by the lower-bound adversary. Drawn values
-    are clamped to [\[0, bound\]] by the engine. *)
+    are clamped to [\[0, bound\]] by the engine, which records a
+    {!Trace.kind.Delay_clamped} warning for each clamp — an out-of-range
+    draw almost always means the policy is broken, and silently narrowing
+    it would skew any coverage argument built on top of it. *)
 
 val per_edge : bound:float -> default:t -> ((int * int) -> float option) -> t
 (** [per_edge ~bound ~default f] uses the fixed delay [f (u, v)] on edges

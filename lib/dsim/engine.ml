@@ -280,6 +280,20 @@ type fault_state = {
    assignment. *)
 type fscratch = { mutable now : float; mutable cand_time : float }
 
+(* Scratch for the tie-break hook: the same-instant event group is popped
+   out of the queue registers into these parallel arrays before the hook
+   picks which member dispatches next. *)
+type tb_scratch = {
+  mutable tb_seq : int array;
+  mutable tb_kind : int array;
+  mutable tb_a : int array;
+  mutable tb_b : int array;
+  mutable tb_c : int array;
+  mutable tb_d : int array;
+  mutable tb_payload : Obj.t array;
+  mutable tb_len : int;
+}
+
 type ('msg, 'timer) t = {
   mutable n : int;
   mutable clocks : Hwclock.t array;
@@ -326,6 +340,11 @@ type ('msg, 'timer) t = {
   corrupt_msg : (src:int -> Prng.t -> 'msg -> 'msg) option;
       (* Applied to messages a Byzantine node sends during its window. *)
   mutable restart_handlers : (corrupt:Prng.t option -> unit) option array;
+  mutable tie_break : (int -> int) option;
+      (* Adversary hook: given the size k of the same-instant event group
+         at the queue head, returns the index (in seq order) of the event
+         to dispatch next. Heap scheduler + single shard only. *)
+  tb : tb_scratch;
 }
 
 and ('msg, 'timer) handlers = {
@@ -428,6 +447,18 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       faults = fault_state;
       corrupt_msg;
       restart_handlers = Array.make n None;
+      tie_break = None;
+      tb =
+        {
+          tb_seq = [||];
+          tb_kind = [||];
+          tb_a = [||];
+          tb_b = [||];
+          tb_c = [||];
+          tb_d = [||];
+          tb_payload = [||];
+          tb_len = 0;
+        };
     }
   in
   List.iter
@@ -589,8 +620,18 @@ let send ctx ~dst msg =
         if c >= 0. then c
         else begin
           let d = t.delay.Delay.draw ~src ~dst ~now in
-          if d < 0. then 0.
-          else if d > t.delay.Delay.bound then t.delay.Delay.bound
+          (* An out-of-range draw is clamped but loudly traced: a silent
+             clamp can mask a broken adversary policy (and would quietly
+             shrink the delay space an exhaustive explorer thinks it is
+             covering). *)
+          if d < 0. then begin
+            Trace.record t.trace ~time:now Delay_clamped src dst epoch;
+            0.
+          end
+          else if d > t.delay.Delay.bound then begin
+            Trace.record t.trace ~time:now Delay_clamped src dst epoch;
+            t.delay.Delay.bound
+          end
           else d
         end
       in
@@ -994,6 +1035,76 @@ let run_queue_event t q =
     dispatch t q kind
   end
 
+let set_tie_break t hook =
+  (match hook with
+  | Some _ when t.sched <> Heap || t.shards <> 1 ->
+    invalid_arg
+      "Engine.set_tie_break: the hook requires the heap scheduler and a \
+       single shard"
+  | _ -> ());
+  t.tie_break <- hook
+
+let tb_push tb ~seq ~kind ~a ~b ~c ~d payload =
+  let cap = Array.length tb.tb_seq in
+  if tb.tb_len = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let grow arr =
+      let n = Array.make ncap 0 in
+      Array.blit arr 0 n 0 tb.tb_len;
+      n
+    in
+    tb.tb_seq <- grow tb.tb_seq;
+    tb.tb_kind <- grow tb.tb_kind;
+    tb.tb_a <- grow tb.tb_a;
+    tb.tb_b <- grow tb.tb_b;
+    tb.tb_c <- grow tb.tb_c;
+    tb.tb_d <- grow tb.tb_d;
+    let np = Array.make ncap no_payload in
+    Array.blit tb.tb_payload 0 np 0 tb.tb_len;
+    tb.tb_payload <- np
+  end;
+  let i = tb.tb_len in
+  tb.tb_seq.(i) <- seq;
+  tb.tb_kind.(i) <- kind;
+  tb.tb_a.(i) <- a;
+  tb.tb_b.(i) <- b;
+  tb.tb_c.(i) <- c;
+  tb.tb_d.(i) <- d;
+  tb.tb_payload.(i) <- payload;
+  tb.tb_len <- i + 1
+
+(* With a tie-break hook installed, every event due at the candidate
+   instant is popped into scratch and the hook picks which one dispatches
+   next. The group is re-pushed with the chosen event's seq lowered to -1
+   (below every allocated rank, so the following [Equeue.pop] surfaces it)
+   while the others keep their original seqs. The hook is consulted again
+   before each subsequent dispatch at the instant — including any events
+   the chosen handler just scheduled at the same time — so repeated calls
+   enumerate every permutation of a same-instant group one choice at a
+   time. Groups of one dispatch without consulting the hook. *)
+let tie_break_pop t q pick =
+  let tm = Equeue.next_time q in
+  let tb = t.tb in
+  tb.tb_len <- 0;
+  while (not (Equeue.is_empty q)) && Equeue.next_time q = tm do
+    let seq = Equeue.top_seq q in
+    Equeue.pop q;
+    tb_push tb ~seq ~kind:(Equeue.ev_kind q) ~a:(Equeue.ev_a q)
+      ~b:(Equeue.ev_b q) ~c:(Equeue.ev_c q) ~d:(Equeue.ev_d q)
+      (Equeue.ev_payload q);
+    Equeue.release q
+  done;
+  let k = tb.tb_len in
+  let j = pick k in
+  if j < 0 || j >= k then
+    invalid_arg "Engine tie-break hook returned an out-of-range choice";
+  for i = 0 to k - 1 do
+    let seq = if i = j then -1 else tb.tb_seq.(i) in
+    Equeue.push q ~time:tm ~seq ~kind:tb.tb_kind.(i) ~a:tb.tb_a.(i)
+      ~b:tb.tb_b.(i) ~c:tb.tb_c.(i) ~d:tb.tb_d.(i) tb.tb_payload.(i);
+    tb.tb_payload.(i) <- no_payload
+  done
+
 (* Pick the earliest (time, seq) candidate across every shard's queue and
    wheel into the [cand_*] scratch fields. The per-shard wheel is only
    resolved up to its own queue head (or the horizon) — the same lazy
@@ -1071,6 +1182,9 @@ let run_until t horizon =
          end
          else begin
            let q = t.queues.(s) in
+           (match t.tie_break with
+           | Some pick -> tie_break_pop t q pick
+           | None -> ());
            Equeue.pop q;
            run_queue_event t q;
            Equeue.release q

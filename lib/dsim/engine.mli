@@ -177,6 +177,24 @@ val run_until : ('msg, 'timer) t -> float -> unit
     current time to [horizon]. May be called repeatedly with increasing
     horizons. *)
 
+val set_tie_break : ('msg, 'timer) t -> (int -> int) option -> unit
+(** Install (or clear) the adversary tie-break hook used by the bounded
+    model explorer. When set, each time the dispatch loop is about to pop
+    a queue event it first gathers the whole group of events due at that
+    instant and calls the hook with the group size [k]; the hook returns
+    the index (in (time, seq) order, i.e. scheduling order) of the event
+    to dispatch next. Returning out-of-range raises. The hook is
+    consulted before {e every} queue-event dispatch, including groups of
+    size 1 (where it must return 0) — this doubles as a clean
+    between-events callback for probing, since no handler is mid-flight
+    when it runs. Events the chosen handler schedules at the same
+    instant join the next group, so an enumerating caller visits every
+    permutation of a same-instant group one choice at a time, and a hook
+    that always returns 0 reproduces the default (time, seq) order
+    exactly. Only supported under the [`Heap] scheduler with a single
+    shard; setting it on any other configuration raises
+    [Invalid_argument]. *)
+
 val events_processed : ('msg, 'timer) t -> int
 (** Events dispatched so far. Stale timer entries (cancelled or
     superseded) are discarded when they surface in the queue and are

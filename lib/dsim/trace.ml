@@ -16,6 +16,7 @@ type kind =
   | Fault_corrupt
   | Fault_byzantine_msg
   | Fault_duplicate
+  | Delay_clamped
 
 let kind_index = function
   | Send -> 0
@@ -35,8 +36,9 @@ let kind_index = function
   | Fault_corrupt -> 14
   | Fault_byzantine_msg -> 15
   | Fault_duplicate -> 16
+  | Delay_clamped -> 17
 
-let kind_count = 17
+let kind_count = 18
 
 let kind_to_string = function
   | Send -> "send"
@@ -56,12 +58,13 @@ let kind_to_string = function
   | Fault_corrupt -> "fault-corrupt"
   | Fault_byzantine_msg -> "fault-byz-msg"
   | Fault_duplicate -> "fault-duplicate"
+  | Delay_clamped -> "delay-clamped"
 
 let all_kinds =
   [ Send; Deliver; Drop_no_edge; Drop_in_flight; Drop_lossy; Edge_add; Edge_remove;
     Discover_add; Discover_remove; Discover_stale; Timer_fire; Timer_stale;
     Fault_crash; Fault_restart; Fault_corrupt; Fault_byzantine_msg;
-    Fault_duplicate ]
+    Fault_duplicate; Delay_clamped ]
 
 type entry = { time : float; kind : kind; a : int; b : int; c : int }
 
@@ -96,7 +99,7 @@ let pp_detail fmt e =
     Format.fprintf fmt "%d:{%d,%d}" e.a e.a e.b
   | Timer_fire | Timer_stale -> Format.fprintf fmt "%d" e.a
   | Fault_crash | Fault_restart | Fault_corrupt -> Format.fprintf fmt "%d" e.a
-  | Fault_byzantine_msg | Fault_duplicate ->
+  | Fault_byzantine_msg | Fault_duplicate | Delay_clamped ->
     Format.fprintf fmt "%d->%d" e.a e.b
 
 let detail e = Format.asprintf "%a" pp_detail e

@@ -24,6 +24,9 @@ type kind =
   | Fault_corrupt    (** the restart resumed from corrupted state *)
   | Fault_byzantine_msg  (** a Byzantine sender corrupted this message *)
   | Fault_duplicate  (** an extra copy of this send was injected *)
+  | Delay_clamped
+      (** a user delay policy drew outside [0, bound] and the engine
+          clamped it — almost always a broken adversary policy *)
 
 val kind_to_string : kind -> string
 

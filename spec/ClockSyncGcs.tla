@@ -1,0 +1,205 @@
+--------------------------- MODULE ClockSyncGcs ---------------------------
+(*
+ * Abstract TLA+ model of the dynamic gradient clock synchronization
+ * algorithm (Kuhn, Locher, Oshman, SPAA 2009, Algorithm 2) over the
+ * Section 3.2 network model: FIFO links with delay at most T, a dynamic
+ * edge set that drops in-flight messages when it changes, hardware
+ * clocks with bounded drift, and a broadcast of the node's max estimate
+ * every DH subjective time units.
+ *
+ * The clock adjustment is over-approximated: on a receipt the logical
+ * clock may jump anywhere between its current value and the (updated)
+ * max estimate. Every behavior of the simulator's Algorithm 2 is a
+ * behavior of this model, so invariants proved here (dominance of the
+ * max estimate, the minimum logical rate built into AdvanceTime) hold
+ * for the implementation — and the bounded model explorer exports its
+ * traces as instances checked against the same sample-step relation
+ * (SampleOk below; see Tla.export and spec/README.md).
+ *
+ * All times and clock values are integers scaled by SCALE (fixed-point:
+ * a real value x is represented by x * SCALE, rounded).
+ *)
+EXTENDS Integers
+
+CONSTANTS
+    \* number of nodes
+    \* @type: Int;
+    N,
+    \* maximum message delay T, scaled
+    \* @type: Int;
+    TMAX,
+    \* broadcast period DH (the paper's ΔH), scaled subjective time
+    \* @type: Int;
+    DH,
+    \* minimum hardware rate (1 - rho), in parts of SCALE
+    \* @type: Int;
+    RMIN,
+    \* maximum hardware rate (1 + rho), in parts of SCALE
+    \* @type: Int;
+    RMAX,
+    \* fixed-point scale factor
+    \* @type: Int;
+    SCALE
+
+ASSUME
+    /\ N >= 2
+    /\ TMAX >= 0
+    /\ DH > 0
+    /\ 0 < RMIN /\ RMIN <= SCALE /\ SCALE <= RMAX
+
+Proc == 1..N
+
+VARIABLES
+    \* real time, scaled (inaccessible to the nodes)
+    \* @type: Int;
+    time,
+    \* hardware clocks
+    \* @type: Int -> Int;
+    hc,
+    \* logical clocks L
+    \* @type: Int -> Int;
+    l,
+    \* max estimates Lmax
+    \* @type: Int -> Int;
+    lmax,
+    \* live undirected edges, stored as ordered pairs u < v
+    \* @type: Set(<<Int, Int>>);
+    edges,
+    \* in-flight messages; deadline = send time + TMAX
+    \* @type: Set([src: Int, dst: Int, lm: Int, seq: Int, deadline: Int]);
+    msgs,
+    \* hardware clock value at the node's last broadcast
+    \* @type: Int -> Int;
+    lastSend,
+    \* global send sequence counter: FIFO order within each link
+    \* @type: Int;
+    sseq
+
+Edge(u, v) == IF u < v THEN <<u, v>> ELSE <<v, u>>
+
+Max2(a, b) == IF a >= b THEN a ELSE b
+
+(***************************** INITIALIZATION ******************************)
+
+\* All clocks start synchronized at 0 on the complete graph.
+Init ==
+    /\ time = 0
+    /\ hc = [p \in Proc |-> 0]
+    /\ l = [p \in Proc |-> 0]
+    /\ lmax = [p \in Proc |-> 0]
+    /\ edges = { pr \in Proc \X Proc : pr[1] < pr[2] }
+    /\ msgs = {}
+    /\ lastSend = [p \in Proc |-> 0]
+    /\ sseq = 0
+
+(******************************** ACTIONS **********************************)
+
+(*
+ * Real time advances by delta; every clock advances within the drift
+ * bound, and between discrete events the logical clock and max estimate
+ * advance exactly at the hardware rate (Algorithm 2 between receipts).
+ * Two liveness obligations are folded in as guards: time may not pass an
+ * in-flight message's delivery deadline (delay <= T), and no hardware
+ * clock may pass its next broadcast instant (a broadcast every DH).
+ *)
+AdvanceTime(delta) ==
+    /\ delta > 0
+    /\ \A m \in msgs : time + delta <= m.deadline
+    /\ \E adv \in [Proc -> Int] :
+         /\ \A p \in Proc :
+              /\ adv[p] * SCALE >= RMIN * delta
+              /\ adv[p] * SCALE <= RMAX * delta
+              /\ hc[p] + adv[p] <= lastSend[p] + DH
+         /\ hc' = [p \in Proc |-> hc[p] + adv[p]]
+         /\ l' = [p \in Proc |-> l[p] + adv[p]]
+         /\ lmax' = [p \in Proc |-> lmax[p] + adv[p]]
+    /\ time' = time + delta
+    /\ UNCHANGED <<edges, msgs, lastSend, sseq>>
+
+\* Broadcast the max estimate to every current neighbor (one shared
+\* sequence number is fine: FIFO is per directed link).
+Broadcast(p) ==
+    /\ hc[p] - lastSend[p] >= DH
+    /\ lastSend' = [lastSend EXCEPT ![p] = hc[p]]
+    /\ msgs' = msgs \union
+         { [src |-> p, dst |-> q, lm |-> lmax[p], seq |-> sseq,
+            deadline |-> time + TMAX] :
+           q \in { q2 \in Proc : q2 /= p /\ Edge(p, q2) \in edges } }
+    /\ sseq' = sseq + 1
+    /\ UNCHANGED <<time, hc, l, lmax, edges>>
+
+\* Deliver the oldest in-flight message of its directed link, provided
+\* the edge still exists. The receiver folds the estimate into Lmax and
+\* may adjust L anywhere up to the new Lmax (the over-approximation of
+\* Algorithm 2's bounded-tolerance jump).
+Deliver(m) ==
+    /\ m \in msgs
+    /\ Edge(m.src, m.dst) \in edges
+    /\ \A m2 \in msgs :
+         (m2.src = m.src /\ m2.dst = m.dst) => m.seq <= m2.seq
+    /\ msgs' = msgs \ {m}
+    /\ lmax' = [lmax EXCEPT ![m.dst] = Max2(lmax[m.dst], m.lm)]
+    /\ \E nl \in Int :
+         /\ nl >= l[m.dst]
+         /\ nl <= Max2(lmax[m.dst], m.lm)
+         /\ l' = [l EXCEPT ![m.dst] = nl]
+    /\ UNCHANGED <<time, hc, edges, lastSend, sseq>>
+
+EdgeAdd(u, v) ==
+    /\ u /= v
+    /\ Edge(u, v) \notin edges
+    /\ edges' = edges \union { Edge(u, v) }
+    /\ UNCHANGED <<time, hc, l, lmax, msgs, lastSend, sseq>>
+
+\* Removing an edge drops everything in flight on it (the model's
+\* "messages on a changed edge may be lost", which the simulator makes
+\* deterministic: they are always dropped).
+EdgeRemove(u, v) ==
+    /\ Edge(u, v) \in edges
+    /\ edges' = edges \ { Edge(u, v) }
+    /\ msgs' = { m \in msgs : Edge(m.src, m.dst) /= Edge(u, v) }
+    /\ UNCHANGED <<time, hc, l, lmax, lastSend, sseq>>
+
+Next ==
+    \/ \E delta \in 1..(2 * TMAX + DH) : AdvanceTime(delta)
+    \/ \E p \in Proc : Broadcast(p)
+    \/ \E m \in msgs : Deliver(m)
+    \/ \E u \in Proc : \E v \in Proc : EdgeAdd(u, v)
+    \/ \E u \in Proc : \E v \in Proc : EdgeRemove(u, v)
+
+(****************************** INVARIANTS *********************************)
+
+TypeOK ==
+    /\ time >= 0
+    /\ \A p \in Proc : hc[p] >= 0
+    /\ \A m \in msgs :
+         /\ m.src \in Proc
+         /\ m.dst \in Proc
+         /\ m.src /= m.dst
+         /\ m.deadline >= time
+    /\ \A e \in edges : e[1] \in Proc /\ e[2] \in Proc /\ e[1] < e[2]
+
+\* Max-estimate dominance: the local part of legality (Section 3.3).
+\* The minimum logical rate is enforced by construction in AdvanceTime.
+Legality == \A p \in Proc : lmax[p] >= l[p]
+
+(************************* TRACE CROSS-VALIDATION **************************)
+
+(*
+ * The abstract sample-step relation the simulator's exported traces are
+ * checked against: between two probe samples a = [t, l, lm] and
+ * b = [t, l, lm] (clock vectors as sequences indexed by Proc), every
+ * logical clock advances at least at the minimum rate and the max
+ * estimate dominates. Tla.export emits standalone modules duplicating
+ * this operator (with an explicit rounding slack eps) next to the
+ * embedded trace, so `apalache-mc check --inv=StepOk` on an exported
+ * module validates a real execution against this spec's abstraction.
+ *)
+\* @type: ({ t: Int, l: Seq(Int), lm: Seq(Int) }, { t: Int, l: Seq(Int), lm: Seq(Int) }, Int) => Bool;
+SampleOk(a, b, eps) ==
+    /\ b.t >= a.t
+    /\ \A v \in Proc :
+         /\ b.l[v] - a.l[v] >= ((RMIN * (b.t - a.t)) \div SCALE) - eps
+         /\ b.lm[v] + eps >= b.l[v]
+
+============================================================================

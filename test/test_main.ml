@@ -13,6 +13,7 @@ let () =
       ("dyngraph", Test_dyngraph.suite);
       ("trace", Test_trace.suite);
       ("engine", Test_engine.suite);
+      ("mcheck", Test_mcheck.suite);
       ("params", Test_params.suite);
       ("estimate", Test_estimate.suite);
       ("node", Test_node.suite);
