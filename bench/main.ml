@@ -16,6 +16,25 @@
           dune exec bench/main.exe -- --quick --jobs 4
           dune exec bench/main.exe -- --scale --quick --repeat 3 --scale-out out.json *)
 
+(* Dev-profile builds pass -opaque, which voids cross-module inlining
+   (DESIGN section 12): every number measured under them is meaningless
+   and used to be published silently. Fail fast unless this binary came
+   out of --profile release, with an explicit escape hatch for running
+   the functional checks alone. *)
+let () =
+  if Profile.name <> "release"
+     && not (Array.exists (( = ) "--allow-dev-profile") Sys.argv)
+  then begin
+    Printf.eprintf
+      "bench: built under the '%s' dune profile, where -opaque disables \
+       cross-module inlining and voids every measurement (DESIGN section \
+       12).\nRe-run as:  dune exec --profile release bench/main.exe -- \
+       ...\nor pass --allow-dev-profile to run the functional checks \
+       anyway (timings will not be representative).\n"
+      Profile.name;
+    exit 2
+  end
+
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv

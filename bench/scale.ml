@@ -12,8 +12,11 @@
    the engine's resident footprint. Consecutive sizes are 4x apart, so
    the footprint ratio distinguishes O(n + live edges) growth (~4x) from
    a pair-keyed O(n^2) regression (~16x); the sweep fails if any ratio
-   exceeds 8. The largest size is repeated with --shards 4 to price the
-   shard merge seam (the execution is byte-identical; only cost moves).
+   exceeds 8. Sizes from 64k up are additionally run with --shards 4 at
+   jobs 1 and jobs 4 — the parallel-window dispatch path on one and on
+   four domains — to price the barrier re-ranking seam and report the
+   actual multi-domain speedup (the execution is byte-identical across
+   all of them; only cost moves, which the event-parity check pins).
 
    Run standalone via [bench/main.exe -- --scale [--quick] [--repeat K]
    [--scale-out FILE]]; --repeat K re-runs every timed row K times and
@@ -29,6 +32,7 @@ type row = {
   n : int;
   scheduler : Gcs.Sim.scheduler;
   shards : int;
+  jobs : int;  (* domains dispatching the parallel windows *)
   events : int;
   ns_per_event : float;
   events_per_s : float;
@@ -65,12 +69,36 @@ let build ?(faults = []) ?(shards = 1) ?(horizon = horizon) ~scheduler ~n ~churn
          ~rate:(float_of_int n /. 256.) ~horizon);
   sim
 
-let measure_once ?faults ?shards ?(horizon = horizon) ~scheduler ~n ~churn () =
+(* Run to the horizon, on [jobs] domains when asked: the pool lives for
+   exactly the timed region, and the executor is detached before it
+   dies. Timing includes pool setup/teardown — that is the honest cost
+   a caller pays. The ambient budget is lifted for the timed region so
+   the row really measures [jobs] domains even on a small host (on a
+   single core that shows the cross-domain GC-sync overhead rather than
+   silently degrading to the jobs=1 row). *)
+let timed_run sim ~jobs ~horizon =
+  if jobs > 1 then begin
+    let saved = Runner.default_jobs () in
+    Runner.set_default_jobs (max saved jobs);
+    Fun.protect
+      ~finally:(fun () -> Runner.set_default_jobs saved)
+      (fun () ->
+        Runner.scoped ~jobs (fun pool ->
+            let engine = Gcs.Sim.engine sim in
+            Dsim.Engine.set_executor engine (Some (Runner.run pool));
+            Fun.protect
+              ~finally:(fun () -> Dsim.Engine.set_executor engine None)
+              (fun () -> Gcs.Sim.run_until sim horizon)))
+  end
+  else Gcs.Sim.run_until sim horizon
+
+let measure_once ?faults ?shards ?(jobs = 1) ?(horizon = horizon) ~scheduler ~n
+    ~churn () =
   let sim = build ?faults ?shards ~horizon ~scheduler ~n ~churn () in
   Gc.full_major ();
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  Gcs.Sim.run_until sim horizon;
+  timed_run sim ~jobs ~horizon;
   let wall_s = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. m0 in
   let engine = Gcs.Sim.engine sim in
@@ -81,6 +109,7 @@ let measure_once ?faults ?shards ?(horizon = horizon) ~scheduler ~n ~churn () =
     n;
     scheduler;
     shards = Dsim.Engine.shards engine;
+    jobs;
     events;
     ns_per_event = per events (wall_s *. 1e9);
     events_per_s = float_of_int events /. wall_s;
@@ -92,10 +121,10 @@ let measure_once ?faults ?shards ?(horizon = horizon) ~scheduler ~n ~churn () =
 (* Median-of-K by ns/event. Everything but the wall clock is
    deterministic across repeats (same events, same footprint), so the
    median only picks which timing to report. *)
-let measure ?faults ?shards ?horizon ~repeat ~scheduler ~n ~churn () =
+let measure ?faults ?shards ?jobs ?horizon ~repeat ~scheduler ~n ~churn () =
   let runs =
     List.init (max 1 repeat) (fun _ ->
-        measure_once ?faults ?shards ?horizon ~scheduler ~n ~churn ())
+        measure_once ?faults ?shards ?jobs ?horizon ~scheduler ~n ~churn ())
   in
   let sorted =
     List.sort (fun a b -> Float.compare a.ns_per_event b.ns_per_event) runs
@@ -163,10 +192,10 @@ let scheduler_of_row r = Gcs.Sim.scheduler_to_string r.scheduler
 let row_json buf r ~last =
   Printf.bprintf buf
     "    {\"topo\": %S, \"n\": %d, \"scheduler\": %S, \"shards\": %d, \
-     \"events\": %d, \"ns_per_event\": %.1f, \"events_per_s\": %.0f, \
-     \"minor_words_per_event\": %.2f, \"wall_s\": %.3f, \
-     \"footprint_words\": %d}%s\n"
-    r.topo r.n (scheduler_of_row r) r.shards r.events r.ns_per_event
+     \"jobs\": %d, \"events\": %d, \"ns_per_event\": %.1f, \
+     \"events_per_s\": %.0f, \"minor_words_per_event\": %.2f, \
+     \"wall_s\": %.3f, \"footprint_words\": %d}%s\n"
+    r.topo r.n (scheduler_of_row r) r.shards r.jobs r.events r.ns_per_event
     r.events_per_s r.words_per_event r.wall_s r.footprint_words
     (if last then "" else ",")
 
@@ -208,7 +237,7 @@ let write_json path ~quick ~repeat rows large_rows (gn, gskew, gbound, gpass)
   close_out oc
 
 let row_columns =
-  [ "topology"; "n"; "sched"; "shards"; "events"; "ns/event"; "Mev/s";
+  [ "topology"; "n"; "sched"; "shards"; "jobs"; "events"; "ns/event"; "Mev/s";
     "words/event"; "wall s"; "footprint Mw" ]
 
 let add_row table r =
@@ -218,6 +247,7 @@ let add_row table r =
       Table.Int r.n;
       Table.Str (scheduler_of_row r);
       Table.Int r.shards;
+      Table.Int r.jobs;
       Table.Int r.events;
       Table.Float r.ns_per_event;
       Table.Float (r.events_per_s /. 1e6);
@@ -263,30 +293,42 @@ let run ~quick ~repeat ~out () =
   in
   pair rows;
   Format.printf "%a@." Table.pp speedups;
-  (* Large tier: wheel only, shorter horizon, engine footprint recorded;
-     the top size re-run sharded to price the merge seam. *)
+  (* Large tier: wheel only, shorter horizon, engine footprint recorded.
+     Sizes from 64k up additionally run sharded (K = 4) with the window
+     dispatch on 1 and on 4 domains — barrier-seam cost and the actual
+     parallel speedup, side by side. *)
   let large_rows =
-    List.map
+    List.concat_map
       (fun n ->
-        measure ~repeat ~horizon:horizon_large ~scheduler:Gcs.Sim.Wheel ~n
-          ~churn:false ())
+        let base =
+          measure ~repeat ~horizon:horizon_large ~scheduler:Gcs.Sim.Wheel ~n
+            ~churn:false ()
+        in
+        if n < 65_536 then [ base ]
+        else
+          let sharded jobs =
+            measure ~repeat ~shards:4 ~jobs ~horizon:horizon_large
+              ~scheduler:Gcs.Sim.Wheel ~n ~churn:false ()
+          in
+          [ base; sharded 1; sharded 4 ])
       (large_sizes ~quick)
   in
-  let top_n = List.fold_left (fun acc r -> max acc r.n) 0 large_rows in
-  let sharded =
-    measure ~repeat ~shards:4 ~horizon:horizon_large ~scheduler:Gcs.Sim.Wheel
-      ~n:top_n ~churn:false ()
-  in
+  (* Same-n rows are the same execution whatever the (shards, jobs)
+     placement, so their event counts must agree exactly. *)
   let shard_parity_ok =
-    List.for_all (fun r -> r.n <> top_n || r.events = sharded.events) large_rows
+    List.for_all
+      (fun r ->
+        List.for_all (fun r' -> r'.n <> r.n || r'.events = r.events) large_rows)
+      large_rows
   in
-  let large_rows = large_rows @ [ sharded ] in
   let large_table =
     Table.create ~title:"Large-n tier (wheel, path)" ~columns:row_columns
   in
   List.iter (add_row large_table) large_rows;
   Format.printf "%a@." Table.pp large_table;
-  let mem_ratios, mem_pass = memory_growth_check large_rows in
+  let mem_ratios, mem_pass =
+    memory_growth_check (List.filter (fun r -> r.shards = 1) large_rows)
+  in
   List.iter
     (fun (n1, n2, r) ->
       Format.printf "footprint growth %d -> %d: %.2fx (linear ~4x, quadratic ~16x)@."
@@ -294,7 +336,7 @@ let run ~quick ~repeat ~out () =
     mem_ratios;
   Format.printf "memory growth O(n + live edges): %s@."
     (if mem_pass then "PASS" else "FAIL");
-  Format.printf "event-count parity across --shards at n=%d: %s@." top_n
+  Format.printf "event-count parity across (shards, jobs): %s@."
     (if shard_parity_ok then "PASS" else "FAIL");
   let no_fault, with_fault = fault_overhead_check ~repeat () in
   Format.printf

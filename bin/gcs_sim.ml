@@ -273,8 +273,19 @@ let sim_cmd =
          & info [ "shards" ] ~docv:"K"
              ~doc:
                "Partition engine state into $(docv) independently scheduled \
-                node ranges. Purely a memory/locality knob: the execution \
-                and trace are byte-identical at every value.")
+                node ranges. With a pure delay policy and no faults the \
+                shards dispatch in parallel windows (on up to --jobs \
+                domains); the execution and trace are byte-identical at \
+                every shard and jobs count.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:
+               "Domains dispatching the parallel windows (capped at --shards; \
+                0 = one per recommended core). Only a placement knob: the \
+                execution and trace are byte-identical for every value, and \
+                1 keeps everything on the calling domain.")
   in
   let no_gap_check =
     Arg.(value & flag
@@ -291,13 +302,21 @@ let sim_cmd =
                 algorithms with per-peer timeouts shorter than dT'.")
   in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv audit scheduler shards fault_spec no_gap_check
+      plot loss csv trace_csv audit scheduler shards jobs fault_spec no_gap_check
       no_lost_check =
     let params = make_params ~n ~rho ~b0 in
     if shards < 1 then begin
       Format.eprintf "invalid --shards: must be at least 1 (got %d)@." shards;
       exit 2
     end;
+    if jobs < 0 then begin
+      Format.eprintf "invalid --jobs: must be non-negative (got %d)@." jobs;
+      exit 2
+    end;
+    (* Like exp/fuzz: an explicit --jobs becomes the ambient domain
+       budget, so the scoped dispatch pool below really gets that many
+       domains (the runner still caps nested fan-outs against it). *)
+    let jobs = resolve_jobs jobs in
     (* Validate like --faults does: a bad id must be a clean exit 2, not an
        uncaught Invalid_argument out of the engine mid-run. *)
     (match new_edge with
@@ -388,7 +407,17 @@ let sim_cmd =
              ~faults ~every:(horizon /. 200.) ~until:horizon ())
       else None
     in
-    Gcs.Sim.run_until sim horizon;
+    (* Windows only form when shards > 1 and the configuration is pure
+       (Engine.set_executor doc); a pool is pointless otherwise. The
+       executor is cleared before the pool is torn down so the later
+       audit replay and metric reads never race a dead pool. *)
+    if shards > 1 && jobs > 1 then
+      Runner.scoped ~jobs:(min jobs shards) (fun pool ->
+          Dsim.Engine.set_executor engine (Some (Runner.run pool));
+          Fun.protect
+            ~finally:(fun () -> Dsim.Engine.set_executor engine None)
+            (fun () -> Gcs.Sim.run_until sim horizon))
+    else Gcs.Sim.run_until sim horizon;
     Format.printf "%a@.@." Gcs.Params.pp params;
     Format.printf "algo=%s scheduler=%s topology=%s n=%d horizon=%g seed=%d@."
       (Gcs.Sim.algo_to_string algo)
@@ -544,7 +573,7 @@ let sim_cmd =
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
       $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
-      $ audit $ scheduler $ shards $ faults $ no_gap_check $ no_lost_check)
+      $ audit $ scheduler $ shards $ jobs $ faults $ no_gap_check $ no_lost_check)
 
 (* ------------------------------- fuzz ------------------------------ *)
 
@@ -710,6 +739,21 @@ let mcheck_cmd =
                "Skip exploration and deterministically replay this one-line mcheck \
                 spec (as printed for a counterexample).")
   in
+  let scheduler =
+    Arg.(value & opt scheduler_conv Gcs.Sim.Heap
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:
+               "Timer scheduler for the explored engine. Only heap is \
+                supported: the adversary tie-break hook needs the single \
+                totally-ordered event queue.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:
+               "Shard count for the explored engine. Only 1 is supported \
+                (see --scheduler).")
+  in
   let pp_stats fmt (o : Mcheck.Explorer.outcome) =
     Format.fprintf fmt
       "traces=%d pruned=%d states=%d choices=%d events=%d%s%s"
@@ -725,7 +769,23 @@ let mcheck_cmd =
     Format.printf "wrote %s@." path
   in
   let run n depth delays drifts horizon churn fault_spec fault_grid no_tie max_states
-      budget_ms max_violations out replay =
+      budget_ms max_violations out replay scheduler shards =
+    (* Validated up front like sim's node-id checks: the explorer drives
+       the engine through Engine.set_tie_break, which only the
+       single-shard heap scheduler supports — anything else used to
+       surface as a raw Invalid_argument backtrace mid-run. *)
+    if scheduler <> Gcs.Sim.Heap || shards <> 1 then begin
+      Format.eprintf
+        "mcheck requires --scheduler heap and --shards 1 (got scheduler=%s \
+         shards=%d): exhaustive exploration enumerates same-instant \
+         dispatch orders through the engine's adversary tie-break hook, \
+         which only the single-shard heap scheduler supports. The parity \
+         suite separately pins that wheel and sharded runs are \
+         byte-identical to what mcheck explores.@."
+        (Gcs.Sim.scheduler_to_string scheduler)
+        shards;
+      exit 2
+    end;
     match replay with
     | Some spec_line -> (
       match Mcheck.Spec.of_spec spec_line with
@@ -862,7 +922,8 @@ let mcheck_cmd =
   Cmd.v (Cmd.info "mcheck" ~doc)
     Term.(
       const run $ n $ depth $ delays $ drifts $ horizon $ churn $ fault_spec
-      $ fault_grid $ no_tie $ max_states $ budget_ms $ max_violations $ out $ replay)
+      $ fault_grid $ no_tie $ max_states $ budget_ms $ max_violations $ out $ replay
+      $ scheduler $ shards)
 
 (* ------------------------------- main ------------------------------ *)
 

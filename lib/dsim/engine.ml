@@ -173,14 +173,12 @@ module Armed = struct
     s.vals.(s.len) <- dummy
 end
 
-(* Cross-shard mailbox: events a shard schedules for nodes another shard
-   owns. They are exchanged at the merge barrier — flushed into the
-   destination shard's queue when the next candidate's time reaches the
-   outbox's earliest entry — rather than pushed directly, which is the
-   protocol a true multi-domain run would use (each domain drains peer
-   outboxes up to the barrier time before advancing). Sequence numbers
-   were allocated at send time from the engine's global counter, so the
-   flush timing cannot change the merge order. *)
+(* Cross-shard mailbox: events a lane creates for nodes another lane owns
+   during a parallel dispatch window. Only the owning lane's domain
+   touches its outbox inside a window; the coordinating domain remaps the
+   provisional ranks and flushes every outbox into the destination queues
+   at the merge barrier (DESIGN §14). Outside windows, pushes go straight
+   to the owner's queue and outboxes stay empty. *)
 module Outbox = struct
   type t = {
     mutable dst : int array; (* destination shard *)
@@ -294,6 +292,65 @@ type tb_scratch = {
   mutable tb_len : int;
 }
 
+(* Provisional ranks: inside a parallel dispatch window, lane [s] tags
+   its [j]-th creation with [prov_flag lor (s lsl 40) lor j] — block
+   base 2^60 (above every final rank the counter can reach) plus a
+   per-lane block of width 2^40. The barrier replays the per-lane
+   dispatch logs in merged (time, rank) order and rewrites every
+   provisional rank to the exact dense rank the sequential run would
+   have assigned, so the (time, seq) order — and the trace — stays
+   byte-identical at every shard and domain count (DESIGN §14). *)
+let prov_flag = 1 lsl 60
+
+let cre_mask = (1 lsl 40) - 1
+
+(* A lane stops dispatching this far before its block runs out, leaving
+   room for the creations of the dispatch in flight; the next window
+   re-opens with a fresh block. 2^40 creations per window is out of
+   reach in practice (the buffered state alone would exhaust memory). *)
+let cre_slack = 1 lsl 16
+
+(* All-float scratch (see [fscratch]): [lnow] is the lane's current event
+   time inside a window, [lhead] the lane's earliest pending (time) as of
+   the last [select], [lwstop] the window end (exclusive). *)
+type lscratch = {
+  mutable lnow : float;
+  mutable lhead : float;
+  mutable lwstop : float;
+}
+
+(* Per-shard lane: dispatch state one domain owns during a parallel
+   window, plus running counters the accessors sum over. Trace activity
+   inside a window is buffered here — counter deltas always, structured
+   entries only when the trace retains them — and folded/replayed at the
+   barrier; the dispatch log ([mt]/[mseq]/[mcre]/[ment], one row per
+   in-window dispatch) is what the barrier merges to re-rank. *)
+type lane = {
+  ls : int; (* shard index *)
+  lf : lscratch;
+  mutable lpar : bool; (* inside a parallel window *)
+  mutable lcre : int; (* provisional ranks handed out this window *)
+  (* Running totals; lane-owned, summed by the accessors. *)
+  mutable levents : int;
+  mutable llive : int;
+  mutable lstale : int;
+  (* Window-buffered trace state. *)
+  lcounters : int array; (* per-kind deltas, folded at the barrier *)
+  mutable bt : float array; (* entry buffer: time *)
+  mutable bk : int array; (* kind index *)
+  mutable ba : int array;
+  mutable bb : int array;
+  mutable bc : int array;
+  mutable blen : int;
+  (* Dispatch log: one row per in-window dispatch, in dispatch order. *)
+  mutable mt : float array; (* event time *)
+  mutable mseq : int array; (* rank at dispatch (provisional or final) *)
+  mutable mcre : int array; (* [lcre] before the dispatch ran *)
+  mutable ment : int array; (* [blen] before the dispatch ran *)
+  mutable mlen : int;
+  mutable lfinal : int array; (* final rank per creation index (barrier) *)
+}
+
 type ('msg, 'timer) t = {
   mutable n : int;
   mutable clocks : Hwclock.t array;
@@ -303,14 +360,20 @@ type ('msg, 'timer) t = {
   (* Sharding: node ids are partitioned into [shards] contiguous ranges
      of [chunk] ids each (nodes joining after construction land in the
      last shard). Each shard owns an event queue, an outbox and — under
-     the wheel scheduler — a timer wheel; one global sequence counter
-     spans them all, so the (time, seq) merge order, and therefore the
-     trace, is byte-identical at every shard count. *)
+     the wheel scheduler — a timer wheel. Sequentially-created events
+     draw ranks from one global sequence counter; window-created events
+     get provisional block ranks that the barrier rewrites to the exact
+     sequential ranks, so the (time, seq) merge order, and therefore the
+     trace, is byte-identical at every shard count. Global events whose
+     dispatch must stay sequential (topology, faults, callbacks) live in
+     a dedicated control queue when [shards > 1]. *)
   shards : int;
   chunk : int;
   queues : Equeue.t array;
   outboxes : Outbox.t array;
   wheels : Timewheel.t array; (* per shard; empty under Heap *)
+  lanes : lane array; (* per shard *)
+  control : Equeue.t; (* order-sensitive global events; empty at shards=1 *)
   trace : Trace.t;
   mutable handlers : ('msg, 'timer) handlers option array;
   timer_label : ('timer -> int) option;
@@ -323,19 +386,26 @@ type ('msg, 'timer) t = {
   mutable absence_pending : Iset.t array;
       (* node -> peers with a pending absence notice *)
   mutable fifo : Fifo_store.t array; (* src -> per-destination delivery floors *)
-  mutable next_gen : int;
+  mutable gens : int array;
+      (* per-node timer generation counters: lane-safe, unlike a global
+         one, and still unique per (node, label) *)
   mutable next_seq : int; (* global (time, seq) tie-break counter *)
   fs : fscratch;
   mutable started : bool;
-  mutable events_processed : int;
-  mutable live_timers : int; (* armed labels across all nodes *)
-  mutable stale_timer_entries : int;
-      (* heap/wheel slots whose label was cancelled/re-armed *)
-  mutable cur_shard : int; (* shard being dispatched; -1 outside the loop *)
+  mutable ctrl_events : int; (* control-queue events dispatched *)
   (* Merge-loop candidate (scratch fields, not refs: allocation-free). *)
   mutable cand_seq : int;
   mutable cand_shard : int;
   mutable cand_wheel : bool;
+  mutable cand_ctrl : bool;
+  (* Parallel-window eligibility, fixed at creation: several shards, a
+     pure delay policy with positive lookahead, no fault injection and no
+     entry streaming. Everything else always takes the sequential path. *)
+  par_ok : bool;
+  log_on : bool; (* the trace retains entries; lanes must buffer them *)
+  mutable executor : ((unit -> unit) array -> unit) option;
+      (* runs one window's lane thunks to completion (Runner.run);
+         [None] runs them in the caller, in index order *)
   faults : fault_state option;
   corrupt_msg : (src:int -> Prng.t -> 'msg -> 'msg) option;
       (* Applied to messages a Byzantine node sends during its window. *)
@@ -355,23 +425,122 @@ and ('msg, 'timer) handlers = {
   on_timer : 'timer -> unit;
 }
 
-type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int }
+type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int; lane : lane }
 
 let shard_of t id =
   let s = id / t.chunk in
   if s >= t.shards then t.shards - 1 else s
 
-(* Push an encoded event for the node [owner]. During dispatch, an event
-   owned by another shard goes through the dispatching shard's outbox (the
-   barrier exchange); everything else — and every harness-side push — goes
-   straight into the owner's queue. *)
+(* Is this kind's dispatch order-sensitive beyond its own node — topology
+   changes, faults, harness callbacks? Those mutate global state (the
+   graph, liveness) or run arbitrary harness code, so they are kept out
+   of the lane queues and dispatched sequentially from the control queue
+   whenever the engine is sharded. At [shards = 1] the single queue IS
+   the sequential dispatcher, and routing nothing keeps that
+   configuration exactly the traditional one (tie-break enumeration
+   included). *)
+let[@inline] ctrl_kind kind = kind <= k_edge_remove || kind >= k_crash
+
+(* Sequential push of an encoded event for the node [owner]: draws the
+   next global rank and goes straight to the owner's queue (or the
+   control queue for order-sensitive kinds under sharding). All
+   harness-side scheduling and all sequential dispatch lands here. *)
 let push_ev t ~owner ~time ~kind ~a ~b ~c ~d payload =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let dst = shard_of t owner in
-  if t.cur_shard >= 0 && dst <> t.cur_shard then
-    Outbox.add t.outboxes.(t.cur_shard) ~dst ~time ~seq ~kind ~a ~b ~c ~d payload
-  else Equeue.push t.queues.(dst) ~time ~seq ~kind ~a ~b ~c ~d payload
+  if t.shards > 1 && ctrl_kind kind then
+    Equeue.push t.control ~time ~seq ~kind ~a ~b ~c ~d payload
+  else
+    Equeue.push t.queues.(shard_of t owner) ~time ~seq ~kind ~a ~b ~c ~d payload
+
+(* Lane-side push, used by the node API (send / set_timer / absence
+   notices): inside a parallel window it allocates a provisional block
+   rank and keeps same-lane events local, routing cross-lane events
+   through the lane's outbox for the barrier; outside a window it is
+   [push_ev]. Node code never creates control kinds. *)
+let push_from t lane ~owner ~time ~kind ~a ~b ~c ~d payload =
+  if lane.lpar then begin
+    let j = lane.lcre in
+    if j > cre_mask then failwith "Engine: window rank block exhausted";
+    lane.lcre <- j + 1;
+    let seq = prov_flag lor (lane.ls lsl 40) lor j in
+    let dst = shard_of t owner in
+    if dst = lane.ls then
+      Equeue.push t.queues.(dst) ~time ~seq ~kind ~a ~b ~c ~d payload
+    else begin
+      (* The window's soundness rests on the lookahead: a cross-lane
+         event created inside [t_start, wstop) must land at or beyond
+         the window end, or the destination lane may already have
+         dispatched past it. *)
+      if time < lane.lf.lwstop then
+        failwith
+          "Engine: delay policy violated its min_lat promise inside a \
+           parallel window";
+      Outbox.add t.outboxes.(lane.ls) ~dst ~time ~seq ~kind ~a ~b ~c ~d payload
+    end
+  end
+  else push_ev t ~owner ~time ~kind ~a ~b ~c ~d payload
+
+(* Lane-aware trace record: buffered during a window (counter delta plus,
+   when the trace retains entries, the structured entry), direct
+   otherwise. The buffered entries replay at the barrier in the global
+   (time, seq) order, so the retained log is byte-identical to the
+   sequential run's. *)
+let lane_record t lane ~time kind a b c =
+  if lane.lpar then begin
+    let i = Trace.kind_index kind in
+    lane.lcounters.(i) <- lane.lcounters.(i) + 1;
+    if t.log_on then begin
+      let len = lane.blen in
+      if len >= Array.length lane.bk then begin
+        let cap = max 64 (2 * len) in
+        let g_i a =
+          let a' = Array.make cap 0 in
+          Array.blit a 0 a' 0 len;
+          a'
+        in
+        let bt' = Array.make cap 0. in
+        Array.blit lane.bt 0 bt' 0 len;
+        lane.bt <- bt';
+        lane.bk <- g_i lane.bk;
+        lane.ba <- g_i lane.ba;
+        lane.bb <- g_i lane.bb;
+        lane.bc <- g_i lane.bc
+      end;
+      lane.bt.(len) <- time;
+      lane.bk.(len) <- i;
+      lane.ba.(len) <- a;
+      lane.bb.(len) <- b;
+      lane.bc.(len) <- c;
+      lane.blen <- len + 1
+    end
+  end
+  else Trace.record t.trace ~time kind a b c
+
+(* Append one row to the lane's dispatch log, before the dispatch runs:
+   the event's (time, rank) key plus the creation/entry watermarks that
+   delimit what this dispatch produced. *)
+let lane_mark lane ~time ~seq =
+  let len = lane.mlen in
+  if len >= Array.length lane.mseq then begin
+    let cap = max 64 (2 * len) in
+    let g_i a =
+      let a' = Array.make cap 0 in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    let mt' = Array.make cap 0. in
+    Array.blit lane.mt 0 mt' 0 len;
+    lane.mt <- mt';
+    lane.mseq <- g_i lane.mseq;
+    lane.mcre <- g_i lane.mcre;
+    lane.ment <- g_i lane.ment
+  end;
+  lane.mt.(len) <- time;
+  lane.mseq.(len) <- seq;
+  lane.mcre.(len) <- lane.lcre;
+  lane.ment.(len) <- lane.blen;
+  lane.mlen <- len + 1
 
 let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
     ?timer_label ?(scheduler = `Heap) ?(shards = 1) ?(faults = [])
@@ -404,6 +573,31 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       (Wheel, granularity)
   in
   let qcap = max 64 (8 * n / shards) in
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  let mk_lane s =
+    {
+      ls = s;
+      lf = { lnow = 0.; lhead = infinity; lwstop = infinity };
+      lpar = false;
+      lcre = 0;
+      levents = 0;
+      llive = 0;
+      lstale = 0;
+      lcounters = Array.make Trace.kind_count 0;
+      bt = [||];
+      bk = [||];
+      ba = [||];
+      bb = [||];
+      bc = [||];
+      blen = 0;
+      mt = [||];
+      mseq = [||];
+      mcre = [||];
+      ment = [||];
+      mlen = 0;
+      lfinal = [||];
+    }
+  in
   let t =
     {
       n;
@@ -419,7 +613,9 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
         (match sched with
         | Heap -> [||]
         | Wheel -> Array.init shards (fun _ -> Timewheel.create ~granularity ()));
-      trace = (match trace with Some tr -> tr | None -> Trace.create ());
+      lanes = Array.init shards mk_lane;
+      control = Equeue.create ~capacity:64 ();
+      trace = tr;
       handlers = Array.make n None;
       timer_label;
       sched;
@@ -433,17 +629,22 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
         | Wheel -> Array.init n (fun _ -> Armed.create ()));
       absence_pending = Array.init n (fun _ -> Iset.create ());
       fifo = Array.init n (fun _ -> Fifo_store.create ());
-      next_gen = 0;
+      gens = Array.make n 0;
       next_seq = 0;
       fs = { now = 0.; cand_time = infinity };
       started = false;
-      events_processed = 0;
-      live_timers = 0;
-      stale_timer_entries = 0;
-      cur_shard = -1;
+      ctrl_events = 0;
       cand_seq = max_int;
       cand_shard = -1;
       cand_wheel = false;
+      cand_ctrl = false;
+      par_ok =
+        shards > 1 && delay.Delay.pure
+        && delay.Delay.min_lat > 0.
+        && fault_state = None
+        && not (Trace.streams tr);
+      log_on = Trace.wants_entries tr;
+      executor = None;
       faults = fault_state;
       corrupt_msg;
       restart_handlers = Array.make n None;
@@ -512,6 +713,9 @@ let ensure_nodes t n' =
     in
     t.absence_pending <- grow_make t.absence_pending Iset.create;
     t.fifo <- grow_make t.fifo Fifo_store.create;
+    let gens' = Array.make cap' 0 in
+    Array.blit t.gens 0 gens' 0 cap;
+    t.gens <- gens';
     (match t.sched with
     | Heap -> t.timers <- grow_make t.timers (fun () -> Hashtbl.create 8)
     | Wheel -> t.armed <- grow_make t.armed Armed.create);
@@ -552,13 +756,13 @@ let install t i build =
     match t.handlers.(i) with
     | Some _ -> invalid_arg "Engine.install: engine already started"
     | None ->
-      let ctx = { engine = t; id = i } in
+      let ctx = { engine = t; id = i; lane = t.lanes.(shard_of t i) } in
       let h = build ctx in
       t.handlers.(i) <- Some h;
       h.on_init ()
   end
   else begin
-    let ctx = { engine = t; id = i } in
+    let ctx = { engine = t; id = i; lane = t.lanes.(shard_of t i) } in
     t.handlers.(i) <- Some (build ctx)
   end
 
@@ -577,21 +781,29 @@ let on_restart ctx h =
 let alive t i =
   match t.faults with None -> true | Some f -> f.f_alive.(i)
 
-let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) ctx.engine.fs.now
+(* A node's view of "now": its lane's current event time inside a
+   parallel window, the engine's global time otherwise (equal to the
+   dispatching event's time on the sequential path). *)
+let[@inline] node_now ctx =
+  if ctx.lane.lpar then ctx.lane.lf.lnow else ctx.engine.fs.now
+
+let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) (node_now ctx)
 
 let send ctx ~dst msg =
   let t = ctx.engine in
+  let lane = ctx.lane in
   let src = ctx.id in
   if dst < 0 || dst >= t.n || dst = src then invalid_arg "Engine.send: bad destination";
-  let now = t.fs.now in
+  let now = node_now ctx in
   if Dyngraph.has_edge t.graph src dst then begin
     let epoch = Dyngraph.epoch t.graph src dst in
     (* The send carries its edge epoch so an offline auditor can pair it
        with the matching deliver/drop under the per-epoch FIFO discipline. *)
-    Trace.record t.trace ~time:now Send src dst epoch;
+    lane_record t lane ~time:now Send src dst epoch;
     (* A Byzantine sender's outgoing messages are corrupted in flight
        during its window; the substitution is traced so auditors can
-       exclude the edge from guarantee probes. *)
+       exclude the edge from guarantee probes. (Fault injection forces
+       the sequential path, so the direct records here never race.) *)
     let msg =
       match (t.faults, t.corrupt_msg) with
       | Some f, Some corrupt when Fault.byzantine f.ops ~node:src ~at:now ->
@@ -603,7 +815,7 @@ let send ctx ~dst msg =
       (* Silent loss (outside the paper's reliable-link model): no
          delivery and no discovery; only the receiver's lost-timer will
          notice the silence. *)
-      Trace.record t.trace ~time:now Drop_lossy src dst epoch
+      lane_record t lane ~time:now Drop_lossy src dst epoch
     else begin
       let inc =
         match t.faults with None -> 0 | Some f -> f.f_inc.(src)
@@ -625,11 +837,11 @@ let send ctx ~dst msg =
              shrink the delay space an exhaustive explorer thinks it is
              covering). *)
           if d < 0. then begin
-            Trace.record t.trace ~time:now Delay_clamped src dst epoch;
+            lane_record t lane ~time:now Delay_clamped src dst epoch;
             0.
           end
           else if d > t.delay.Delay.bound then begin
-            Trace.record t.trace ~time:now Delay_clamped src dst epoch;
+            lane_record t lane ~time:now Delay_clamped src dst epoch;
             t.delay.Delay.bound
           end
           else d
@@ -662,8 +874,8 @@ let send ctx ~dst msg =
           deliver_at
         end
       in
-      push_ev t ~owner:dst ~time:deliver_at ~kind:k_deliver ~a:src ~b:dst
-        ~c:epoch ~d:inc (Obj.repr msg);
+      push_from t lane ~owner:dst ~time:deliver_at ~kind:k_deliver ~a:src
+        ~b:dst ~c:epoch ~d:inc (Obj.repr msg);
       (* Bounded duplication: a second copy with its own (fault-PRNG)
          delay, floored at the original's delivery so the duplicate can
          never overtake the message it copies. *)
@@ -678,72 +890,86 @@ let send ctx ~dst msg =
     end
   end
   else begin
-    Trace.record t.trace ~time:now Send src dst (-1);
-    Trace.record t.trace ~time:now Drop_no_edge src dst (-1);
+    lane_record t lane ~time:now Send src dst (-1);
+    lane_record t lane ~time:now Drop_no_edge src dst (-1);
     (* The model: the sender discovers the absence within D. Coalesce
        multiple failed sends into a single pending notification. *)
     if not (Iset.mem t.absence_pending.(src) dst) then begin
       Iset.add t.absence_pending.(src) dst;
-      push_ev t ~owner:src ~time:(now +. t.discovery_lag) ~kind:k_absence ~a:src
-        ~b:dst ~c:0 ~d:0 no_payload
+      push_from t lane ~owner:src ~time:(now +. t.discovery_lag) ~kind:k_absence
+        ~a:src ~b:dst ~c:0 ~d:0 no_payload
     end
   end
 
 let set_timer ctx ~after timer =
   let t = ctx.engine in
+  let lane = ctx.lane in
   if after < 0. then invalid_arg "Engine.set_timer: negative delay";
   let clock = t.clocks.(ctx.id) in
-  let deadline = Hwclock.inverse clock (Hwclock.value clock t.fs.now +. after) in
-  let gen = t.next_gen in
-  t.next_gen <- gen + 1;
+  let now = node_now ctx in
+  let deadline = Hwclock.inverse clock (Hwclock.value clock now +. after) in
+  let gen = t.gens.(ctx.id) in
+  t.gens.(ctx.id) <- gen + 1;
   (* A re-arm supersedes the pending entry: its heap or wheel slot goes
      stale and will be discarded when it surfaces; the live count is
      unchanged. *)
   match t.sched with
   | Heap ->
     if Hashtbl.mem t.timers.(ctx.id) timer then
-      t.stale_timer_entries <- t.stale_timer_entries + 1
-    else t.live_timers <- t.live_timers + 1;
+      lane.lstale <- lane.lstale + 1
+    else lane.llive <- lane.llive + 1;
     Hashtbl.replace t.timers.(ctx.id) timer gen;
-    push_ev t ~owner:ctx.id ~time:deadline ~kind:k_timer ~a:ctx.id ~b:gen ~c:0
-      ~d:0 (Obj.repr timer)
+    push_from t lane ~owner:ctx.id ~time:deadline ~kind:k_timer ~a:ctx.id
+      ~b:gen ~c:0 ~d:0 (Obj.repr timer)
   | Wheel ->
     let label = trace_label t timer in
     let s = t.armed.(ctx.id) in
     let i = Armed.find s label in
     if i >= 0 then begin
-      t.stale_timer_entries <- t.stale_timer_entries + 1;
+      lane.lstale <- lane.lstale + 1;
       s.Armed.gens.(i) <- gen;
       s.Armed.vals.(i) <- Obj.repr timer
     end
     else begin
-      t.live_timers <- t.live_timers + 1;
+      lane.llive <- lane.llive + 1;
       Armed.insert s ~at:(lnot i) label gen (Obj.repr timer)
     end;
-    (* Draw the tie-break rank from the engine's global counter so wheel
-       timers keep the exact (time, seq) position a queue push would have
-       had. Timers never cross shards: a node only arms its own. *)
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    Timewheel.arm t.wheels.(shard_of t ctx.id) ~node:ctx.id ~label ~gen ~seq
-      ~deadline
+    (* The tie-break rank comes from the engine's global counter (or the
+       lane's provisional block inside a window) so wheel timers keep the
+       exact (time, seq) position a queue push would have had. Timers
+       never cross shards: a node only arms its own. *)
+    let seq =
+      if lane.lpar then begin
+        let j = lane.lcre in
+        if j > cre_mask then failwith "Engine: window rank block exhausted";
+        lane.lcre <- j + 1;
+        prov_flag lor (lane.ls lsl 40) lor j
+      end
+      else begin
+        let s = t.next_seq in
+        t.next_seq <- s + 1;
+        s
+      end
+    in
+    Timewheel.arm t.wheels.(lane.ls) ~node:ctx.id ~label ~gen ~seq ~deadline
 
 let cancel_timer ctx timer =
   let t = ctx.engine in
+  let lane = ctx.lane in
   match t.sched with
   | Heap ->
     if Hashtbl.mem t.timers.(ctx.id) timer then begin
       Hashtbl.remove t.timers.(ctx.id) timer;
-      t.live_timers <- t.live_timers - 1;
-      t.stale_timer_entries <- t.stale_timer_entries + 1
+      lane.llive <- lane.llive - 1;
+      lane.lstale <- lane.lstale + 1
     end
   | Wheel ->
     let s = t.armed.(ctx.id) in
     let i = Armed.find s (trace_label t timer) in
     if i >= 0 then begin
       Armed.remove_at s i;
-      t.live_timers <- t.live_timers - 1;
-      t.stale_timer_entries <- t.stale_timer_entries + 1
+      lane.llive <- lane.llive - 1;
+      lane.lstale <- lane.lstale + 1
     end
 
 (* Harness-side API --------------------------------------------------- *)
@@ -775,12 +1001,24 @@ let at t ~time f =
   check_future t time;
   push_ev t ~owner:0 ~time ~kind:k_callback ~a:0 ~b:0 ~c:0 ~d:0 (Obj.repr f)
 
-let events_processed t = t.events_processed
+let events_processed t =
+  let acc = ref t.ctrl_events in
+  for s = 0 to t.shards - 1 do
+    acc := !acc + t.lanes.(s).levents
+  done;
+  !acc
 
 let queue_depth t =
-  let acc = ref 0 in
+  let acc = ref (Equeue.size t.control) in
   for s = 0 to t.shards - 1 do
     acc := !acc + Equeue.size t.queues.(s) + t.outboxes.(s).Outbox.len
+  done;
+  !acc
+
+let stale_timer_entries t =
+  let acc = ref 0 in
+  for s = 0 to t.shards - 1 do
+    acc := !acc + t.lanes.(s).lstale
   done;
   !acc
 
@@ -792,15 +1030,20 @@ let pending_events t =
     for s = 0 to t.shards - 1 do
       wheel_entries := !wheel_entries + Timewheel.size t.wheels.(s)
     done);
-  queue_depth t + !wheel_entries - t.stale_timer_entries
+  queue_depth t + !wheel_entries - stale_timer_entries t
 
-let live_timers t = t.live_timers
+let live_timers t =
+  let acc = ref 0 in
+  for s = 0 to t.shards - 1 do
+    acc := !acc + t.lanes.(s).llive
+  done;
+  !acc
 
 (* Engine-owned storage in words — queues, outboxes, wheels, per-node
    tables and the graph. The scaling tests pin this to O(n + live edges);
    a pair-keyed regression would show up as O(n^2) growth here. *)
 let footprint_words t =
-  let acc = ref 0 in
+  let acc = ref (Equeue.footprint_words t.control) in
   for s = 0 to t.shards - 1 do
     acc := !acc + Equeue.footprint_words t.queues.(s)
            + Outbox.footprint_words t.outboxes.(s)
@@ -844,13 +1087,14 @@ let apply_crash t f node =
   Trace.record t.trace ~time:t.fs.now Fault_crash node (-1) (-1);
   f.f_alive.(node) <- false;
   f.f_inc.(node) <- f.f_inc.(node) + 1;
+  let lane = t.lanes.(shard_of t node) in
   (match t.sched with
   | Heap ->
     let tbl = t.timers.(node) in
     let k = Hashtbl.length tbl in
     Hashtbl.reset tbl;
-    t.live_timers <- t.live_timers - k;
-    t.stale_timer_entries <- t.stale_timer_entries + k
+    lane.llive <- lane.llive - k;
+    lane.lstale <- lane.lstale + k
   | Wheel ->
     let s = t.armed.(node) in
     let k = s.Armed.len in
@@ -858,8 +1102,8 @@ let apply_crash t f node =
       s.Armed.vals.(i) <- Armed.dummy
     done;
     s.Armed.len <- 0;
-    t.live_timers <- t.live_timers - k;
-    t.stale_timer_entries <- t.stale_timer_entries + k);
+    lane.llive <- lane.llive - k;
+    lane.lstale <- lane.lstale + k);
   t.fifo.(node).Fifo_store.len <- 0
 
 let apply_restart t f node ~corrupt =
@@ -885,8 +1129,14 @@ let apply_restart t f node ~corrupt =
     (Dyngraph.neighbors t.graph node)
 
 (* Dispatch the event latched in [q]'s registers (everything except
-   k_timer, which [run_queue_event] handles for the staleness check). *)
-let dispatch t q kind =
+   k_timer, which [run_queue_event] handles for the staleness check).
+   [lane] is the owner's lane; node-addressed kinds may run inside a
+   parallel window, in which case [now] is the lane's event time and all
+   records buffer. The control kinds at the bottom (topology, faults,
+   callbacks) are only ever dispatched sequentially: under sharding they
+   live in the control queue, and at one shard there are no windows. *)
+let dispatch t lane q kind =
+  let now = if lane.lpar then lane.lf.lnow else t.fs.now in
   if kind = k_deliver then begin
     let src = Equeue.ev_a q
     and dst = Equeue.ev_b q
@@ -901,14 +1151,14 @@ let dispatch t q kind =
            severs the node from the network, in both directions. *)
         (not f.f_alive.(dst)) || inc <> f.f_inc.(src)
     in
-    if crash_lost then Trace.record t.trace ~time:t.fs.now Drop_lossy src dst epoch
+    if crash_lost then lane_record t lane ~time:now Drop_lossy src dst epoch
     else if
       Dyngraph.has_edge t.graph src dst && Dyngraph.epoch t.graph src dst = epoch
     then begin
-      Trace.record t.trace ~time:t.fs.now Deliver src dst epoch;
+      lane_record t lane ~time:now Deliver src dst epoch;
       (handlers_of t dst).on_receive src (Obj.obj (Equeue.ev_payload q))
     end
-    else Trace.record t.trace ~time:t.fs.now Drop_in_flight src dst epoch
+    else lane_record t lane ~time:now Drop_in_flight src dst epoch
   end
   else if kind = k_discover_add || kind = k_discover_rm then begin
     let node = Equeue.ev_a q
@@ -919,29 +1169,29 @@ let dispatch t q kind =
        discovery) and the observer is up — a crashed node observes
        nothing; it relearns its neighborhood after restarting. *)
     if node_dead t node then
-      Trace.record t.trace ~time:t.fs.now Discover_stale node peer epoch
+      lane_record t lane ~time:now Discover_stale node peer epoch
     else if Dyngraph.epoch t.graph node peer = epoch then begin
       if kind = k_discover_add then begin
-        Trace.record t.trace ~time:t.fs.now Discover_add node peer epoch;
+        lane_record t lane ~time:now Discover_add node peer epoch;
         (handlers_of t node).on_discover_add peer
       end
       else begin
-        Trace.record t.trace ~time:t.fs.now Discover_remove node peer epoch;
+        lane_record t lane ~time:now Discover_remove node peer epoch;
         (handlers_of t node).on_discover_remove peer
       end
     end
-    else Trace.record t.trace ~time:t.fs.now Discover_stale node peer epoch
+    else lane_record t lane ~time:now Discover_stale node peer epoch
   end
   else if kind = k_absence then begin
     let node = Equeue.ev_a q and peer = Equeue.ev_b q in
     Iset.remove t.absence_pending.(node) peer;
     if node_dead t node then
-      Trace.record t.trace ~time:t.fs.now Discover_stale node peer (-1)
+      lane_record t lane ~time:now Discover_stale node peer (-1)
     else if not (Dyngraph.has_edge t.graph node peer) then begin
-      Trace.record t.trace ~time:t.fs.now Discover_remove node peer (-1);
+      lane_record t lane ~time:now Discover_remove node peer (-1);
       (handlers_of t node).on_discover_remove peer
     end
-    else Trace.record t.trace ~time:t.fs.now Discover_stale node peer (-1)
+    else lane_record t lane ~time:now Discover_stale node peer (-1)
   end
   else if kind = k_edge_add then begin
     let u = Equeue.ev_a q and v = Equeue.ev_b q in
@@ -988,29 +1238,31 @@ let start t =
    after being armed — same lazy discard, and at the same instant, as the
    heap path's stale-slot check, which is what keeps the two schedulers'
    traces byte-identical. *)
-let wheel_timer t ~node ~label ~gen =
+let wheel_timer t lane ~node ~label ~gen =
+  let now = if lane.lpar then lane.lf.lnow else t.fs.now in
   let s = t.armed.(node) in
   let i = Armed.find s label in
   if i >= 0 && s.Armed.gens.(i) = gen then begin
     let timer = Obj.obj s.Armed.vals.(i) in
     Armed.remove_at s i;
-    t.live_timers <- t.live_timers - 1;
-    t.events_processed <- t.events_processed + 1;
-    Trace.record t.trace ~time:t.fs.now Timer_fire node label (-1);
+    lane.llive <- lane.llive - 1;
+    lane.levents <- lane.levents + 1;
+    lane_record t lane ~time:now Timer_fire node label (-1);
     (handlers_of t node).on_timer timer
   end
   else begin
-    t.stale_timer_entries <- t.stale_timer_entries - 1;
-    Trace.record t.trace ~time:t.fs.now Timer_stale node label (-1)
+    lane.lstale <- lane.lstale - 1;
+    lane_record t lane ~time:now Timer_stale node label (-1)
   end
 
 (* A queue event just popped into [q]'s registers. Heap-mode timer
    entries resolve staleness here — cancelled or superseded slots are
    bookkeeping garbage, not events: they don't count as processed and
    never reach a handler. *)
-let run_queue_event t q =
+let run_queue_event t lane q =
   let kind = Equeue.ev_kind q in
   if kind = k_timer then begin
+    let now = if lane.lpar then lane.lf.lnow else t.fs.now in
     let node = Equeue.ev_a q and gen = Equeue.ev_b q in
     let timer = Obj.obj (Equeue.ev_payload q) in
     let stale =
@@ -1019,20 +1271,20 @@ let run_queue_event t q =
       | exception Not_found -> true
     in
     if stale then begin
-      t.stale_timer_entries <- t.stale_timer_entries - 1;
-      Trace.record t.trace ~time:t.fs.now Timer_stale node (trace_label t timer) (-1)
+      lane.lstale <- lane.lstale - 1;
+      lane_record t lane ~time:now Timer_stale node (trace_label t timer) (-1)
     end
     else begin
       Hashtbl.remove t.timers.(node) timer;
-      t.live_timers <- t.live_timers - 1;
-      t.events_processed <- t.events_processed + 1;
-      Trace.record t.trace ~time:t.fs.now Timer_fire node (trace_label t timer) (-1);
+      lane.llive <- lane.llive - 1;
+      lane.levents <- lane.levents + 1;
+      lane_record t lane ~time:now Timer_fire node (trace_label t timer) (-1);
       (handlers_of t node).on_timer timer
     end
   end
   else begin
-    t.events_processed <- t.events_processed + 1;
-    dispatch t q kind
+    lane.levents <- lane.levents + 1;
+    dispatch t lane q kind
   end
 
 let set_tie_break t hook =
@@ -1106,14 +1358,16 @@ let tie_break_pop t q pick =
   done
 
 (* Pick the earliest (time, seq) candidate across every shard's queue and
-   wheel into the [cand_*] scratch fields. The per-shard wheel is only
-   resolved up to its own queue head (or the horizon) — the same lazy
-   bound the single-shard loop used. *)
+   wheel — and the control queue — into the [cand_*] scratch fields. The
+   per-shard wheel is only resolved up to its own queue head (or the
+   horizon) — the same lazy bound the single-shard loop used. Each lane's
+   own earliest time is recorded in [lhead] for the window gate. *)
 let select t ~horizon =
   t.fs.cand_time <- infinity;
   t.cand_seq <- max_int;
   t.cand_shard <- -1;
   t.cand_wheel <- false;
+  t.cand_ctrl <- false;
   for s = 0 to t.shards - 1 do
     let q = t.queues.(s) in
     let qt = Equeue.next_time q in
@@ -1130,6 +1384,7 @@ let select t ~horizon =
     if wheel_wins then begin
       let w = t.wheels.(s) in
       let wt = Timewheel.top_time w and wseq = Timewheel.top_seq w in
+      t.lanes.(s).lf.lhead <- wt;
       if wt < t.fs.cand_time || (wt = t.fs.cand_time && wseq < t.cand_seq)
       then begin
         t.fs.cand_time <- wt;
@@ -1138,60 +1393,264 @@ let select t ~horizon =
         t.cand_wheel <- true
       end
     end
-    else if qt < t.fs.cand_time || (qt = t.fs.cand_time && qseq < t.cand_seq)
+    else begin
+      t.lanes.(s).lf.lhead <- qt;
+      if qt < t.fs.cand_time || (qt = t.fs.cand_time && qseq < t.cand_seq)
+      then begin
+        t.fs.cand_time <- qt;
+        t.cand_seq <- qseq;
+        t.cand_shard <- s;
+        t.cand_wheel <- false
+      end
+    end
+  done;
+  if t.shards > 1 then begin
+    let ct = Equeue.next_time t.control in
+    let cseq = Equeue.top_seq t.control in
+    if ct < t.fs.cand_time || (ct = t.fs.cand_time && cseq < t.cand_seq)
     then begin
-      t.fs.cand_time <- qt;
-      t.cand_seq <- qseq;
-      t.cand_shard <- s;
-      t.cand_wheel <- false
+      t.fs.cand_time <- ct;
+      t.cand_seq <- cseq;
+      t.cand_shard <- -1;
+      t.cand_wheel <- false;
+      t.cand_ctrl <- true
+    end
+  end
+
+(* Dispatch the selected candidate sequentially — the traditional path,
+   and the only one control events, fault runs, impure delay policies and
+   tie-break enumeration ever take. *)
+let seq_step t =
+  t.fs.now <- t.fs.cand_time;
+  if t.cand_ctrl then begin
+    let q = t.control in
+    Equeue.pop q;
+    t.ctrl_events <- t.ctrl_events + 1;
+    (* Control kinds never include k_timer; any lane serves as the
+       (sequential) record context, but crash bookkeeping inside picks
+       the node's own lane. *)
+    dispatch t t.lanes.(0) q (Equeue.ev_kind q);
+    Equeue.release q
+  end
+  else begin
+    let s = t.cand_shard in
+    let lane = t.lanes.(s) in
+    if t.cand_wheel then begin
+      let w = t.wheels.(s) in
+      let node = Timewheel.top_node w
+      and label = Timewheel.top_label w
+      and gen = Timewheel.top_gen w in
+      Timewheel.pop w;
+      wheel_timer t lane ~node ~label ~gen
+    end
+    else begin
+      let q = t.queues.(s) in
+      (match t.tie_break with
+      | Some pick -> tie_break_pop t q pick
+      | None -> ());
+      Equeue.pop q;
+      run_queue_event t lane q;
+      Equeue.release q
+    end
+  end
+
+(* One lane's share of a parallel dispatch window: drain the lane's own
+   queue and wheel strictly below the window end (and at most to the
+   horizon), logging one mark per dispatch. Runs on its own domain; it
+   only touches lane-owned state, performs pure reads of the graph and
+   clocks, and routes cross-lane creations through the lane's outbox. *)
+let lane_window_loop t lane ~wstop ~horizon =
+  let s = lane.ls in
+  let q = t.queues.(s) in
+  let continue_ = ref true in
+  while !continue_ do
+    if lane.lcre >= cre_mask - cre_slack then
+      (* Rank block nearly exhausted: stop and let the barrier re-open a
+         fresh window (unreachable in practice — 2^40 creations). *)
+      continue_ := false
+    else begin
+      let qt = Equeue.next_time q in
+      let wheel_wins =
+        match t.sched with
+        | Heap -> false
+        | Wheel ->
+          let w = t.wheels.(s) in
+          let bound = Float.min qt (Float.min wstop horizon) in
+          Timewheel.peek w ~upto:bound
+          && (Timewheel.top_time w < qt || Timewheel.top_seq w < Equeue.top_seq q)
+      in
+      if wheel_wins then begin
+        let w = t.wheels.(s) in
+        let et = Timewheel.top_time w in
+        if et < wstop && et <= horizon then begin
+          let node = Timewheel.top_node w
+          and label = Timewheel.top_label w
+          and gen = Timewheel.top_gen w in
+          lane_mark lane ~time:et ~seq:(Timewheel.top_seq w);
+          Timewheel.pop w;
+          lane.lf.lnow <- et;
+          wheel_timer t lane ~node ~label ~gen
+        end
+        else continue_ := false
+      end
+      else if qt < wstop && qt <= horizon then begin
+        lane_mark lane ~time:qt ~seq:(Equeue.top_seq q);
+        Equeue.pop q;
+        lane.lf.lnow <- qt;
+        run_queue_event t lane q;
+        Equeue.release q
+      end
+      else continue_ := false
     end
   done
+
+(* The merge barrier: replay the lanes' dispatch logs in the global
+   (time, rank) order — exactly the order the sequential loop would have
+   dispatched them — assigning each window creation the dense final rank
+   the sequential run's counter would have produced, and appending the
+   buffered trace entries in that same order. A provisional rank is
+   always resolvable when its mark reaches the merge frontier: its
+   creator dispatched earlier in the same lane (strictly smaller key), so
+   its final rank was already assigned. *)
+let barrier_merge t actives =
+  let k = Array.length actives in
+  let heads = Array.make k 0 in
+  (* Per-lane final-rank tables, sized to this window's creations. *)
+  Array.iter
+    (fun lane ->
+      if Array.length lane.lfinal < lane.lcre then
+        lane.lfinal <- Array.make (max 64 lane.lcre) 0)
+    actives;
+  let resolve lane seq =
+    if seq >= prov_flag then lane.lfinal.(seq land cre_mask) else seq
+  in
+  let running = ref true in
+  while !running do
+    let best = ref (-1) in
+    let best_t = ref infinity in
+    let best_s = ref max_int in
+    for x = 0 to k - 1 do
+      let lane = actives.(x) in
+      let h = heads.(x) in
+      if h < lane.mlen then begin
+        let tm = lane.mt.(h) in
+        if tm < !best_t then begin
+          best := x;
+          best_t := tm;
+          best_s := resolve lane lane.mseq.(h)
+        end
+        else if tm = !best_t then begin
+          let sq = resolve lane lane.mseq.(h) in
+          if sq < !best_s then begin
+            best := x;
+            best_s := sq
+          end
+        end
+      end
+    done;
+    if !best < 0 then running := false
+    else begin
+      let lane = actives.(!best) in
+      let h = heads.(!best) in
+      let cre_end = if h + 1 < lane.mlen then lane.mcre.(h + 1) else lane.lcre in
+      for j = lane.mcre.(h) to cre_end - 1 do
+        lane.lfinal.(j) <- t.next_seq;
+        t.next_seq <- t.next_seq + 1
+      done;
+      if t.log_on then begin
+        let e_end = if h + 1 < lane.mlen then lane.ment.(h + 1) else lane.blen in
+        for e = lane.ment.(h) to e_end - 1 do
+          Trace.append_entry t.trace ~time:lane.bt.(e)
+            (Trace.kind_of_index lane.bk.(e))
+            lane.ba.(e) lane.bb.(e) lane.bc.(e)
+        done
+      end;
+      heads.(!best) <- h + 1
+    end
+  done
+
+(* Run one parallel dispatch window over the active lanes, then merge:
+   rewrite every provisional rank (queues, wheels, outboxes) to its final
+   rank, flush the outboxes, fold the buffered counters and reset the
+   lanes. After the barrier the engine state is exactly what the
+   sequential loop would have produced at this point. *)
+let run_window t actives ~wstop ~horizon =
+  Array.iter
+    (fun lane ->
+      lane.lpar <- true;
+      lane.lf.lwstop <- wstop)
+    actives;
+  let thunks =
+    Array.map (fun lane () -> lane_window_loop t lane ~wstop ~horizon) actives
+  in
+  (match t.executor with
+  | Some exec -> exec thunks
+  | None -> Array.iter (fun th -> th ()) thunks);
+  barrier_merge t actives;
+  Array.iter
+    (fun lane ->
+      let remap seq =
+        if seq >= prov_flag then lane.lfinal.(seq land cre_mask) else seq
+      in
+      Equeue.remap_seqs t.queues.(lane.ls) remap;
+      (match t.sched with
+      | Heap -> ()
+      | Wheel -> Timewheel.remap_seqs t.wheels.(lane.ls) remap);
+      let ob = t.outboxes.(lane.ls) in
+      for i = 0 to ob.Outbox.len - 1 do
+        ob.Outbox.seqs.(i) <- remap ob.Outbox.seqs.(i)
+      done;
+      Trace.merge_counts t.trace lane.lcounters;
+      Array.fill lane.lcounters 0 Trace.kind_count 0;
+      lane.lcre <- 0;
+      lane.mlen <- 0;
+      lane.blen <- 0;
+      lane.lpar <- false)
+    actives;
+  Array.iter (fun lane -> Outbox.flush t.outboxes.(lane.ls) t.queues) actives;
+  t.fs.now <- Float.min wstop horizon
+
+let set_executor t exec = t.executor <- exec
 
 let run_until t horizon =
   if horizon < t.fs.now then invalid_arg "Engine.run_until: horizon in the past";
   start t;
   let running = ref true in
-  let flushed = ref false in
   while !running do
     select t ~horizon;
-    (* The barrier exchange: flush any outbox whose earliest cross-shard
-       event is due at or before the candidate — it may preempt it (a
-       zero-delay cross-shard send lands at the current instant). A flush
-       can surface an earlier candidate, so re-select afterwards. *)
-    flushed := false;
-    for s = 0 to t.shards - 1 do
-      let ob = t.outboxes.(s) in
-      if ob.Outbox.len > 0 && ob.Outbox.min_time <= t.fs.cand_time then begin
-        Outbox.flush ob t.queues;
-        flushed := true
+    if t.fs.cand_time <= horizon then begin
+      assert (t.fs.cand_time >= t.fs.now);
+      if t.par_ok && not t.cand_ctrl then begin
+        (* Window gate: the window [cand_time, wstop) must end strictly
+           after it starts, stop before the next control event (whose
+           dispatch is order-sensitive and sequential), and have at least
+           two lanes with work — otherwise the sequential step is both
+           correct and cheaper. The gate depends only on engine state,
+           never on the executor, so the window structure (and the
+           trace) is identical at every domain count. *)
+        let ctrl_next = Equeue.next_time t.control in
+        let wstop = Float.min (t.fs.cand_time +. t.delay.Delay.min_lat) ctrl_next in
+        let active = ref 0 in
+        for s = 0 to t.shards - 1 do
+          let lh = t.lanes.(s).lf.lhead in
+          if lh < wstop && lh <= horizon then incr active
+        done;
+        if wstop > t.fs.cand_time && !active >= 2 then begin
+          let actives = Array.make !active t.lanes.(0) in
+          let j = ref 0 in
+          for s = 0 to t.shards - 1 do
+            let lane = t.lanes.(s) in
+            if lane.lf.lhead < wstop && lane.lf.lhead <= horizon then begin
+              actives.(!j) <- lane;
+              incr j
+            end
+          done;
+          run_window t actives ~wstop ~horizon
+        end
+        else seq_step t
       end
-    done;
-    if not !flushed then begin
-      if t.fs.cand_time <= horizon then begin
-        assert (t.fs.cand_time >= t.fs.now);
-        t.fs.now <- t.fs.cand_time;
-        let s = t.cand_shard in
-        t.cur_shard <- s;
-        (if t.cand_wheel then begin
-           let w = t.wheels.(s) in
-           let node = Timewheel.top_node w
-           and label = Timewheel.top_label w
-           and gen = Timewheel.top_gen w in
-           Timewheel.pop w;
-           wheel_timer t ~node ~label ~gen
-         end
-         else begin
-           let q = t.queues.(s) in
-           (match t.tie_break with
-           | Some pick -> tie_break_pop t q pick
-           | None -> ());
-           Equeue.pop q;
-           run_queue_event t q;
-           Equeue.release q
-         end);
-        t.cur_shard <- -1
-      end
-      else running := false
+      else seq_step t
     end
+    else running := false
   done;
   t.fs.now <- horizon

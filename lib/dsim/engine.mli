@@ -82,13 +82,18 @@ val create :
 
     [shards] (default 1) partitions the node ids into that many
     contiguous ranges, each owning its own event queue (and, under the
-    wheel scheduler, its own timer wheel). Events a shard schedules for
-    another shard's nodes are exchanged at a merge barrier instead of
-    pushed directly — the protocol a multi-domain run would use — but
-    every event draws its tie-break rank from one global sequence
-    counter, so the dispatch order and trace are byte-identical at every
-    shard count, including [shards = 1]. Raises [Invalid_argument] when
-    [shards < 1].
+    wheel scheduler, its own timer wheel). When the delay policy is pure
+    with positive [min_lat], no faults are injected and the trace does
+    not stream, the run loop dispatches the shards in parallel windows of
+    [min_lat] simulated time — on one domain by default, or on several
+    via {!set_executor}. Events created inside a window carry provisional
+    per-shard rank blocks that the merge barrier rewrites to the exact
+    dense ranks the sequential run would have assigned (DESIGN §14), so
+    the dispatch order and trace are byte-identical at every shard count
+    {e and} every domain count, including [shards = 1]. Order-sensitive
+    global events (topology changes, faults, callbacks) are kept in a
+    dedicated control queue and always dispatch sequentially between
+    windows. Raises [Invalid_argument] when [shards < 1].
 
     [faults] (default []) is a deterministic fault schedule (validated
     against [n]; raises [Invalid_argument] on a malformed one). Crash and
@@ -176,6 +181,22 @@ val run_until : ('msg, 'timer) t -> float -> unit
 (** Process all events with timestamp [<= horizon], then advance the
     current time to [horizon]. May be called repeatedly with increasing
     horizons. *)
+
+val set_executor :
+  ('msg, 'timer) t -> ((unit -> unit) array -> unit) option -> unit
+(** Install (or clear) the executor that runs a parallel dispatch
+    window's per-lane thunks. The engine hands it one thunk per active
+    lane and requires every thunk to have completed when the call
+    returns — {!Runner.run} on a scoped pool is the intended
+    implementation. [None] (the default) runs the thunks in the calling
+    domain, in index order. The executor only decides {e where} thunks
+    run: window formation, dispatch order and the trace are identical
+    with and without one, which is what the parity suite pins. Windows
+    only form at all when [shards > 1], the delay policy is pure with
+    positive [min_lat], no fault schedule is installed and the trace
+    does not stream entries; on every other configuration the engine
+    stays on the sequential dispatch path and the executor is never
+    called. *)
 
 val set_tie_break : ('msg, 'timer) t -> (int -> int) option -> unit
 (** Install (or clear) the adversary tie-break hook used by the bounded

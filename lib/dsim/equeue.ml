@@ -200,6 +200,17 @@ let pop q =
     Array.unsafe_set slots !i sl
   end
 
+(* Rewriting seq values in place is safe exactly when [f] preserves the
+   pairwise order of the live seqs: the heap shape encodes only
+   comparisons, so an order-preserving rewrite leaves every parent/child
+   relation valid. The engine's barrier re-ranking satisfies this (see
+   DESIGN §14). *)
+let remap_seqs q f =
+  let seqs = q.seqs in
+  for i = 0 to q.size - 1 do
+    Array.unsafe_set seqs i (f (Array.unsafe_get seqs i))
+  done
+
 let release q = q.p_payload <- dummy
 
 let ev_kind q = q.p_kind

@@ -59,6 +59,13 @@ val ev_payload : t -> Obj.t
 val release : t -> unit
 (** Clear the payload register so the GC can reclaim the last payload. *)
 
+val remap_seqs : t -> (int -> int) -> unit
+(** [remap_seqs q f] replaces every live event's seq with [f seq] in
+    place. [f] must preserve the pairwise order of the live seqs (and
+    their uniqueness); the heap shape is untouched, which is valid
+    exactly under that condition. Used by the engine's barrier to turn
+    provisional per-lane ranks into final global ranks (DESIGN §14). *)
+
 val size : t -> int
 val is_empty : t -> bool
 

@@ -340,3 +340,19 @@ let top_gen t = t.d_gen.(0)
 let pop t =
   if t.d_len = 0 then invalid_arg "Timewheel.pop: no resolved entry";
   due_pop t
+
+(* Buckets are unordered flat arrays, so any value rewrite is safe there;
+   the due heap is ordered by (deadline, seq), so — as in Equeue — the
+   rewrite must preserve the pairwise order of the live seqs to keep the
+   heap shape valid. *)
+let remap_seqs t f =
+  for b = 0 to Array.length t.b_seq - 1 do
+    let seq = t.b_seq.(b) in
+    for k = 0 to t.b_len.(b) - 1 do
+      seq.(k) <- f seq.(k)
+    done
+  done;
+  let seq = t.d_seq in
+  for k = 0 to t.d_len - 1 do
+    seq.(k) <- f seq.(k)
+  done

@@ -63,3 +63,11 @@ val top_gen : t -> int
 val pop : t -> unit
 (** Drop the entry exposed by the last successful {!peek}. Raises
     [Invalid_argument] if no resolved entry is pending. *)
+
+val remap_seqs : t -> (int -> int) -> unit
+(** [remap_seqs w f] replaces every held entry's seq with [f seq] in
+    place — bucket entries and resolved due entries alike. [f] must
+    preserve the pairwise order of the live seqs; the due heap's shape
+    is untouched, which is valid exactly under that condition. Used by
+    the engine's barrier to turn provisional per-lane ranks into final
+    global ranks (DESIGN §14). *)

@@ -66,6 +66,10 @@ let all_kinds =
     Fault_crash; Fault_restart; Fault_corrupt; Fault_byzantine_msg;
     Fault_duplicate; Delay_clamped ]
 
+let kinds_by_index = Array.of_list all_kinds
+
+let kind_of_index i = kinds_by_index.(i)
+
 type entry = { time : float; kind : kind; a : int; b : int; c : int }
 
 type t = {
@@ -123,6 +127,19 @@ let[@inline] record t ~time kind a b c =
   let i = kind_index kind in
   Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1);
   if t.log_limit > 0 || t.verbosity > 0 then record_slow t ~time kind a b c
+
+let wants_entries t = t.log_limit > 0
+
+let streams t = t.verbosity > 0
+
+let append_entry t ~time kind a b c = record_slow t ~time kind a b c
+
+let merge_counts t deltas =
+  if Array.length deltas <> kind_count then
+    invalid_arg "Trace.merge_counts: wrong array length";
+  for i = 0 to kind_count - 1 do
+    t.counters.(i) <- t.counters.(i) + deltas.(i)
+  done
 
 let count t kind = t.counters.(kind_index kind)
 

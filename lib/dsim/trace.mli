@@ -32,6 +32,18 @@ val kind_to_string : kind -> string
 
 val all_kinds : kind list
 
+val kind_count : int
+(** Number of kinds; valid indices are [0 .. kind_count - 1]. *)
+
+val kind_index : kind -> int
+(** Dense index of a kind, in {!all_kinds} order. Together with
+    {!kind_of_index} this is the seam the engine's parallel dispatch
+    windows use to buffer records as plain integers per shard lane and
+    merge them back deterministically at the barrier (DESIGN §14). *)
+
+val kind_of_index : int -> kind
+(** Inverse of {!kind_index}. Raises on out-of-range indices. *)
+
 type entry = { time : float; kind : kind; a : int; b : int; c : int }
 (** A structured record: the event kind plus up to three integer fields
     whose meaning depends on the kind — [(src, dst, epoch)] for message
@@ -52,6 +64,26 @@ val record : t -> time:float -> kind -> int -> int -> int -> unit
 (** [record t ~time kind a b c] bumps the kind's counter and, only if the
     log or streaming is enabled, retains/prints the structured entry.
     Pass [-1] for fields the kind does not use. *)
+
+val wants_entries : t -> bool
+(** Whether entries are retained ([log_limit > 0]). The engine's parallel
+    lanes only buffer structured entries when this holds. *)
+
+val streams : t -> bool
+(** Whether entries are formatted and printed as recorded
+    ([verbosity > 0]). Streaming interleaves with dispatch order, so the
+    engine keeps dispatch sequential whenever this holds. *)
+
+val append_entry : t -> time:float -> kind -> int -> int -> int -> unit
+(** Retain (and stream, if enabled) an entry {e without} bumping its
+    counter. Only for replaying records whose counters were already
+    accounted for — the engine's barrier merge folds per-lane counter
+    deltas via {!merge_counts} and appends the buffered entries here, in
+    the global [(time, seq)] order. *)
+
+val merge_counts : t -> int array -> unit
+(** [merge_counts t deltas] adds [deltas] (indexed by {!kind_index},
+    length {!kind_count}) into the counters. *)
 
 val count : t -> kind -> int
 

@@ -26,7 +26,19 @@
 
     Exceptions raised by [f] are caught per item; the pool always drains
     the queue and joins every domain, then re-raises the exception of the
-    smallest failing item index (again independent of scheduling). *)
+    smallest failing item index (again independent of scheduling).
+
+    {2 Oversubscription cap}
+
+    Fan-out points nest: an experiment mapped over the pool may itself
+    call {!sweep}, and a simulation may open a {!scoped} dispatch pool
+    while a fuzz [map] is in flight. Each call sizes itself independently,
+    so without a brake the process could hold far more live domains than
+    [default_jobs] (the ambient budget, [GCS_JOBS] / [--jobs]). Every
+    pool therefore claims only what is left of the budget:
+    [min requested (max 1 (default_jobs () - live_domains ()))]. A
+    fan-out issued when the budget is exhausted runs serially in its
+    caller — same results, by the determinism contract. *)
 
 val default_jobs : unit -> int
 (** Ambient pool size used when [?jobs] is omitted. Initially the value
@@ -39,8 +51,9 @@ val set_default_jobs : int -> unit
 
 val live_domains : unit -> int
 (** Number of worker domains currently spawned and not yet joined, over
-    all pools. Always [0] outside a {!map} call — including after a call
-    that re-raised a worker exception; the test suite asserts this. *)
+    all pools. Always [0] outside {!map} calls and {!scoped} blocks —
+    including after a call that re-raised a worker exception; the test
+    suite asserts this. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item on a pool of [jobs]
@@ -61,3 +74,34 @@ val sweep : ?jobs:int -> ('a -> 'b) -> 'a list -> ('a * 'b) list
     pairs each point with its result, in submission order — the shape
     wanted by parameter sweeps that tabulate [point -> measurement]
     rows (E3's B0/n sweeps, A7's optimal-B0 grids). *)
+
+(** {2 Scoped barrier-synchronized pool}
+
+    {!map} spawns and joins its domains per call, which is right for
+    coarse items (whole experiments, whole audited scenarios) but far too
+    heavy for the engine's parallel dispatch windows: one [run_until]
+    fires many thousands of tiny rounds, each of which must fully
+    complete before the next (an outbox merge barrier, DESIGN §14).
+    [scoped] keeps [jobs - 1] worker domains parked on a condition
+    variable for the duration of a block, and each {!run} is one
+    barrier-synchronized round over them plus the calling domain. *)
+
+type pool
+(** A scoped pool. Valid only inside the [scoped] block that created it. *)
+
+val scoped : ?jobs:int -> (pool -> 'a) -> 'a
+(** [scoped ~jobs f] spawns [jobs - 1] worker domains (after the
+    oversubscription cap above; [jobs] defaults to {!default_jobs}),
+    runs [f pool], and always tears the workers down — also on
+    exceptions. With an exhausted budget (or [jobs = 1]) no domain is
+    spawned and every {!run} executes in the caller. *)
+
+val run : pool -> (unit -> unit) array -> unit
+(** [run pool thunks] executes every thunk exactly once on the pool's
+    domains plus the calling domain, and returns only when all have
+    completed — a barrier. Thunks are claimed dynamically in index
+    order; with no spawned workers they run in the caller, in index
+    order. Thunks must be domain-safe and must not call [run] on the
+    same pool. Exceptions are collected and the smallest thunk index's
+    exception is re-raised after the round completes. Calling [run]
+    outside the pool's [scoped] block raises [Invalid_argument]. *)

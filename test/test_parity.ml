@@ -257,11 +257,109 @@ let test_shard_parity_faulted () =
   Alcotest.(check string) "byte-identical faulted trace (shards=3)"
     (Trace.to_csv base_trace) (Trace.to_csv sharded_trace)
 
+(* Parallel-window parity: with a pure delay policy of positive min_lat
+   the engine dispatches the shards in conservative windows, handing out
+   provisional per-lane ranks that the merge barrier rewrites to the
+   exact sequential ones (DESIGN.md §14). The jittered keyed-uniform
+   policy makes the delays non-degenerate (every message gets its own
+   hash-drawn latency) while keeping the lookahead positive, and churn
+   keeps control events interleaving with the windows. The contract:
+   (shards, jobs) is pure placement — every combination must reproduce
+   the sequential trace byte for byte. *)
+let run_sim_windowed ?(faults = []) ?(shards = 1) ?(jobs = 1) scheduler =
+  let n = 24 in
+  let horizon = 50. in
+  let params = Gcs.Params.make ~n () in
+  let edges = Topology.Static.ring n in
+  let clocks = Gcs.Drift.assign params ~horizon ~seed:5 Gcs.Drift.Split_extremes in
+  let bound = params.Gcs.Params.delay_bound in
+  let delay = Dsim.Delay.uniform_keyed ~seed:9 ~lo:(0.25 *. bound) ~bound () in
+  let trace = Trace.create ~log_limit:500_000 () in
+  let cfg =
+    Gcs.Sim.config ~scheduler ~shards ~params ~clocks ~delay ~initial_edges:edges
+      ~trace ~faults ~fault_seed:21 ()
+  in
+  let sim = Gcs.Sim.create cfg in
+  Topology.Churn.schedule (Gcs.Sim.engine sim)
+    (Topology.Churn.random_churn (Dsim.Prng.of_int 13) ~n ~base:edges ~rate:0.4
+       ~horizon);
+  (if jobs > 1 then begin
+     (* Lift the ambient domain budget so worker domains really spawn —
+        otherwise a single-core host would cap the pool to the caller
+        and this test would never cross a domain boundary. *)
+     let saved = Runner.default_jobs () in
+     Runner.set_default_jobs (max saved jobs);
+     Fun.protect
+       ~finally:(fun () -> Runner.set_default_jobs saved)
+       (fun () ->
+         Runner.scoped ~jobs (fun pool ->
+             let engine = Gcs.Sim.engine sim in
+             Dsim.Engine.set_executor engine (Some (Runner.run pool));
+             Fun.protect
+               ~finally:(fun () -> Dsim.Engine.set_executor engine None)
+               (fun () -> Gcs.Sim.run_until sim horizon)))
+   end
+   else Gcs.Sim.run_until sim horizon);
+  (sim, trace)
+
+let test_parallel_dispatch_parity () =
+  let base, base_trace = run_sim_windowed ~shards:1 Gcs.Sim.Wheel in
+  let base_csv = Trace.to_csv base_trace in
+  (* The sequential reference must itself match the heap engine — the
+     keyed delay changes nothing about scheduler parity. *)
+  let _, heap_trace = run_sim_windowed ~shards:1 Gcs.Sim.Heap in
+  Alcotest.(check string) "wheel = heap (keyed delay)" base_csv
+    (Trace.to_csv heap_trace);
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun jobs ->
+          let sim, trace = run_sim_windowed ~shards ~jobs Gcs.Sim.Wheel in
+          Alcotest.(check int)
+            (Printf.sprintf "events processed (shards=%d jobs=%d)" shards jobs)
+            (Dsim.Engine.events_processed (Gcs.Sim.engine base))
+            (Dsim.Engine.events_processed (Gcs.Sim.engine sim));
+          Alcotest.(check string)
+            (Printf.sprintf "byte-identical trace (shards=%d jobs=%d)" shards
+               jobs)
+            base_csv (Trace.to_csv trace))
+        [ 1; shards ])
+    [ 2; 4; 7 ]
+
+(* A fault schedule turns the parallel gate off at create time; a
+   sharded multi-domain run must then take the sequential path (the
+   executor never fires) and still replay the campaign byte-identically. *)
+let test_parallel_dispatch_parity_faulted () =
+  let _, base_trace = run_sim_windowed ~faults:parity_faults Gcs.Sim.Wheel in
+  let _, par_trace =
+    run_sim_windowed ~faults:parity_faults ~shards:4 ~jobs:4 Gcs.Sim.Wheel
+  in
+  Alcotest.(check string)
+    "byte-identical faulted trace (shards=4 jobs=4)"
+    (Trace.to_csv base_trace) (Trace.to_csv par_trace)
+
+(* The trace coming out of a genuinely parallel run must satisfy the
+   conformance auditor — barrier re-ranking has to keep entries in
+   dispatch order, FIFO per link, delays within [0, T]. *)
+let test_parallel_trace_audits_clean () =
+  let sim, trace = run_sim_windowed ~shards:4 ~jobs:4 Gcs.Sim.Wheel in
+  let cfg = Audit.Conformance.of_params (Gcs.Sim.params sim) ~horizon:50. () in
+  let report = Audit.Conformance.audit cfg (Trace.entries trace) in
+  Alcotest.(check int) "no violations" 0
+    (List.length report.Audit.Report.violations);
+  Alcotest.(check bool) "events audited" true
+    (report.Audit.Report.events_audited > 0)
+
 let suite =
   [
     case "engine: heap = wheel (timer-heavy protocol)" test_engine_parity;
     case "sim: sharded = unsharded, byte-identical" test_shard_parity;
     case "sim: sharded fault campaign, byte-identical" test_shard_parity_faulted;
+    case "sim: parallel windows, shards x jobs grid, byte-identical"
+      test_parallel_dispatch_parity;
+    case "sim: faulted campaign falls back sequential under jobs=4"
+      test_parallel_dispatch_parity_faulted;
+    case "parallel trace passes conformance audit" test_parallel_trace_audits_clean;
     case "pqueue clear-and-rerun keeps the seam's total order"
       test_clear_and_rerun_merge_order;
     case "sim: heap = wheel (seeded churn)" test_sim_parity;

@@ -117,6 +117,59 @@ let test_registry_output_jobs_invariant () =
   Alcotest.(check string) "rendered reports identical for jobs=4" serial (render 4);
   Alcotest.(check bool) "reports are non-trivial" true (String.length serial > 100)
 
+(* Scoped pool: thunks all execute exactly once per round, rounds are
+   barriers, and teardown always happens — the shape the engine's
+   parallel dispatch windows lean on. *)
+let test_scoped_run_rounds () =
+  Alcotest.(check int) "no live domains before" 0 (Runner.live_domains ());
+  let out =
+    Runner.scoped ~jobs:4 (fun pool ->
+        let acc = Array.make 8 0 in
+        (* Two rounds back to back: the second reads what the first
+           wrote, which is only safe because run is a full barrier. *)
+        Runner.run pool
+          (Array.init 8 (fun i () -> acc.(i) <- (i + 1) * 3));
+        Runner.run pool (Array.init 8 (fun i () -> acc.(i) <- acc.(i) + i));
+        acc)
+  in
+  Alcotest.(check (list int)) "both rounds applied to every slot"
+    (List.init 8 (fun i -> ((i + 1) * 3) + i))
+    (Array.to_list out);
+  Alcotest.(check int) "all domains joined after the block" 0
+    (Runner.live_domains ())
+
+let test_scoped_run_raise () =
+  let raised =
+    match
+      Runner.scoped ~jobs:3 (fun pool ->
+          Runner.run pool
+            (Array.init 9 (fun i () -> if i mod 4 = 2 then raise (Boom i))))
+    with
+    | () -> None
+    | exception Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "smallest failing thunk re-raised" (Some 2)
+    raised;
+  Alcotest.(check int) "domains joined after the raise" 0
+    (Runner.live_domains ())
+
+(* Oversubscription cap: with the ambient budget pinned to 1 the scoped
+   pool must not spawn any worker — and the rounds still execute, in the
+   caller. *)
+let test_scoped_respects_budget () =
+  let saved = Runner.default_jobs () in
+  Runner.set_default_jobs 1;
+  Fun.protect
+    ~finally:(fun () -> Runner.set_default_jobs saved)
+    (fun () ->
+      Runner.scoped ~jobs:4 (fun pool ->
+          Alcotest.(check int) "budget of 1 spawns no workers" 0
+            (Runner.live_domains ());
+          let hits = Array.make 5 false in
+          Runner.run pool (Array.init 5 (fun i () -> hits.(i) <- true));
+          Alcotest.(check bool) "every thunk still ran" true
+            (Array.for_all Fun.id hits)))
+
 let test_default_jobs () =
   let saved = Runner.default_jobs () in
   Alcotest.(check bool) "default is positive" true (saved >= 1);
@@ -135,6 +188,9 @@ let suite =
     case "map_prng is jobs-invariant" test_map_prng_jobs_invariant;
     case "split streams do not overlap" test_map_prng_streams_distinct;
     case "pool joins all domains when work raises" test_pool_joins_on_raise;
+    case "scoped pool runs barrier rounds" test_scoped_run_rounds;
+    case "scoped pool re-raises smallest thunk index" test_scoped_run_raise;
+    case "scoped pool respects the domain budget" test_scoped_respects_budget;
     case "registry output identical across jobs" test_registry_output_jobs_invariant;
     case "default jobs override" test_default_jobs;
   ]
