@@ -330,6 +330,10 @@ let () =
         Printf.eprintf "--repeat requires a positive integer (got %s)\n" v;
         exit 2)
   in
+  if Array.exists (( = ) "--budget") Sys.argv then
+    (* CI allocation guard: sequential-path minor-words/event at n=1024
+       against the fixed ceiling (exit 1 on regression). *)
+    exit (Scale.budget ());
   if scale then begin
     let failures = Scale.run ~quick ~repeat ~out:(flag_value "--scale-out") () in
     if failures > 0 then begin

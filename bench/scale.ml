@@ -39,6 +39,13 @@ type row = {
   words_per_event : float;
   wall_s : float;
   footprint_words : int; (* engine-owned storage after the run *)
+  (* Parallel-dispatch shape (all zero on the sequential path): dispatch
+     rounds, merge barriers (windows/barriers > 1 means the adaptive
+     extension amortized barriers over several rounds), and events that
+     crossed shards through the outboxes. *)
+  windows : int;
+  barriers : int;
+  cross_shard : int;
 }
 
 let horizon = 60.
@@ -103,6 +110,7 @@ let measure_once ?faults ?shards ?(jobs = 1) ?(horizon = horizon) ~scheduler ~n
   let minor = Gc.minor_words () -. m0 in
   let engine = Gcs.Sim.engine sim in
   let events = Dsim.Engine.events_processed engine in
+  let tr = Dsim.Engine.trace engine in
   let per ev x = x /. float_of_int ev in
   {
     topo = (if churn then "churn" else "path");
@@ -116,6 +124,9 @@ let measure_once ?faults ?shards ?(jobs = 1) ?(horizon = horizon) ~scheduler ~n
     words_per_event = per events minor;
     wall_s;
     footprint_words = Dsim.Engine.footprint_words engine;
+    windows = Dsim.Trace.windows tr;
+    barriers = Dsim.Trace.barriers tr;
+    cross_shard = Dsim.Trace.cross_shard_events tr;
   }
 
 (* Median-of-K by ns/event. Everything but the wall clock is
@@ -194,9 +205,14 @@ let row_json buf r ~last =
     "    {\"topo\": %S, \"n\": %d, \"scheduler\": %S, \"shards\": %d, \
      \"jobs\": %d, \"events\": %d, \"ns_per_event\": %.1f, \
      \"events_per_s\": %.0f, \"minor_words_per_event\": %.2f, \
-     \"wall_s\": %.3f, \"footprint_words\": %d}%s\n"
+     \"wall_s\": %.3f, \"footprint_words\": %d, \"windows\": %d, \
+     \"barriers\": %d, \"windows_per_barrier\": %.2f, \
+     \"cross_shard_events\": %d}%s\n"
     r.topo r.n (scheduler_of_row r) r.shards r.jobs r.events r.ns_per_event
-    r.events_per_s r.words_per_event r.wall_s r.footprint_words
+    r.events_per_s r.words_per_event r.wall_s r.footprint_words r.windows
+    r.barriers
+    (if r.barriers = 0 then 0. else float_of_int r.windows /. float_of_int r.barriers)
+    r.cross_shard
     (if last then "" else ",")
 
 let write_json path ~quick ~repeat rows large_rows (gn, gskew, gbound, gpass)
@@ -238,7 +254,7 @@ let write_json path ~quick ~repeat rows large_rows (gn, gskew, gbound, gpass)
 
 let row_columns =
   [ "topology"; "n"; "sched"; "shards"; "jobs"; "events"; "ns/event"; "Mev/s";
-    "words/event"; "wall s"; "footprint Mw" ]
+    "words/event"; "wall s"; "footprint Mw"; "barriers"; "win/bar" ]
 
 let add_row table r =
   Table.add_row table
@@ -254,21 +270,52 @@ let add_row table r =
       Table.Float r.words_per_event;
       Table.Float r.wall_s;
       Table.Float (float_of_int r.footprint_words /. 1e6);
+      Table.Int r.barriers;
+      Table.Float
+        (if r.barriers = 0 then 0.
+         else float_of_int r.windows /. float_of_int r.barriers);
     ]
 
-let run ~quick ~repeat ~out () =
+(* The CI allocation guard (and a fast local A/B driver): one sequential
+   n=1024 path run under the wheel scheduler — the classic-tier row CI
+   budgets against — checked against a minor-words/event ceiling.
+   Allocation per event is deterministic (no wall-clock noise), so a
+   single run suffices and a regression fails loudly. *)
+let budget ?(limit = 19.) () =
+  let r = measure_once ~scheduler:Gcs.Sim.Wheel ~n:1024 ~churn:false () in
   Format.printf
-    "scaling sweep (horizon=%g, %s mode, median of %d; both schedulers)@.@."
+    "allocation budget: n=%d path wheel sequential — %d events, %.2f \
+     minor-words/event (ceiling %.1f)@."
+    r.n r.events r.words_per_event limit;
+  if r.words_per_event > limit then begin
+    Format.printf "budget check FAILED: minor-words/event above ceiling@.";
+    1
+  end
+  else begin
+    Format.printf "budget check passed@.";
+    0
+  end
+
+let run ~quick ~repeat ~out () =
+  (* Classic-tier rows are cheap (n <= 4096) and feed the per-event cost
+     numbers CI budgets against, so they always take at least a
+     median-of-3 — one noisy run must not move a published number. The
+     large tier honors --repeat as given. *)
+  let classic_repeat = max 3 repeat in
+  Format.printf
+    "scaling sweep (horizon=%g, %s mode, median of %d classic / %d large; \
+     both schedulers)@.@."
     horizon
     (if quick then "quick" else "full")
-    repeat;
+    classic_repeat repeat;
   let rows =
     List.concat_map
       (fun churn ->
         List.concat_map
           (fun n ->
             List.map
-              (fun scheduler -> measure ~repeat ~scheduler ~n ~churn ())
+              (fun scheduler ->
+                measure ~repeat:classic_repeat ~scheduler ~n ~churn ())
               [ Gcs.Sim.Heap; Gcs.Sim.Wheel ])
           (sizes ~quick))
       [ false; true ]

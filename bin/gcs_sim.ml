@@ -148,13 +148,15 @@ let params_cmd =
 
 (* ------------------------------- sim ------------------------------- *)
 
-type topology_kind = Path | Ring | Star | Grid | Complete | Tree | Er | Geometric
+type topology_kind =
+  | Path | Ring | Star | Grid | Complete | Tree | Er | Geometric | Cluster
 
 let topology_conv =
   Arg.enum
     [
       ("path", Path); ("ring", Ring); ("star", Star); ("grid", Grid);
       ("complete", Complete); ("tree", Tree); ("er", Er); ("geometric", Geometric);
+      ("cluster", Cluster);
     ]
 
 let algo_conv =
@@ -196,12 +198,18 @@ let build_topology kind ~n ~seed =
   | Er -> S.erdos_renyi (Dsim.Prng.of_int seed) ~n ~p:(2.5 /. float_of_int n)
   | Geometric ->
     snd (S.random_geometric (Dsim.Prng.of_int seed) ~n ~radius:(1.8 /. sqrt (float_of_int n)))
+  | Cluster ->
+    (* ~64-node communities over a shuffled id space: the contiguous
+       shard split cuts almost every edge, so this is the showcase (and
+       regression) input for --partition greedy. *)
+    let clusters = max 1 (min (n / 2) (max 2 (n / 64))) in
+    S.cluster (Dsim.Prng.of_int seed) ~n ~clusters ~degree:4
 
 let sim_cmd =
   let doc = "Run an ad-hoc simulation and print a skew summary." in
   let topology =
     Arg.(value & opt topology_conv Path & info [ "topology" ] ~docv:"TOPO"
-           ~doc:"One of path, ring, star, grid, complete, tree, er, geometric.")
+           ~doc:"One of path, ring, star, grid, complete, tree, er, geometric, cluster.")
   in
   let algo =
     Arg.(value & opt algo_conv Gcs.Sim.Gradient
@@ -287,6 +295,25 @@ let sim_cmd =
                 execution and trace are byte-identical for every value, and \
                 1 keeps everything on the calling domain.")
   in
+  let partition =
+    Arg.(value
+         & opt (enum [ ("contiguous", `Contiguous); ("greedy", `Greedy) ]) `Contiguous
+         & info [ "partition" ] ~docv:"HOW"
+             ~doc:
+               "How node ids map to shards: contiguous ranges (default) or \
+                greedy, the traffic-aware edge-cut partitioner run over the \
+                initial topology. A pure performance knob: the execution \
+                and trace are byte-identical under either.")
+  in
+  let window_stats =
+    Arg.(value & flag
+         & info [ "window-stats" ]
+             ~doc:
+               "Print parallel-dispatch window statistics after the run: \
+                windows formed, mean window span, barriers paid, \
+                cross-shard events, and the reason when the engine fell \
+                back to sequential dispatch.")
+  in
   let no_gap_check =
     Arg.(value & flag
          & info [ "no-gap-check" ]
@@ -302,8 +329,8 @@ let sim_cmd =
                 algorithms with per-peer timeouts shorter than dT'.")
   in
   let run n rho b0 seed topology algo drift delay horizon churn_rate new_edge timeline
-      plot loss csv trace_csv audit scheduler shards jobs fault_spec no_gap_check
-      no_lost_check =
+      plot loss csv trace_csv audit scheduler shards jobs partition window_stats
+      fault_spec no_gap_check no_lost_check =
     let params = make_params ~n ~rho ~b0 in
     if shards < 1 then begin
       Format.eprintf "invalid --shards: must be at least 1 (got %d)@." shards;
@@ -311,6 +338,13 @@ let sim_cmd =
     end;
     if jobs < 0 then begin
       Format.eprintf "invalid --jobs: must be non-negative (got %d)@." jobs;
+      exit 2
+    end;
+    if jobs <> 1 && shards < 2 then begin
+      Format.eprintf
+        "invalid --jobs: needs --shards of at least 2 to dispatch in parallel \
+         (got --jobs %d with --shards %d)@."
+        jobs shards;
       exit 2
     end;
     (* Like exp/fuzz: an explicit --jobs becomes the ambient domain
@@ -378,8 +412,8 @@ let sim_cmd =
       else Dsim.Trace.create ()
     in
     let cfg =
-      Gcs.Sim.config ~algo ~scheduler ~shards ~params ~clocks ~delay:delay_policy
-        ~initial_edges:edges ~trace ~faults ~fault_seed:seed ()
+      Gcs.Sim.config ~algo ~scheduler ~shards ~partition ~params ~clocks
+        ~delay:delay_policy ~initial_edges:edges ~trace ~faults ~fault_seed:seed ()
     in
     let sim = Gcs.Sim.create cfg in
     let engine = Gcs.Sim.engine sim in
@@ -424,13 +458,30 @@ let sim_cmd =
       (Gcs.Sim.scheduler_to_string scheduler)
       (match topology with
       | Path -> "path" | Ring -> "ring" | Star -> "star" | Grid -> "grid"
-      | Complete -> "complete" | Tree -> "tree" | Er -> "er" | Geometric -> "geometric")
+      | Complete -> "complete" | Tree -> "tree" | Er -> "er" | Geometric -> "geometric"
+      | Cluster -> "cluster")
       n horizon seed;
     if faults <> [] then Format.printf "faults=%s@." (Dsim.Fault.to_spec faults);
     Format.printf "events=%d messages=%d jumps=%d@."
       (Dsim.Engine.events_processed engine)
       (Gcs.Sim.total_messages sim) (Gcs.Sim.total_jumps sim);
     Format.printf "event counts:@.%a@." Dsim.Trace.pp_summary trace;
+    if window_stats then begin
+      let w = Dsim.Trace.windows trace in
+      let b = Dsim.Trace.barriers trace in
+      Format.printf
+        "window stats: windows=%d mean-span=%.4f barriers=%d \
+         windowed-events=%d cross-shard=%d@."
+        w
+        (if w = 0 then 0. else Dsim.Trace.window_span trace /. float_of_int w)
+        b
+        (Dsim.Trace.window_events trace)
+        (Dsim.Trace.cross_shard_events trace);
+      match Dsim.Engine.par_blocker engine with
+      | None -> Format.printf "parallel dispatch: active@."
+      | Some reason ->
+        Format.printf "parallel dispatch: sequential fallback (%s)@." reason
+    end;
     Option.iter
       (fun path ->
         write_file path (Dsim.Trace.to_csv trace);
@@ -573,7 +624,8 @@ let sim_cmd =
     Term.(
       const run $ n_arg $ rho_arg $ b0_arg $ seed_arg $ topology $ algo $ drift $ delay
       $ horizon $ churn_rate $ new_edge $ timeline $ plot $ loss $ csv $ trace_csv
-      $ audit $ scheduler $ shards $ jobs $ faults $ no_gap_check $ no_lost_check)
+      $ audit $ scheduler $ shards $ jobs $ partition $ window_stats $ faults
+      $ no_gap_check $ no_lost_check)
 
 (* ------------------------------- fuzz ------------------------------ *)
 

@@ -90,7 +90,7 @@ let create ?(tolerance = Tol_default) ?(timeout = Timeout_default) params ctx =
     messages_sent = 0;
   }
 
-let hardware_clock t = Engine.hardware_clock t.ctx
+let[@inline always] hardware_clock t = Engine.hardware_clock t.ctx
 
 let id t = Engine.node_id t.ctx
 

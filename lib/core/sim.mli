@@ -33,6 +33,7 @@ type config = {
   trace : Dsim.Trace.t option;
   scheduler : scheduler;
   shards : int;
+  partition : [ `Contiguous | `Greedy | `Explicit of int array ];
   faults : Dsim.Fault.schedule;
   fault_seed : int;
 }
@@ -43,6 +44,7 @@ val config :
   ?trace:Dsim.Trace.t ->
   ?scheduler:scheduler ->
   ?shards:int ->
+  ?partition:[ `Contiguous | `Greedy | `Explicit of int array ] ->
   ?faults:Dsim.Fault.schedule ->
   ?fault_seed:int ->
   params:Params.t ->
@@ -58,8 +60,12 @@ val config :
     defaults to [Wheel]; both schedulers produce the same execution
     (pinned by a byte-identical-trace parity test), so the choice is
     purely a performance one. [shards] (default 1) partitions the engine's
-    node state into that many independently scheduled ranges; executions
+    node state into that many independently scheduled lanes; executions
     are byte-identical at every value (see {!Dsim.Engine.create}).
+    [partition] (default [`Contiguous]) chooses how nodes map to shards:
+    [`Greedy] runs the traffic-aware edge-cut partitioner over the
+    initial topology, [`Explicit] supplies the map — both pure
+    performance knobs, the trace is identical under any of them.
     [faults] (default none) is a deterministic fault-injection schedule,
     replayed from [fault_seed]; Byzantine windows corrupt outgoing
     ⟨L, Lmax⟩ upward by a few [b0] units. *)

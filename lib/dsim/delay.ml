@@ -116,6 +116,14 @@ let per_edge ?min_lat ~bound ~default f =
     min_lat;
   }
 
+let describe d =
+  if d.const >= 0. then Printf.sprintf "constant %g" d.const
+  else
+    Printf.sprintf "%s%s, bound %g, min latency %g"
+      (if d.pure then "pure" else "impure")
+      (if d.may_drop then " lossy" else "")
+      d.bound d.min_lat
+
 let lossy prng ~rate inner =
   if rate < 0. || rate >= 1. then invalid_arg "Delay.lossy: rate must be in [0, 1)";
   {

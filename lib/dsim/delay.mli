@@ -91,6 +91,12 @@ val per_edge :
     minimum is not knowable here — pass it explicitly if a positive
     lookahead is wanted. *)
 
+val describe : t -> string
+(** One-line human description of a policy's engine-relevant shape —
+    constant value, or purity/lossiness plus bound and minimum latency.
+    [gcs_sim sim --window-stats] prints it when explaining why a run did
+    or did not take the parallel dispatch path. *)
+
 val lossy : Prng.t -> rate:float -> t -> t
 (** [lossy prng ~rate policy] drops each message independently with the
     given probability (in [\[0, 1)]) and otherwise behaves like [policy].

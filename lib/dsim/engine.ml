@@ -3,8 +3,8 @@
    closure) — so pushing an event allocates nothing. The decoding key:
 
      kind              a      b        c      d      payload
-     k_edge_add        u      v
-     k_edge_remove     u      v
+     k_edge_add        u      v               rsvd
+     k_edge_remove     u      v               rsvd
      k_discover_add    node   peer     epoch
      k_discover_rm     node   peer     epoch
      k_absence         node   peer
@@ -13,7 +13,11 @@
      k_crash           node
      k_restart         node   corrupt
      k_callback                                      unit -> unit
-*)
+     k_commute_cb                                    unit -> unit
+
+   [rsvd] on topology events records whether the edge's graph storage
+   was pre-allocated at schedule time (Dyngraph.reserve), which is what
+   licenses in-window dispatch when both endpoints share a shard. *)
 let k_edge_add = 0
 let k_edge_remove = 1
 let k_discover_add = 2
@@ -24,6 +28,7 @@ let k_timer = 6
 let k_crash = 7
 let k_restart = 8
 let k_callback = 9
+let k_commute_cb = 10
 
 let no_payload : Obj.t = Obj.repr ()
 
@@ -275,8 +280,13 @@ type fault_state = {
 
 (* All-float so the per-event [now] store writes an unboxed double; a
    mutable float field in the main (mixed) record would box on every
-   assignment. *)
-type fscratch = { mutable now : float; mutable cand_time : float }
+   assignment. [whorizon] is the horizon of the window group in flight,
+   read by the prebuilt lane thunks (which outlive any one call). *)
+type fscratch = {
+  mutable now : float;
+  mutable cand_time : float;
+  mutable whorizon : float;
+}
 
 (* Scratch for the tie-break hook: the same-instant event group is popped
    out of the queue registers into these parallel arrays before the hook
@@ -299,10 +309,12 @@ type tb_scratch = {
    dispatch logs in merged (time, rank) order and rewrites every
    provisional rank to the exact dense rank the sequential run would
    have assigned, so the (time, seq) order — and the trace — stays
-   byte-identical at every shard and domain count (DESIGN §14). *)
-let prov_flag = 1 lsl 60
+   byte-identical at every shard and domain count (DESIGN §14). The
+   numeric constants live in [Equeue] so the queue and wheel can count
+   provisional entries for their batch remaps. *)
+let prov_flag = Equeue.prov_flag
 
-let cre_mask = (1 lsl 40) - 1
+let cre_mask = Equeue.cre_mask
 
 (* A lane stops dispatching this far before its block runs out, leaving
    room for the creations of the dispatch in flight; the next window
@@ -330,6 +342,9 @@ type lane = {
   lf : lscratch;
   mutable lpar : bool; (* inside a parallel window *)
   mutable lcre : int; (* provisional ranks handed out this window *)
+  mutable ldelta : int;
+      (* live-edge delta from in-window topology flips, folded into the
+         graph's edge count at the barrier *)
   (* Running totals; lane-owned, summed by the accessors. *)
   mutable levents : int;
   mutable llive : int;
@@ -349,6 +364,11 @@ type lane = {
   mutable ment : int array; (* [blen] before the dispatch ran *)
   mutable mlen : int;
   mutable lfinal : int array; (* final rank per creation index (barrier) *)
+  mutable lmerged : int;
+      (* creations whose final rank is already assigned — the watermark a
+         mid-group relay advances to [lcre]; a provisional head below it
+         resolves through [lfinal] when breaking an exact-time tie
+         against a relayed (final-ranked) inbox head *)
 }
 
 type ('msg, 'timer) t = {
@@ -357,20 +377,27 @@ type ('msg, 'timer) t = {
   delay : Delay.t;
   discovery_lag : float;
   graph : Dyngraph.t;
-  (* Sharding: node ids are partitioned into [shards] contiguous ranges
-     of [chunk] ids each (nodes joining after construction land in the
-     last shard). Each shard owns an event queue, an outbox and — under
-     the wheel scheduler — a timer wheel. Sequentially-created events
-     draw ranks from one global sequence counter; window-created events
-     get provisional block ranks that the barrier rewrites to the exact
-     sequential ranks, so the (time, seq) merge order, and therefore the
-     trace, is byte-identical at every shard count. Global events whose
-     dispatch must stay sequential (topology, faults, callbacks) live in
-     a dedicated control queue when [shards > 1]. *)
+  (* Sharding: [part.(id)] names the shard owning node [id] — filled by
+     a contiguous split, the traffic-aware greedy partitioner or an
+     explicit caller array ([[||]] at one shard; nodes joining after
+     construction land in the last shard). Each shard owns an event
+     queue, an outbox and — under the wheel scheduler — a timer wheel.
+     Sequentially-created events draw ranks from one global sequence
+     counter; window-created events get provisional block ranks that the
+     barrier rewrites to the exact sequential ranks, so the (time, seq)
+     merge order, and therefore the trace, is byte-identical at every
+     shard count and every partition. Global events whose dispatch must
+     stay sequential (faults, callbacks, multi-shard topology) live in a
+     dedicated control queue when [shards > 1]. *)
   shards : int;
-  chunk : int;
+  part : int array;
   queues : Equeue.t array;
   outboxes : Outbox.t array;
+  inboxes : Equeue.t array;
+      (* per shard: cross-shard events a mid-group relay already resolved
+         to final ranks, pending dispatch by the destination lane inside
+         the still-open window; drained into the real queues at the
+         barrier *)
   wheels : Timewheel.t array; (* per shard; empty under Heap *)
   lanes : lane array; (* per shard *)
   control : Equeue.t; (* order-sensitive global events; empty at shards=1 *)
@@ -406,6 +433,23 @@ type ('msg, 'timer) t = {
   mutable executor : ((unit -> unit) array -> unit) option;
       (* runs one window's lane thunks to completion (Runner.run);
          [None] runs them in the caller, in index order *)
+  mutable lane_thunks : (unit -> unit) array;
+      (* one prebuilt thunk per lane (built on first parallel window):
+         reads its round stop from the lane's [lwstop] and the horizon
+         from [fs.whorizon], so no closure is allocated per round *)
+  (* Window-group scratch (coordinator-only): lanes that joined the
+     current group ([w_member] indexed by shard, [w_members.(0..w_mn)]
+     the member list) and the per-round active list. *)
+  w_member : bool array;
+  w_members : lane array;
+  mutable w_mn : int;
+  w_actives : lane array;
+  (* In-dispatch commuting-callback context: set while a [k_commute_cb]
+     payload runs so a commuting callback it schedules can stay on the
+     dispatching lane (and a non-commuting schedule from inside a window
+     can fail loudly instead of racing on the control queue). *)
+  mutable in_cb : bool;
+  mutable cb_lane : lane;
   faults : fault_state option;
   corrupt_msg : (src:int -> Prng.t -> 'msg -> 'msg) option;
       (* Applied to messages a Byzantine node sends during its window. *)
@@ -427,29 +471,42 @@ and ('msg, 'timer) handlers = {
 
 type ('msg, 'timer) ctx = { engine : ('msg, 'timer) t; id : int; lane : lane }
 
-let shard_of t id =
-  let s = id / t.chunk in
-  if s >= t.shards then t.shards - 1 else s
+let[@inline] shard_of t id =
+  if id < Array.length t.part then Array.unsafe_get t.part id
+  else t.shards - 1
 
 (* Is this kind's dispatch order-sensitive beyond its own node — topology
    changes, faults, harness callbacks? Those mutate global state (the
    graph, liveness) or run arbitrary harness code, so they are kept out
    of the lane queues and dispatched sequentially from the control queue
-   whenever the engine is sharded. At [shards = 1] the single queue IS
-   the sequential dispatcher, and routing nothing keeps that
+   whenever the engine is sharded. Commuting callbacks are the deliberate
+   exception: the caller promised they commute with node events, so they
+   ride the lane queues like node events do. At [shards = 1] the single
+   queue IS the sequential dispatcher, and routing nothing keeps that
    configuration exactly the traditional one (tie-break enumeration
    included). *)
-let[@inline] ctrl_kind kind = kind <= k_edge_remove || kind >= k_crash
+let[@inline] ctrl_kind kind =
+  kind <= k_edge_remove || (kind >= k_crash && kind <= k_callback)
 
 (* Sequential push of an encoded event for the node [owner]: draws the
    next global rank and goes straight to the owner's queue (or the
    control queue for order-sensitive kinds under sharding). All
-   harness-side scheduling and all sequential dispatch lands here. *)
+   harness-side scheduling and all sequential dispatch lands here.
+   Topology events whose edge was reserved ([d = 1]) and whose endpoints
+   share a shard skip the control queue: their dispatch only touches that
+   shard's state, so they can run inside its window (DESIGN §14). *)
 let push_ev t ~owner ~time ~kind ~a ~b ~c ~d payload =
+  if t.in_cb && t.cb_lane.lpar then
+    failwith
+      "Engine: a commuting callback scheduled a non-commuting event inside \
+       a parallel window";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  if t.shards > 1 && ctrl_kind kind then
-    Equeue.push t.control ~time ~seq ~kind ~a ~b ~c ~d payload
+  if
+    t.shards > 1
+    && ctrl_kind kind
+    && not (kind <= k_edge_remove && d = 1 && shard_of t a = shard_of t b)
+  then Equeue.push t.control ~time ~seq ~kind ~a ~b ~c ~d payload
   else
     Equeue.push t.queues.(shard_of t owner) ~time ~seq ~kind ~a ~b ~c ~d payload
 
@@ -542,9 +599,105 @@ let lane_mark lane ~time ~seq =
   lane.ment.(len) <- lane.blen;
   lane.mlen <- len + 1
 
+(* Shard partitioning --------------------------------------------------
+
+   [shard_of] only affects which queue an event waits in and which lane
+   dispatches it — never the (time, seq) dispatch order — so any
+   total function from ids to shards yields the same trace. What it does
+   change is how many events cross shards (outbox traffic, and how soon
+   a window's extension is cut off by a pending cross-shard delivery),
+   so the partition is a pure performance knob. *)
+
+let contiguous_part ~n ~shards =
+  if shards <= 1 then [||]
+  else begin
+    let chunk = (n + shards - 1) / shards in
+    Array.init n (fun i -> min (i / chunk) (shards - 1))
+  end
+
+(* Count edges whose endpoints land in different shards. *)
+let edge_cut g part =
+  Dyngraph.fold_edges g
+    (fun acc u v -> if part.(u) <> part.(v) then acc + 1 else acc)
+    0
+
+(* Greedy traffic-aware partition: grow each shard by BFS from the lowest
+   unassigned id, visiting neighbors in increasing order, up to the
+   balanced capacity ceil(n/shards). Deterministic, O(n + edges), and it
+   reproduces the contiguous split exactly on a path (each BFS sweep
+   walks the next chunk of the line), while cutting far fewer edges than
+   a blind contiguous split on clustered or scrambled topologies. With
+   [~prev], the fresh cut must beat the previous partition's cut by more
+   than [threshold] (relative) to replace it — hysteresis so steady
+   churn doesn't thrash the assignment. *)
+let partition ?prev ?(threshold = 0.1) ~shards g =
+  if shards < 1 then invalid_arg "Engine.partition: need at least one shard";
+  if threshold < 0. then invalid_arg "Engine.partition: negative threshold";
+  let n = Dyngraph.n g in
+  let fresh =
+    if shards = 1 then Array.make n 0
+    else begin
+      let cap = (n + shards - 1) / shards in
+      let part = Array.make n (-1) in
+      let inq = Array.make n (-1) in (* shard a node is queued for *)
+      let queue = Array.make n 0 in
+      let next_seed = ref 0 in
+      for s = 0 to shards - 1 do
+        let qh = ref 0 and qt = ref 0 in
+        let filled = ref 0 in
+        let continue_ = ref true in
+        while !filled < cap && !continue_ do
+          let u =
+            if !qh < !qt then begin
+              let u = queue.(!qh) in
+              incr qh;
+              u
+            end
+            else begin
+              while !next_seed < n && part.(!next_seed) >= 0 do
+                incr next_seed
+              done;
+              if !next_seed < n then !next_seed else -1
+            end
+          in
+          if u < 0 then continue_ := false
+          else if part.(u) < 0 then begin
+            part.(u) <- s;
+            incr filled;
+            List.iter
+              (fun v ->
+                if part.(v) < 0 && inq.(v) <> s then begin
+                  inq.(v) <- s;
+                  queue.(!qt) <- v;
+                  incr qt
+                end)
+              (Dyngraph.neighbors g u)
+          end
+        done
+      done;
+      (* A shard can fill before its frontier empties; anything still
+         unassigned joins the last shard (it has spare capacity: the
+         others stopped exactly at [cap]). *)
+      for u = 0 to n - 1 do
+        if part.(u) < 0 then part.(u) <- shards - 1
+      done;
+      part
+    end
+  in
+  match prev with
+  | Some p when Array.length p = n && shards > 1 ->
+    let pc = edge_cut g p and fc = edge_cut g fresh in
+    if float_of_int fc < (1. -. threshold) *. float_of_int pc then fresh
+    else Array.copy p
+  | _ -> fresh
+
+(* [create]'s [?partition] argument shadows the function above. *)
+let greedy_partition ~shards g = partition ~shards g
+
 let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
-    ?timer_label ?(scheduler = `Heap) ?(shards = 1) ?(faults = [])
-    ?(fault_seed = 0) ?corrupt_msg () =
+    ?timer_label ?(scheduler = `Heap) ?(shards = 1)
+    ?(partition = `Contiguous) ?(faults = []) ?(fault_seed = 0) ?corrupt_msg
+    () =
   let n = Array.length clocks in
   if n = 0 then invalid_arg "Engine.create: no nodes";
   if discovery_lag < 0. then invalid_arg "Engine.create: negative discovery lag";
@@ -574,12 +727,38 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
   in
   let qcap = max 64 (8 * n / shards) in
   let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  (* Build the graph and apply the initial edges before anything else:
+     the traffic-aware partitioner is seeded from the initial topology.
+     The trace records and discovery events for fresh edges are emitted
+     after [t] exists, in the same list order as before, so rank
+     allocation is unchanged. *)
+  let graph = Dyngraph.create ~n in
+  let fresh_edges =
+    List.filter (fun (u, v) -> Dyngraph.add_edge graph ~now:0. u v) initial_edges
+  in
+  let part =
+    if shards = 1 then [||]
+    else
+      match partition with
+      | `Contiguous -> contiguous_part ~n ~shards
+      | `Greedy -> greedy_partition ~shards graph
+      | `Explicit p ->
+        if Array.length p <> n then
+          invalid_arg "Engine.create: partition array length <> n";
+        Array.iter
+          (fun s ->
+            if s < 0 || s >= shards then
+              invalid_arg "Engine.create: partition entry out of range")
+          p;
+        Array.copy p
+  in
   let mk_lane s =
     {
       ls = s;
       lf = { lnow = 0.; lhead = infinity; lwstop = infinity };
       lpar = false;
       lcre = 0;
+      ldelta = 0;
       levents = 0;
       llive = 0;
       lstale = 0;
@@ -596,24 +775,27 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       ment = [||];
       mlen = 0;
       lfinal = [||];
+      lmerged = 0;
     }
   in
+  let lanes = Array.init shards mk_lane in
   let t =
     {
       n;
       clocks;
       delay;
       discovery_lag;
-      graph = Dyngraph.create ~n;
+      graph;
       shards;
-      chunk = (n + shards - 1) / shards;
+      part;
       queues = Array.init shards (fun _ -> Equeue.create ~capacity:qcap ());
       outboxes = Array.init shards (fun _ -> Outbox.create ());
+      inboxes = Array.init shards (fun _ -> Equeue.create ~capacity:16 ());
       wheels =
         (match sched with
         | Heap -> [||]
         | Wheel -> Array.init shards (fun _ -> Timewheel.create ~granularity ()));
-      lanes = Array.init shards mk_lane;
+      lanes;
       control = Equeue.create ~capacity:64 ();
       trace = tr;
       handlers = Array.make n None;
@@ -631,7 +813,7 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
       fifo = Array.init n (fun _ -> Fifo_store.create ());
       gens = Array.make n 0;
       next_seq = 0;
-      fs = { now = 0.; cand_time = infinity };
+      fs = { now = 0.; cand_time = infinity; whorizon = infinity };
       started = false;
       ctrl_events = 0;
       cand_seq = max_int;
@@ -645,6 +827,13 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
         && not (Trace.streams tr);
       log_on = Trace.wants_entries tr;
       executor = None;
+      lane_thunks = [||];
+      w_member = Array.make shards false;
+      w_members = Array.make shards lanes.(0);
+      w_mn = 0;
+      w_actives = Array.make shards lanes.(0);
+      in_cb = false;
+      cb_lane = lanes.(0);
       faults = fault_state;
       corrupt_msg;
       restart_handlers = Array.make n None;
@@ -664,18 +853,16 @@ let create ~clocks ~delay ?(discovery_lag = 0.) ?(initial_edges = []) ?trace
   in
   List.iter
     (fun (u, v) ->
-      if Dyngraph.add_edge t.graph ~now:0. u v then begin
-        let epoch = Dyngraph.epoch t.graph u v in
-        (* Record the initial topology so an offline trace replay knows the
-           full edge history, not just the changes scheduled later. *)
-        Trace.record t.trace ~time:0. Edge_add u v (-1);
-        (* Initial topology is known immediately. *)
-        push_ev t ~owner:u ~time:0. ~kind:k_discover_add ~a:u ~b:v ~c:epoch ~d:0
-          no_payload;
-        push_ev t ~owner:v ~time:0. ~kind:k_discover_add ~a:v ~b:u ~c:epoch ~d:0
-          no_payload
-      end)
-    initial_edges;
+      let epoch = Dyngraph.epoch t.graph u v in
+      (* Record the initial topology so an offline trace replay knows the
+         full edge history, not just the changes scheduled later. *)
+      Trace.record t.trace ~time:0. Edge_add u v (-1);
+      (* Initial topology is known immediately. *)
+      push_ev t ~owner:u ~time:0. ~kind:k_discover_add ~a:u ~b:v ~c:epoch ~d:0
+        no_payload;
+      push_ev t ~owner:v ~time:0. ~kind:k_discover_add ~a:v ~b:u ~c:epoch ~d:0
+        no_payload)
+    fresh_edges;
   (* Crash/restart ops flow through the shared queues as first-class
      events: both schedulers pop them at identical (time, seq) ranks, so
      fault timing can never desynchronize the heap and wheel traces. *)
@@ -787,7 +974,12 @@ let alive t i =
 let[@inline] node_now ctx =
   if ctx.lane.lpar then ctx.lane.lf.lnow else ctx.engine.fs.now
 
-let hardware_clock ctx = Hwclock.value ctx.engine.clocks.(ctx.id) (node_now ctx)
+(* Forced inline: a non-inlined call returning [float] boxes its result
+   at every call site, and this runs several times per dispatched event
+   (receive, adjust-clock, send-update). Inlined, the [Hwclock.value]
+   arithmetic stays on unboxed floats end to end. *)
+let[@inline always] hardware_clock ctx =
+  Hwclock.value ctx.engine.clocks.(ctx.id) (node_now ctx)
 
 let send ctx ~dst msg =
   let t = ctx.engine in
@@ -984,22 +1176,69 @@ let trace t = t.trace
 
 let shards t = t.shards
 
+(* Why this engine cannot take the parallel dispatch path (None when it
+   can). Mirrors the [par_ok] conjunction at creation, in check order,
+   so `gcs_sim sim --window-stats` can explain a sequential fallback. *)
+let par_blocker t =
+  if t.par_ok then None
+  else if t.shards <= 1 then Some "single shard"
+  else if not t.delay.Delay.pure then
+    Some ("impure delay policy (" ^ Delay.describe t.delay ^ ")")
+  else if t.delay.Delay.min_lat <= 0. then
+    Some "delay policy has zero minimum latency (no lookahead)"
+  else if t.faults <> None then Some "fault injection requires sequential dispatch"
+  else Some "trace entry streaming requires sequential dispatch"
+
 let check_future t at =
   if at < t.fs.now then invalid_arg "Engine: cannot schedule in the past"
 
+(* Topology events pre-allocate the edge's graph storage at schedule time
+   ([d = 1] on success): a reserved single-shard event may then dispatch
+   inside its shard's parallel window without allocating or touching
+   shared arrays. An unreservable pair (out of range, self-loop) keeps
+   [d = 0] and dispatches sequentially, so it raises from [add_edge] /
+   [remove_edge] exactly as it always did. *)
+(* The reservation mutates shared graph storage, so it must not run from
+   inside a window — fail before touching the graph rather than letting
+   [push_ev]'s guard fire after the damage. *)
+let check_not_in_window t =
+  if t.in_cb && t.cb_lane.lpar then
+    failwith
+      "Engine: a commuting callback scheduled a non-commuting event inside \
+       a parallel window"
+
 let schedule_edge_add t ~at u v =
+  check_not_in_window t;
   check_future t at;
-  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_add ~a:u ~b:v ~c:0 ~d:0
+  let d = if Dyngraph.reserve t.graph u v then 1 else 0 in
+  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_add ~a:u ~b:v ~c:0 ~d
     no_payload
 
 let schedule_edge_remove t ~at u v =
+  check_not_in_window t;
   check_future t at;
-  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_remove ~a:u ~b:v ~c:0 ~d:0
+  let d = if Dyngraph.reserve t.graph u v then 1 else 0 in
+  push_ev t ~owner:(min u v) ~time:at ~kind:k_edge_remove ~a:u ~b:v ~c:0 ~d
     no_payload
 
-let at t ~time f =
+let at ?(commuting = false) t ~time f =
   check_future t time;
-  push_ev t ~owner:0 ~time ~kind:k_callback ~a:0 ~b:0 ~c:0 ~d:0 (Obj.repr f)
+  if commuting then begin
+    (* Commuting callbacks ride the lane queues (owner 0, so exactly one
+       lane ever dispatches them). A commuting callback scheduling
+       another from inside a window stays on its lane with a provisional
+       rank; everywhere else this is a plain sequential push. *)
+    if t.in_cb && t.cb_lane.lpar then begin
+      if time < t.cb_lane.lf.lnow then
+        invalid_arg "Engine: cannot schedule in the past";
+      push_from t t.cb_lane ~owner:0 ~time ~kind:k_commute_cb ~a:0 ~b:0 ~c:0
+        ~d:0 (Obj.repr f)
+    end
+    else
+      push_ev t ~owner:0 ~time ~kind:k_commute_cb ~a:0 ~b:0 ~c:0 ~d:0
+        (Obj.repr f)
+  end
+  else push_ev t ~owner:0 ~time ~kind:k_callback ~a:0 ~b:0 ~c:0 ~d:0 (Obj.repr f)
 
 let events_processed t =
   let acc = ref t.ctrl_events in
@@ -1012,6 +1251,7 @@ let queue_depth t =
   let acc = ref (Equeue.size t.control) in
   for s = 0 to t.shards - 1 do
     acc := !acc + Equeue.size t.queues.(s) + t.outboxes.(s).Outbox.len
+           + Equeue.size t.inboxes.(s)
   done;
   !acc
 
@@ -1047,6 +1287,7 @@ let footprint_words t =
   for s = 0 to t.shards - 1 do
     acc := !acc + Equeue.footprint_words t.queues.(s)
            + Outbox.footprint_words t.outboxes.(s)
+           + Equeue.footprint_words t.inboxes.(s)
   done;
   (match t.sched with
   | Heap -> ()
@@ -1132,9 +1373,12 @@ let apply_restart t f node ~corrupt =
    k_timer, which [run_queue_event] handles for the staleness check).
    [lane] is the owner's lane; node-addressed kinds may run inside a
    parallel window, in which case [now] is the lane's event time and all
-   records buffer. The control kinds at the bottom (topology, faults,
-   callbacks) are only ever dispatched sequentially: under sharding they
-   live in the control queue, and at one shard there are no windows. *)
+   records buffer. Faults and plain callbacks are only ever dispatched
+   sequentially: under sharding they live in the control queue, and at
+   one shard there are no windows. Topology events whose edge was
+   reserved and is internal to one shard, and commuting callbacks, may
+   additionally dispatch inside that shard's window — their branches
+   check [lane.lpar]. *)
 let dispatch t lane q kind =
   let now = if lane.lpar then lane.lf.lnow else t.fs.now in
   if kind = k_deliver then begin
@@ -1195,14 +1439,44 @@ let dispatch t lane q kind =
   end
   else if kind = k_edge_add then begin
     let u = Equeue.ev_a q and v = Equeue.ev_b q in
-    if Dyngraph.add_edge t.graph ~now:t.fs.now u v then begin
+    if lane.lpar then begin
+      (* Reserved single-shard edge, dispatched inside the owning lane's
+         window: the flip writes only lane-owned cells (both endpoints
+         live here), discoveries stay in-lane, and the live-edge count is
+         settled at the barrier. *)
+      if Dyngraph.flip_add t.graph ~now u v then begin
+        lane.ldelta <- lane.ldelta + 1;
+        lane_record t lane ~time:now Edge_add u v (-1);
+        let epoch = Dyngraph.epoch t.graph u v in
+        let dt = now +. t.discovery_lag in
+        push_from t lane ~owner:u ~time:dt ~kind:k_discover_add ~a:u ~b:v
+          ~c:epoch ~d:0 no_payload;
+        push_from t lane ~owner:v ~time:dt ~kind:k_discover_add ~a:v ~b:u
+          ~c:epoch ~d:0 no_payload
+      end
+    end
+    else if Dyngraph.add_edge t.graph ~now:t.fs.now u v then begin
       Trace.record t.trace ~time:t.fs.now Edge_add u v (-1);
       schedule_discovery t u v ~epoch:(Dyngraph.epoch t.graph u v) ~add:true
     end
   end
   else if kind = k_edge_remove then begin
     let u = Equeue.ev_a q and v = Equeue.ev_b q in
-    if Dyngraph.remove_edge t.graph ~now:t.fs.now u v then begin
+    if lane.lpar then begin
+      if Dyngraph.flip_remove t.graph u v then begin
+        lane.ldelta <- lane.ldelta - 1;
+        lane_record t lane ~time:now Edge_remove u v (-1);
+        Fifo_store.remove t.fifo.(u) v;
+        Fifo_store.remove t.fifo.(v) u;
+        let epoch = Dyngraph.epoch t.graph u v in
+        let dt = now +. t.discovery_lag in
+        push_from t lane ~owner:u ~time:dt ~kind:k_discover_rm ~a:u ~b:v
+          ~c:epoch ~d:0 no_payload;
+        push_from t lane ~owner:v ~time:dt ~kind:k_discover_rm ~a:v ~b:u
+          ~c:epoch ~d:0 no_payload
+      end
+    end
+    else if Dyngraph.remove_edge t.graph ~now:t.fs.now u v then begin
       Trace.record t.trace ~time:t.fs.now Edge_remove u v (-1);
       (* The FIFO floors of the removed edge belong to a finished epoch:
          drop them so a later re-add starts fresh instead of queueing new
@@ -1223,6 +1497,14 @@ let dispatch t lane q kind =
     | None -> assert false
   end
   else if kind = k_callback then (Obj.obj (Equeue.ev_payload q) : unit -> unit) ()
+  else if kind = k_commute_cb then begin
+    (* Commuting callback: always owner 0, so only shard_of(0)'s lane
+       ever reaches this branch — [in_cb]/[cb_lane] are single-writer. *)
+    t.cb_lane <- lane;
+    t.in_cb <- true;
+    (Obj.obj (Equeue.ev_payload q) : unit -> unit) ();
+    t.in_cb <- false
+  end
   else assert false
 
 let start t =
@@ -1462,6 +1744,7 @@ let seq_step t =
 let lane_window_loop t lane ~wstop ~horizon =
   let s = lane.ls in
   let q = t.queues.(s) in
+  let ib = t.inboxes.(s) in
   let continue_ = ref true in
   while !continue_ do
     if lane.lcre >= cre_mask - cre_slack then
@@ -1479,7 +1762,41 @@ let lane_window_loop t lane ~wstop ~horizon =
           Timewheel.peek w ~upto:bound
           && (Timewheel.top_time w < qt || Timewheel.top_seq w < Equeue.top_seq q)
       in
-      if wheel_wins then begin
+      let ibt = Equeue.next_time ib in
+      let inbox_wins =
+        (* Relayed cross-shard events carry final ranks; an exact-time
+           tie against an own provisional head resolves through
+           [lfinal] when the creation is merged ([lmerged]), and falls
+           to the inbox otherwise — an unmerged creation postdates the
+           relay that ranked the inbox head, so its final rank is
+           provably larger. *)
+        let own_t =
+          if wheel_wins then Timewheel.top_time t.wheels.(s) else qt
+        in
+        ibt < own_t
+        || ibt = own_t && ibt < wstop
+           &&
+           let own_seq =
+             if wheel_wins then Timewheel.top_seq t.wheels.(s)
+             else Equeue.top_seq q
+           in
+           let f = Equeue.top_seq ib in
+           if own_seq < prov_flag then f < own_seq
+           else
+             let j = own_seq land cre_mask in
+             j >= lane.lmerged || f < lane.lfinal.(j)
+      in
+      if inbox_wins then begin
+        if ibt < wstop && ibt <= horizon then begin
+          lane_mark lane ~time:ibt ~seq:(Equeue.top_seq ib);
+          Equeue.pop ib;
+          lane.lf.lnow <- ibt;
+          run_queue_event t lane ib;
+          Equeue.release ib
+        end
+        else continue_ := false
+      end
+      else if wheel_wins then begin
         let w = t.wheels.(s) in
         let et = Timewheel.top_time w in
         if et < wstop && et <= horizon then begin
@@ -1504,33 +1821,52 @@ let lane_window_loop t lane ~wstop ~horizon =
     end
   done
 
-(* The merge barrier: replay the lanes' dispatch logs in the global
-   (time, rank) order — exactly the order the sequential loop would have
-   dispatched them — assigning each window creation the dense final rank
-   the sequential run's counter would have produced, and appending the
-   buffered trace entries in that same order. A provisional rank is
-   always resolvable when its mark reaches the merge frontier: its
-   creator dispatched earlier in the same lane (strictly smaller key), so
-   its final rank was already assigned. *)
-let barrier_merge t actives =
-  let k = Array.length actives in
+(* The merge barrier: replay the member lanes' dispatch logs in the
+   global (time, rank) order — exactly the order the sequential loop
+   would have dispatched them — assigning each window creation the dense
+   final rank the sequential run's counter would have produced, and
+   appending the buffered trace entries in that same order. A
+   provisional rank is always resolvable when it matters: its creator
+   dispatched earlier in the same lane's log, so by the time the mark
+   can win the merge its final rank was already assigned (a stale read
+   during the scan can only involve a mark that loses on time anyway).
+
+   Instead of re-ranking one mark at a time, the merge consumes marks in
+   per-lane runs: once a lane's head wins, every following mark of that
+   lane strictly below the other lanes' earliest head time must also win
+   — no rank comparison can reorder across a strict time gap — so the
+   run's creations take a contiguous block of final ranks in one pass
+   and its trace entries replay in one sweep. With few, large windows
+   (adaptive extension) most of a window's marks fall in a handful of
+   runs, which is what makes the barrier cheap. Returns the number of
+   marks merged. *)
+let barrier_merge t =
+  let k = t.w_mn in
+  let members = t.w_members in
   let heads = Array.make k 0 in
-  (* Per-lane final-rank tables, sized to this window's creations. *)
-  Array.iter
-    (fun lane ->
-      if Array.length lane.lfinal < lane.lcre then
-        lane.lfinal <- Array.make (max 64 lane.lcre) 0)
-    actives;
+  for x = 0 to k - 1 do
+    let lane = members.(x) in
+    if Array.length lane.lfinal < lane.lcre then begin
+      (* Grow preserving assigned ranks: queue entries created before an
+         earlier relay still carry provisional seqs indexing them. The
+         table spans a whole window group (relays do not reset [lcre]),
+         so grow 4x to keep the realloc-and-blit cost sublinear. *)
+      let a = Array.make (max 1024 (4 * lane.lcre)) 0 in
+      Array.blit lane.lfinal 0 a 0 (Array.length lane.lfinal);
+      lane.lfinal <- a
+    end
+  done;
   let resolve lane seq =
     if seq >= prov_flag then lane.lfinal.(seq land cre_mask) else seq
   in
+  let merged = ref 0 in
   let running = ref true in
   while !running do
     let best = ref (-1) in
     let best_t = ref infinity in
     let best_s = ref max_int in
     for x = 0 to k - 1 do
-      let lane = actives.(x) in
+      let lane = members.(x) in
       let h = heads.(x) in
       if h < lane.mlen then begin
         let tm = lane.mt.(h) in
@@ -1550,65 +1886,253 @@ let barrier_merge t actives =
     done;
     if !best < 0 then running := false
     else begin
-      let lane = actives.(!best) in
-      let h = heads.(!best) in
-      let cre_end = if h + 1 < lane.mlen then lane.mcre.(h + 1) else lane.lcre in
-      for j = lane.mcre.(h) to cre_end - 1 do
-        lane.lfinal.(j) <- t.next_seq;
-        t.next_seq <- t.next_seq + 1
+      let x = !best in
+      let lane = members.(x) in
+      let h0 = heads.(x) in
+      (* Earliest head time among the other lanes bounds the run. *)
+      let stop = ref infinity in
+      for y = 0 to k - 1 do
+        if y <> x then begin
+          let l2 = members.(y) in
+          let h2 = heads.(y) in
+          if h2 < l2.mlen && l2.mt.(h2) < !stop then stop := l2.mt.(h2)
+        end
       done;
+      let stop = !stop in
+      let hend = ref (h0 + 1) in
+      while !hend < lane.mlen && lane.mt.(!hend) < stop do incr hend done;
+      let hend = !hend in
+      let cre0 = lane.mcre.(h0) in
+      let cre1 = if hend < lane.mlen then lane.mcre.(hend) else lane.lcre in
+      let fin = lane.lfinal in
+      let base = t.next_seq - cre0 in
+      for j = cre0 to cre1 - 1 do
+        Array.unsafe_set fin j (base + j)
+      done;
+      t.next_seq <- base + cre1;
       if t.log_on then begin
-        let e_end = if h + 1 < lane.mlen then lane.ment.(h + 1) else lane.blen in
-        for e = lane.ment.(h) to e_end - 1 do
+        let e1 = if hend < lane.mlen then lane.ment.(hend) else lane.blen in
+        for e = lane.ment.(h0) to e1 - 1 do
           Trace.append_entry t.trace ~time:lane.bt.(e)
             (Trace.kind_of_index lane.bk.(e))
             lane.ba.(e) lane.bb.(e) lane.bc.(e)
         done
       end;
-      heads.(!best) <- h + 1
+      merged := !merged + (hend - h0);
+      heads.(x) <- hend
     end
-  done
+  done;
+  !merged
 
-(* Run one parallel dispatch window over the active lanes, then merge:
-   rewrite every provisional rank (queues, wheels, outboxes) to its final
-   rank, flush the outboxes, fold the buffered counters and reset the
-   lanes. After the barrier the engine state is exactly what the
-   sequential loop would have produced at this point. *)
-let run_window t actives ~wstop ~horizon =
-  Array.iter
-    (fun lane ->
-      lane.lpar <- true;
-      lane.lf.lwstop <- wstop)
-    actives;
-  let thunks =
-    Array.map (fun lane () -> lane_window_loop t lane ~wstop ~horizon) actives
-  in
-  (match t.executor with
-  | Some exec -> exec thunks
-  | None -> Array.iter (fun th -> th ()) thunks);
-  barrier_merge t actives;
-  Array.iter
-    (fun lane ->
-      let remap seq =
-        if seq >= prov_flag then lane.lfinal.(seq land cre_mask) else seq
-      in
-      Equeue.remap_seqs t.queues.(lane.ls) remap;
-      (match t.sched with
-      | Heap -> ()
-      | Wheel -> Timewheel.remap_seqs t.wheels.(lane.ls) remap);
-      let ob = t.outboxes.(lane.ls) in
+(* Mid-group relay (DESIGN §14): deliver pending cross-shard events
+   without closing the window group. At a round boundary every logged
+   mark lies strictly below every outbox entry's time (an entry lands at
+   or beyond the stop of the round that created it), so the merge can
+   consume the members' full dispatch logs — assigning every creation so
+   far its exact final rank — after which each outbox entry's
+   provisional rank resolves and the entry can be flushed into the
+   destination shard's inbox. The group then keeps extending: queues and
+   wheels keep their provisional ranks (the eventual barrier still
+   remaps them), consumed logs reset, and [lmerged] records how far the
+   final-rank table is valid so the dispatch loop can break exact-time
+   ties between an inbox head and a provisional head. Successive relays
+   are time-monotone (round r+1's marks all lie at or beyond round r's
+   stop), so ranks and replayed trace entries stay in global order.
+   Returns the number of marks merged. *)
+let relay t =
+  let merged = barrier_merge t in
+  for x = 0 to t.w_mn - 1 do
+    let lane = t.w_members.(x) in
+    lane.lmerged <- lane.lcre;
+    lane.mlen <- 0;
+    lane.blen <- 0;
+    let ob = t.outboxes.(lane.ls) in
+    if ob.Outbox.len > 0 then begin
+      Trace.note_cross t.trace ob.Outbox.len;
+      let seqs = ob.Outbox.seqs and fin = lane.lfinal in
       for i = 0 to ob.Outbox.len - 1 do
-        ob.Outbox.seqs.(i) <- remap ob.Outbox.seqs.(i)
+        let s = seqs.(i) in
+        if s >= prov_flag then seqs.(i) <- fin.(s land cre_mask)
       done;
-      Trace.merge_counts t.trace lane.lcounters;
-      Array.fill lane.lcounters 0 Trace.kind_count 0;
-      lane.lcre <- 0;
-      lane.mlen <- 0;
-      lane.blen <- 0;
-      lane.lpar <- false)
-    actives;
-  Array.iter (fun lane -> Outbox.flush t.outboxes.(lane.ls) t.queues) actives;
-  t.fs.now <- Float.min wstop horizon
+      Outbox.flush ob t.inboxes
+    end
+  done;
+  merged
+
+(* A lane's earliest pending time, mirroring [select]'s per-shard logic
+   (wheel resolved lazily up to the queue head or the horizon) plus the
+   lane's inbox. Used to refresh lanes' [lhead] between the rounds of a
+   window group — lanes that are neither members nor relay destinations
+   keep the value [select] computed, which stays valid because nothing
+   is pushed to them while the group runs. *)
+let shard_head t s ~horizon =
+  let q = t.queues.(s) in
+  let qt = Equeue.next_time q in
+  let own =
+    match t.sched with
+    | Heap -> qt
+    | Wheel ->
+      let w = t.wheels.(s) in
+      let bound = if qt < horizon then qt else horizon in
+      if Timewheel.peek w ~upto:bound && Timewheel.top_time w < qt then
+        Timewheel.top_time w
+      else qt
+  in
+  let ib = Equeue.next_time t.inboxes.(s) in
+  if ib < own then ib else own
+
+(* Run one window group — one or more dispatch rounds under a single
+   merge barrier — then merge: rewrite every provisional rank (queues,
+   wheels, outboxes) to its final rank, flush the outboxes, fold the
+   buffered counters and deltas, and reset the lanes. After the barrier
+   the engine state is exactly what the sequential loop would have
+   produced at this point.
+
+   Adaptive extension (DESIGN §14): after a round drains every active
+   lane below the round stop, the lookahead argument can be replayed
+   from the new frontier — any event a future dispatch creates lands at
+   least [min_lat] after the earliest pending event time [e]. Pending
+   cross-shard events do not cut the group off: [relay] resolves their
+   final ranks (every mark so far is mergeable) and delivers them into
+   the destination inboxes mid-group. So as long as no control event
+   (order-sensitive, dispatched sequentially) falls at or below the
+   proposed stop, the group extends to [min (e + min_lat) limit] and
+   runs another round without paying a barrier — on a steady workload
+   the group spans the whole stretch to the next control event or the
+   horizon, paying one barrier where PR 8 paid one per [min_lat]. The
+   extension decision uses only engine state, never the executor, so the
+   round structure (and the trace) is identical at every domain
+   count. *)
+let run_window t ~wstop ~horizon =
+  let tr = t.trace in
+  t.fs.whorizon <- horizon;
+  t.w_mn <- 0;
+  (match t.executor with
+  | Some _ when Array.length t.lane_thunks <> t.shards ->
+    t.lane_thunks <-
+      Array.init t.shards (fun s ->
+          let lane = t.lanes.(s) in
+          fun () ->
+            lane_window_loop t lane ~wstop:lane.lf.lwstop
+              ~horizon:t.fs.whorizon)
+  | _ -> ());
+  let round_start = ref t.fs.cand_time in
+  let round_stop = ref wstop in
+  let merged_acc = ref 0 in
+  let rounds = ref true in
+  while !rounds do
+    (* Collect the lanes with work strictly below the round stop; lanes
+       join the member set the first round they activate. *)
+    let na = ref 0 in
+    for s = 0 to t.shards - 1 do
+      let lane = t.lanes.(s) in
+      let lh = lane.lf.lhead in
+      if lh < !round_stop && lh <= horizon then begin
+        t.w_actives.(!na) <- lane;
+        incr na;
+        if not t.w_member.(s) then begin
+          t.w_member.(s) <- true;
+          t.w_members.(t.w_mn) <- lane;
+          t.w_mn <- t.w_mn + 1
+        end;
+        lane.lpar <- true;
+        lane.lf.lwstop <- !round_stop
+      end
+    done;
+    (match t.executor with
+    | Some exec when !na > 1 ->
+      exec (Array.init !na (fun i -> t.lane_thunks.(t.w_actives.(i).ls)))
+    | _ ->
+      for i = 0 to !na - 1 do
+        lane_window_loop t t.w_actives.(i) ~wstop:!round_stop ~horizon
+      done);
+    Trace.note_window tr ~span:(Float.min !round_stop horizon -. !round_start);
+    (* Relay pending cross-shard events, then try to extend: only a
+       control event (order-sensitive, dispatched sequentially) or the
+       horizon cuts the group off — cross-shard traffic is resolved and
+       delivered in flight instead of forcing a barrier. *)
+    let have_ob = ref false in
+    for x = 0 to t.w_mn - 1 do
+      if t.outboxes.(t.w_members.(x).ls).Outbox.len > 0 then have_ob := true
+    done;
+    if !have_ob then merged_acc := !merged_acc + relay t;
+    (* Earliest pending event across all lanes vs. the next control
+       event: members' heads moved, and a relay may have landed work on
+       a lane that was idle until now. *)
+    let e = ref infinity in
+    for s = 0 to t.shards - 1 do
+      let lane = t.lanes.(s) in
+      if t.w_member.(s) || Equeue.size t.inboxes.(s) > 0 then
+        lane.lf.lhead <- shard_head t s ~horizon;
+      if lane.lf.lhead < !e then e := lane.lf.lhead
+    done;
+    let limit = Equeue.next_time t.control in
+    if !e <= horizon && !e < limit then begin
+      let w' = Float.min (!e +. t.delay.Delay.min_lat) limit in
+      (* [w' > round_stop] is guaranteed mathematically (e >= the drained
+         stop, limit > e) but guards against float rounding stalls. *)
+      if w' > !round_stop then begin
+        round_start := !round_stop;
+        round_stop := w'
+      end
+      else rounds := false
+    end
+    else rounds := false
+  done;
+  let merged = !merged_acc + barrier_merge t in
+  Trace.note_barrier tr ~events:merged;
+  for x = 0 to t.w_mn - 1 do
+    let lane = t.w_members.(x) in
+    Equeue.remap_batch t.queues.(lane.ls) ~finals:lane.lfinal;
+    (match t.sched with
+    | Heap -> ()
+    | Wheel -> Timewheel.remap_batch t.wheels.(lane.ls) ~finals:lane.lfinal);
+    let ob = t.outboxes.(lane.ls) in
+    if ob.Outbox.len > 0 then begin
+      Trace.note_cross tr ob.Outbox.len;
+      let seqs = ob.Outbox.seqs and fin = lane.lfinal in
+      for i = 0 to ob.Outbox.len - 1 do
+        let s = seqs.(i) in
+        if s >= prov_flag then seqs.(i) <- fin.(s land cre_mask)
+      done
+    end;
+    Trace.merge_counts tr lane.lcounters;
+    Array.fill lane.lcounters 0 Trace.kind_count 0;
+    if lane.ldelta <> 0 then begin
+      Dyngraph.adjust_live t.graph lane.ldelta;
+      lane.ldelta <- 0
+    end;
+    lane.lcre <- 0;
+    lane.lmerged <- 0;
+    lane.mlen <- 0;
+    lane.blen <- 0;
+    lane.lpar <- false;
+    t.w_member.(lane.ls) <- false
+  done;
+  for x = 0 to t.w_mn - 1 do
+    let ob = t.outboxes.(t.w_members.(x).ls) in
+    if ob.Outbox.len > 0 then Outbox.flush ob t.queues
+  done;
+  (* Drain relayed-but-undispatched inbox events into the real queues:
+     they already carry final ranks, and after the remap so does
+     everything else, so plain pushes restore the sequential invariant.
+     Any shard can hold them — a relay may target a lane that never
+     activated. *)
+  for s = 0 to t.shards - 1 do
+    let ib = t.inboxes.(s) in
+    if Equeue.size ib > 0 then begin
+      let q = t.queues.(s) in
+      while Equeue.size ib > 0 do
+        let time = Equeue.next_time ib and seq = Equeue.top_seq ib in
+        Equeue.pop ib;
+        Equeue.push q ~time ~seq ~kind:(Equeue.ev_kind ib)
+          ~a:(Equeue.ev_a ib) ~b:(Equeue.ev_b ib) ~c:(Equeue.ev_c ib)
+          ~d:(Equeue.ev_d ib) (Equeue.ev_payload ib);
+        Equeue.release ib
+      done
+    end
+  done;
+  t.fs.now <- Float.min !round_stop horizon
 
 let set_executor t exec = t.executor <- exec
 
@@ -1621,32 +2145,24 @@ let run_until t horizon =
     if t.fs.cand_time <= horizon then begin
       assert (t.fs.cand_time >= t.fs.now);
       if t.par_ok && not t.cand_ctrl then begin
-        (* Window gate: the window [cand_time, wstop) must end strictly
-           after it starts, stop before the next control event (whose
-           dispatch is order-sensitive and sequential), and have at least
-           two lanes with work — otherwise the sequential step is both
-           correct and cheaper. The gate depends only on engine state,
-           never on the executor, so the window structure (and the
-           trace) is identical at every domain count. *)
+        (* Window gate: the first round [cand_time, wstop) must end
+           strictly after it starts, stop before the next control event
+           (whose dispatch is order-sensitive and sequential), and have
+           at least two lanes with work — otherwise the sequential step
+           is both correct and cheaper. The gate depends only on engine
+           state, never on the executor, so the window structure (and
+           the trace) is identical at every domain count. *)
         let ctrl_next = Equeue.next_time t.control in
-        let wstop = Float.min (t.fs.cand_time +. t.delay.Delay.min_lat) ctrl_next in
+        let wstop =
+          Float.min (t.fs.cand_time +. t.delay.Delay.min_lat) ctrl_next
+        in
         let active = ref 0 in
         for s = 0 to t.shards - 1 do
           let lh = t.lanes.(s).lf.lhead in
           if lh < wstop && lh <= horizon then incr active
         done;
-        if wstop > t.fs.cand_time && !active >= 2 then begin
-          let actives = Array.make !active t.lanes.(0) in
-          let j = ref 0 in
-          for s = 0 to t.shards - 1 do
-            let lane = t.lanes.(s) in
-            if lane.lf.lhead < wstop && lane.lf.lhead <= horizon then begin
-              actives.(!j) <- lane;
-              incr j
-            end
-          done;
-          run_window t actives ~wstop ~horizon
-        end
+        if wstop > t.fs.cand_time && !active >= 2 then
+          run_window t ~wstop ~horizon
         else seq_step t
       end
       else seq_step t

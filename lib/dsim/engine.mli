@@ -52,6 +52,7 @@ val create :
   ?timer_label:('timer -> int) ->
   ?scheduler:[ `Heap | `Wheel of float ] ->
   ?shards:int ->
+  ?partition:[ `Contiguous | `Greedy | `Explicit of int array ] ->
   ?faults:Fault.schedule ->
   ?fault_seed:int ->
   ?corrupt_msg:(src:int -> Prng.t -> 'msg -> 'msg) ->
@@ -80,20 +81,32 @@ val create :
     wheel entries draw their tie-break ranks from the queue's sequence
     counter and surface in the same total [(time, seq)] order.
 
-    [shards] (default 1) partitions the node ids into that many
-    contiguous ranges, each owning its own event queue (and, under the
-    wheel scheduler, its own timer wheel). When the delay policy is pure
-    with positive [min_lat], no faults are injected and the trace does
-    not stream, the run loop dispatches the shards in parallel windows of
-    [min_lat] simulated time — on one domain by default, or on several
-    via {!set_executor}. Events created inside a window carry provisional
-    per-shard rank blocks that the merge barrier rewrites to the exact
-    dense ranks the sequential run would have assigned (DESIGN §14), so
-    the dispatch order and trace are byte-identical at every shard count
-    {e and} every domain count, including [shards = 1]. Order-sensitive
-    global events (topology changes, faults, callbacks) are kept in a
+    [shards] (default 1) partitions the node ids into that many groups,
+    each owning its own event queue (and, under the wheel scheduler, its
+    own timer wheel). [partition] picks the id-to-shard map:
+    [`Contiguous] (the default) splits ids into equal ranges, [`Greedy]
+    runs the traffic-aware partitioner {!partition} over the initial
+    topology, and [`Explicit p] uses [p] verbatim ([p.(id)] is the
+    shard; raises [Invalid_argument] on a wrong length or out-of-range
+    entry). The partition is a pure performance knob — dispatch order
+    and trace are identical under every choice. When the delay policy
+    is pure with positive [min_lat], no faults are injected and the
+    trace does not stream, the run loop dispatches the shards in
+    parallel windows — on one domain by default, or on several via
+    {!set_executor}. A window starts [min_lat] wide and, while no
+    cross-shard event or control event would fall inside it, keeps
+    extending past the current frontier (adaptive lookahead, DESIGN
+    §14), so many dispatch rounds can share one merge barrier. Events
+    created inside a window carry provisional per-shard rank blocks
+    that the barrier rewrites to the exact dense ranks the sequential
+    run would have assigned, so the dispatch order and trace are
+    byte-identical at every shard count {e and} every domain count,
+    including [shards = 1]. Order-sensitive global events (faults,
+    callbacks, topology changes spanning two shards) are kept in a
     dedicated control queue and always dispatch sequentially between
-    windows. Raises [Invalid_argument] when [shards < 1].
+    windows; topology events internal to one shard and callbacks
+    declared commuting ({!at}) ride the lane queues and may dispatch
+    inside windows. Raises [Invalid_argument] when [shards < 1].
 
     [faults] (default []) is a deterministic fault schedule (validated
     against [n]; raises [Invalid_argument] on a malformed one). Crash and
@@ -174,8 +187,25 @@ val schedule_edge_add : ('msg, 'timer) t -> at:float -> int -> int -> unit
 
 val schedule_edge_remove : ('msg, 'timer) t -> at:float -> int -> int -> unit
 
-val at : ('msg, 'timer) t -> time:float -> (unit -> unit) -> unit
-(** Run a callback (e.g. a metrics probe) at the given time. *)
+val at :
+  ?commuting:bool -> ('msg, 'timer) t -> time:float -> (unit -> unit) -> unit
+(** Run a callback (e.g. a metrics probe) at the given time.
+
+    By default a callback is a control event: under sharding it stops
+    any parallel window at its timestamp and runs sequentially, which is
+    always safe. Passing [~commuting:true] promises the callback
+    {e commutes} with node events — it only reads engine state and/or
+    schedules further commuting callbacks, and its observable behavior
+    does not depend on whether same-window node events at other shards
+    have dispatched yet (sampled values may differ; use it for probes
+    whose output is not compared across shard counts, or that read only
+    state settled before the window). A commuting callback rides the
+    lane queues like a node event and no longer cuts windows short.
+    Inside a parallel window it must not call the non-commuting
+    scheduling entry points ({!schedule_edge_add}, {!at} without
+    [~commuting], ...) — those fail loudly rather than race — and
+    {!now} may lag the callback's own timestamp; use the time it was
+    scheduled for. *)
 
 val run_until : ('msg, 'timer) t -> float -> unit
 (** Process all events with timestamp [<= horizon], then advance the
@@ -233,6 +263,28 @@ val queue_depth : ('msg, 'timer) t -> int
     message and discovery count. *)
 
 val shards : ('msg, 'timer) t -> int
+
+val partition :
+  ?prev:int array -> ?threshold:float -> shards:int -> Dyngraph.t -> int array
+(** Traffic-aware shard partition of a graph's current topology: greedy
+    BFS growth from the lowest unassigned id, each shard capped at
+    ⌈n/shards⌉ nodes, neighbors visited in increasing order.
+    Deterministic and O(n + edges). On a path topology it reproduces the
+    contiguous split exactly (each sweep claims the next segment of the
+    line); on clustered or shuffled id spaces it cuts far fewer edges
+    than a contiguous split, which means fewer cross-shard events and
+    longer adaptive windows. [prev] adds stability under churn: the
+    fresh partition only replaces [prev] when its edge cut is more than
+    [threshold] (default [0.1], relative) better — otherwise a copy of
+    [prev] is returned. Feed the result to {!create}'s
+    [`Explicit]. Raises [Invalid_argument] when [shards < 1] or
+    [threshold < 0]. *)
+
+val par_blocker : ('msg, 'timer) t -> string option
+(** [None] when this engine can form parallel dispatch windows; otherwise
+    a one-line reason for the sequential fallback (single shard, impure
+    or zero-lookahead delay policy, fault injection, streaming trace) —
+    surfaced by [gcs_sim sim --window-stats]. *)
 
 val footprint_words : ('msg, 'timer) t -> int
 (** Words currently allocated by engine-owned storage: event queues,

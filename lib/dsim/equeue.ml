@@ -17,6 +17,15 @@
 
 type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+(* Provisional-rank encoding, shared with the engine's parallel dispatch
+   windows (DESIGN §14): a seq at or above [prov_flag] is a provisional
+   block rank whose low [cre_mask] bits index the creating lane's
+   final-rank table. The queue counts live provisional entries so the
+   barrier's batch remap can skip queues that hold none. *)
+let prov_flag = 1 lsl 60
+
+let cre_mask = (1 lsl 40) - 1
+
 type t = {
   (* Heap columns, parallel, first [size] cells live. *)
   mutable times : ba;
@@ -32,6 +41,7 @@ type t = {
   mutable payloads : Obj.t array;
   mutable free : int; (* head of the free list, -1 when exhausted *)
   mutable pool_len : int;
+  mutable prov : int; (* live entries whose seq is provisional *)
   (* Registers holding the last popped event. *)
   mutable p_kind : int;
   mutable p_a : int;
@@ -61,6 +71,7 @@ let create ?(capacity = 64) () =
     payloads = Array.make cap dummy;
     free = -1;
     pool_len = 0;
+    prov = 0;
     p_kind = -1;
     p_a = 0;
     p_b = 0;
@@ -106,6 +117,7 @@ let grow_pool q =
 
 let push q ~time ~seq ~kind ~a ~b ~c ~d payload =
   if not (Float.is_finite time) then invalid_arg "Equeue.push: non-finite time";
+  if seq >= prov_flag then q.prov <- q.prov + 1;
   let slot =
     if q.free >= 0 then begin
       let s = q.free in
@@ -151,6 +163,7 @@ let top_seq q = if q.size = 0 then max_int else Array.unsafe_get q.seqs 0
 
 let pop q =
   if q.size = 0 then invalid_arg "Equeue.pop: empty queue";
+  if Array.unsafe_get q.seqs 0 >= prov_flag then q.prov <- q.prov - 1;
   let slot = q.slots.(0) in
   q.p_kind <- q.kinds.(slot);
   q.p_a <- q.ia.(slot);
@@ -200,16 +213,29 @@ let pop q =
     Array.unsafe_set slots !i sl
   end
 
-(* Rewriting seq values in place is safe exactly when [f] preserves the
-   pairwise order of the live seqs: the heap shape encodes only
-   comparisons, so an order-preserving rewrite leaves every parent/child
-   relation valid. The engine's barrier re-ranking satisfies this (see
-   DESIGN §14). *)
-let remap_seqs q f =
-  let seqs = q.seqs in
-  for i = 0 to q.size - 1 do
-    Array.unsafe_set seqs i (f (Array.unsafe_get seqs i))
-  done
+(* Rewriting seq values in place is safe exactly when the rewrite
+   preserves the pairwise order of the live seqs: the heap shape encodes
+   only comparisons, so an order-preserving rewrite leaves every
+   parent/child relation valid. The engine's barrier re-ranking satisfies
+   this — a lane's provisional ranks resolve to final ranks in creation
+   order, and every final rank a window assigns exceeds every rank the
+   queue already held (DESIGN §14). The provisional count makes the
+   common case — a queue that took no window creations — one load. *)
+let remap_batch q ~finals =
+  if q.prov > 0 then begin
+    let seqs = q.seqs in
+    let left = ref q.prov in
+    let i = ref 0 in
+    while !left > 0 do
+      let s = Array.unsafe_get seqs !i in
+      if s >= prov_flag then begin
+        Array.unsafe_set seqs !i (Array.unsafe_get finals (s land cre_mask));
+        decr left
+      end;
+      incr i
+    done;
+    q.prov <- 0
+  end
 
 let release q = q.p_payload <- dummy
 

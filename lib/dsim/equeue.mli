@@ -59,12 +59,23 @@ val ev_payload : t -> Obj.t
 val release : t -> unit
 (** Clear the payload register so the GC can reclaim the last payload. *)
 
-val remap_seqs : t -> (int -> int) -> unit
-(** [remap_seqs q f] replaces every live event's seq with [f seq] in
-    place. [f] must preserve the pairwise order of the live seqs (and
-    their uniqueness); the heap shape is untouched, which is valid
-    exactly under that condition. Used by the engine's barrier to turn
-    provisional per-lane ranks into final global ranks (DESIGN §14). *)
+val prov_flag : int
+(** Seqs at or above this value are provisional per-lane block ranks
+    (DESIGN §14); the queue counts them so {!remap_batch} can skip
+    queues holding none. *)
+
+val cre_mask : int
+(** Mask extracting a provisional seq's creation index — the index into
+    the creating lane's final-rank table. *)
+
+val remap_batch : t -> finals:int array -> unit
+(** [remap_batch q ~finals] replaces every live provisional seq [s] with
+    [finals.(s land cre_mask)] in place and stops as soon as the queue's
+    provisional count is exhausted (one load when it is zero). The
+    rewrite must preserve the pairwise order of the live seqs, which the
+    engine's barrier guarantees: a lane's provisional ranks resolve in
+    creation order and every assigned final rank exceeds every rank the
+    queue already held (DESIGN §14). *)
 
 val size : t -> int
 val is_empty : t -> bool

@@ -32,6 +32,7 @@ type t = {
   span : int; (* slots^levels *)
   mutable cursor : int;
   mutable bucket_count : int;
+  mutable prov : int; (* held entries whose seq is provisional *)
   (* Buckets, struct-of-arrays: bucket [l * slots + s] owns index ranges
      [0, b_len.(i)) of the inner arrays. *)
   b_len : int array;
@@ -80,6 +81,7 @@ let create ~granularity ?(slots = 64) ?(levels = 4) () =
     span = w_pow.(levels);
     cursor = 0;
     bucket_count = 0;
+    prov = 0;
     b_len = Array.make nb 0;
     b_deadline = Array.make nb empty_f;
     b_seq = Array.make nb empty_i;
@@ -234,6 +236,7 @@ let place t ~deadline ~seq ~node ~label ~gen =
 let arm t ~node ~label ~gen ~seq ~deadline =
   if not (Float.is_finite deadline) || deadline < 0. then
     invalid_arg "Timewheel.arm: bad deadline";
+  if seq >= Equeue.prov_flag then t.prov <- t.prov + 1;
   place t ~deadline ~seq ~node ~label ~gen
 
 (* Detach bucket [b]'s arrays for draining: a re-placed entry may land
@@ -339,20 +342,40 @@ let top_gen t = t.d_gen.(0)
 
 let pop t =
   if t.d_len = 0 then invalid_arg "Timewheel.pop: no resolved entry";
+  if t.d_seq.(0) >= Equeue.prov_flag then t.prov <- t.prov - 1;
   due_pop t
 
 (* Buckets are unordered flat arrays, so any value rewrite is safe there;
    the due heap is ordered by (deadline, seq), so — as in Equeue — the
    rewrite must preserve the pairwise order of the live seqs to keep the
-   heap shape valid. *)
-let remap_seqs t f =
-  for b = 0 to Array.length t.b_seq - 1 do
-    let seq = t.b_seq.(b) in
-    for k = 0 to t.b_len.(b) - 1 do
-      seq.(k) <- f seq.(k)
-    done
-  done;
-  let seq = t.d_seq in
-  for k = 0 to t.d_len - 1 do
-    seq.(k) <- f seq.(k)
-  done
+   heap shape valid (the engine's barrier re-ranking does; see
+   Equeue.remap_batch). The provisional count held by [arm]/[pop] makes
+   the no-window-creations case one load instead of a sweep over every
+   bucket. *)
+let remap_batch t ~finals =
+  if t.prov > 0 then begin
+    let left = ref t.prov in
+    let b = ref 0 in
+    while !left > 0 && !b < Array.length t.b_seq do
+      let seq = t.b_seq.(!b) in
+      for k = 0 to t.b_len.(!b) - 1 do
+        let s = seq.(k) in
+        if s >= Equeue.prov_flag then begin
+          seq.(k) <- finals.(s land Equeue.cre_mask);
+          decr left
+        end
+      done;
+      incr b
+    done;
+    let seq = t.d_seq in
+    let k = ref 0 in
+    while !left > 0 && !k < t.d_len do
+      let s = seq.(!k) in
+      if s >= Equeue.prov_flag then begin
+        seq.(!k) <- finals.(s land Equeue.cre_mask);
+        decr left
+      end;
+      incr k
+    done;
+    t.prov <- 0
+  end

@@ -64,10 +64,13 @@ val pop : t -> unit
 (** Drop the entry exposed by the last successful {!peek}. Raises
     [Invalid_argument] if no resolved entry is pending. *)
 
-val remap_seqs : t -> (int -> int) -> unit
-(** [remap_seqs w f] replaces every held entry's seq with [f seq] in
-    place — bucket entries and resolved due entries alike. [f] must
-    preserve the pairwise order of the live seqs; the due heap's shape
-    is untouched, which is valid exactly under that condition. Used by
-    the engine's barrier to turn provisional per-lane ranks into final
-    global ranks (DESIGN §14). *)
+val remap_batch : t -> finals:int array -> unit
+(** [remap_batch w ~finals] replaces every held provisional seq [s] —
+    bucket entries and resolved due entries alike — with
+    [finals.(s land Equeue.cre_mask)] in place, stopping as soon as the
+    wheel's provisional count (maintained by {!arm}/{!pop}) is
+    exhausted; a wheel holding none pays one load. The rewrite must
+    preserve the pairwise order of the live seqs, which the engine's
+    barrier re-ranking guarantees (see {!Equeue.remap_batch}); the due
+    heap's shape is untouched, which is valid exactly under that
+    condition (DESIGN §14). *)

@@ -79,6 +79,17 @@ type t = {
   sink : Format.formatter;
   mutable log : entry list; (* newest first *)
   mutable log_size : int;
+  (* Parallel-dispatch shape counters, bumped by the engine's (single)
+     coordinating domain only — windows formed, merge barriers paid,
+     events dispatched inside windows, total simulated span the windows
+     covered, and events that crossed a shard boundary in flight. They
+     describe scheduling structure, not the execution, so they are kept
+     out of the per-kind counters and the CSV. *)
+  mutable windows : int;
+  mutable barriers : int;
+  mutable window_events : int;
+  mutable window_span : float;
+  mutable cross_shard : int;
 }
 
 let create ?(log_limit = 0) ?(verbosity = 0) ?(sink = Format.err_formatter) () =
@@ -89,6 +100,11 @@ let create ?(log_limit = 0) ?(verbosity = 0) ?(sink = Format.err_formatter) () =
     sink;
     log = [];
     log_size = 0;
+    windows = 0;
+    barriers = 0;
+    window_events = 0;
+    window_span = 0.;
+    cross_shard = 0;
   }
 
 (* Entry fields are formatted to match the free-form detail strings the
@@ -127,6 +143,26 @@ let[@inline] record t ~time kind a b c =
   let i = kind_index kind in
   Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1);
   if t.log_limit > 0 || t.verbosity > 0 then record_slow t ~time kind a b c
+
+let note_window t ~span =
+  t.windows <- t.windows + 1;
+  t.window_span <- t.window_span +. span
+
+let note_barrier t ~events =
+  t.barriers <- t.barriers + 1;
+  t.window_events <- t.window_events + events
+
+let note_cross t n = t.cross_shard <- t.cross_shard + n
+
+let windows t = t.windows
+
+let barriers t = t.barriers
+
+let window_events t = t.window_events
+
+let window_span t = t.window_span
+
+let cross_shard_events t = t.cross_shard
 
 let wants_entries t = t.log_limit > 0
 

@@ -85,6 +85,41 @@ val merge_counts : t -> int array -> unit
 (** [merge_counts t deltas] adds [deltas] (indexed by {!kind_index},
     length {!kind_count}) into the counters. *)
 
+(** {2 Parallel-dispatch shape counters}
+
+    Maintained by the engine's coordinating domain only (never from lane
+    domains), so reads race with nothing. They describe the {e shape} of
+    parallel dispatch — how well windows amortize barriers — and are kept
+    out of the per-kind counters and the CSV because they depend on
+    [(shards, jobs)] while the trace proper must not (DESIGN §14). *)
+
+val note_window : t -> span:float -> unit
+(** One dispatch round (window extension) completed, covering [span]
+    simulated time. *)
+
+val note_barrier : t -> events:int -> unit
+(** One merge barrier paid, having dispatched [events] events across all
+    the windows it closed. *)
+
+val note_cross : t -> int -> unit
+(** [n] more events crossed a shard boundary in flight. *)
+
+val windows : t -> int
+(** Dispatch rounds formed (window extensions count separately). *)
+
+val barriers : t -> int
+(** Merge barriers paid. [windows t >= barriers t]; the gap is what
+    adaptive extension saved. *)
+
+val window_events : t -> int
+(** Events dispatched inside windows (the rest ran sequentially). *)
+
+val window_span : t -> float
+(** Total simulated time covered by windows. *)
+
+val cross_shard_events : t -> int
+(** Events that crossed a shard boundary through an outbox. *)
+
 val count : t -> kind -> int
 
 val total : t -> int

@@ -135,6 +135,7 @@ let sweep ?jobs f points = map ?jobs (fun p -> (p, f p)) points
    between rounds; the caller participates in each round, so a pool of
    [jobs] runs thunks on [jobs] domains total ([jobs - 1] spawned). *)
 type pool = {
+  pworkers : int; (* spawned worker domains; the caller makes it +1 *)
   pmutex : Mutex.t;
   work : Condition.t; (* a round started, or the pool closed *)
   finished : Condition.t; (* the last thunk of a round completed *)
@@ -177,6 +178,8 @@ let scoped_worker pool =
     end
   in
   loop ()
+
+let pool_size pool = pool.pworkers + 1
 
 let run pool thunks =
   let len = Array.length thunks in
@@ -221,6 +224,7 @@ let scoped ?jobs f =
   let requested = capped_jobs (resolve_jobs jobs) in
   let pool =
     {
+      pworkers = requested - 1;
       pmutex = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();

@@ -96,6 +96,13 @@ val scoped : ?jobs:int -> (pool -> 'a) -> 'a
     exceptions. With an exhausted budget (or [jobs = 1]) no domain is
     spawned and every {!run} executes in the caller. *)
 
+val pool_size : pool -> int
+(** Domains a {!run} round executes on: the pool's parked workers plus
+    the calling domain. This is what the oversubscription cap actually
+    granted, not what [scoped] was asked for — [1] means every round
+    runs serially in the caller. Callers sizing work per domain (the
+    engine's per-shard dispatch thunks) should read this, not [jobs]. *)
+
 val run : pool -> (unit -> unit) array -> unit
 (** [run pool thunks] executes every thunk exactly once on the pool's
     domains plus the calling domain, and returns only when all have

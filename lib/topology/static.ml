@@ -111,6 +111,44 @@ let non_tree_edges ~n edges =
   let tree = spanning_tree ~n edges in
   List.filter (fun e -> not (List.mem e tree)) (List.sort_uniq Dsim.Dyngraph.compare_edge edges)
 
+(* Clustered communities over a *shuffled* id space: dense intra-cluster
+   rings plus random chords, sparse bridges closing a ring of clusters.
+   Because membership comes from a random permutation, nodes of one
+   community are scattered across the id range — the contiguous shard
+   split cuts almost every intra-cluster edge, which is exactly the
+   adversarial case the traffic-aware partitioner exists for. O(n *
+   degree) construction, usable at the tens-of-thousands scale the
+   parallel-dispatch smoke runs at. *)
+let cluster prng ~n ~clusters ~degree =
+  check_n ~min:2 n;
+  if clusters < 1 || clusters > n / 2 then
+    invalid_arg "Static.cluster: clusters must be in [1, n/2]";
+  if degree < 2 then invalid_arg "Static.cluster: degree must be >= 2";
+  let perm = Array.init n (fun i -> i) in
+  Prng.shuffle prng perm;
+  let bounds c = c * n / clusters in
+  let edges = ref [] in
+  let add u v =
+    if u <> v then edges := (if u < v then (u, v) else (v, u)) :: !edges
+  in
+  for c = 0 to clusters - 1 do
+    let lo = bounds c and hi = bounds (c + 1) in
+    let m = hi - lo in
+    (* Ring through the community keeps it connected. *)
+    for i = lo to hi - 1 do
+      add perm.(i) perm.(lo + ((i - lo + 1) mod m))
+    done;
+    (* Random chords up to the requested average degree. *)
+    let chords = (degree - 2) * m / 2 in
+    for _ = 1 to chords do
+      add perm.(lo + Prng.int prng m) perm.(lo + Prng.int prng m)
+    done;
+    (* One bridge to the next community closes a ring of clusters. *)
+    let lo' = bounds ((c + 1) mod clusters) and hi' = bounds (((c + 1) mod clusters) + 1) in
+    add perm.(lo + Prng.int prng m) perm.(lo' + Prng.int prng (hi' - lo'))
+  done;
+  List.sort_uniq Dsim.Dyngraph.compare_edge !edges
+
 let erdos_renyi prng ~n ~p =
   check_n ~min:2 n;
   if p <= 0. || p > 1. then invalid_arg "Static.erdos_renyi: p must be in (0, 1]";

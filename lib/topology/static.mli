@@ -23,6 +23,16 @@ val binary_tree : int -> (int * int) list
 val erdos_renyi : Dsim.Prng.t -> n:int -> p:float -> (int * int) list
 (** G(n, p), resampled (up to 1000 attempts) until connected. *)
 
+val cluster :
+  Dsim.Prng.t -> n:int -> clusters:int -> degree:int -> (int * int) list
+(** Clustered communities over a shuffled id space: each community is a
+    ring plus random chords to an average [degree], communities joined
+    in a ring by single bridge edges (always connected). Node ids are
+    scattered by a random permutation, so a contiguous shard split cuts
+    almost every intra-cluster edge — the adversarial input for
+    {!Dsim.Engine.partition}. O(n * degree); [clusters] in [1, n/2],
+    [degree >= 2]. *)
+
 val random_geometric :
   Dsim.Prng.t -> n:int -> radius:float -> (float * float) array * (int * int) list
 (** Uniform points in the unit square, edges within [radius]. The radius

@@ -326,6 +326,88 @@ let test_parallel_dispatch_parity () =
         [ 1; shards ])
     [ 2; 4; 7 ]
 
+(* Adaptive-window parity: without churn the control queue goes quiet
+   after the initial discovery burst, so the engine keeps extending each
+   window and batches many dispatch rounds per merge barrier. The grid
+   pins two things at once, per topology: every (shards, jobs, partition)
+   point still reproduces the sequential trace byte for byte, and the
+   adaptive extension actually amortizes — strictly more windows than
+   barriers. The cluster topology scatters community members across the
+   id range, which is the worst case for the contiguous split and the
+   showcase for the greedy partitioner; both maps must agree on the
+   trace. *)
+let run_sim_adaptive ~edges ?(shards = 1) ?(jobs = 1) ?(partition = `Contiguous) ()
+    =
+  let n = 24 in
+  let horizon = 50. in
+  let params = Gcs.Params.make ~n () in
+  let clocks = Gcs.Drift.assign params ~horizon ~seed:5 Gcs.Drift.Split_extremes in
+  let bound = params.Gcs.Params.delay_bound in
+  let delay = Dsim.Delay.uniform_keyed ~seed:9 ~lo:(0.25 *. bound) ~bound () in
+  let trace = Trace.create ~log_limit:500_000 () in
+  let cfg =
+    Gcs.Sim.config ~scheduler:Gcs.Sim.Wheel ~shards ~partition ~params ~clocks
+      ~delay ~initial_edges:edges ~trace ()
+  in
+  let sim = Gcs.Sim.create cfg in
+  (if jobs > 1 then begin
+     let saved = Runner.default_jobs () in
+     Runner.set_default_jobs (max saved jobs);
+     Fun.protect
+       ~finally:(fun () -> Runner.set_default_jobs saved)
+       (fun () ->
+         Runner.scoped ~jobs (fun pool ->
+             let engine = Gcs.Sim.engine sim in
+             Dsim.Engine.set_executor engine (Some (Runner.run pool));
+             Fun.protect
+               ~finally:(fun () -> Dsim.Engine.set_executor engine None)
+               (fun () -> Gcs.Sim.run_until sim horizon)))
+   end
+   else Gcs.Sim.run_until sim horizon);
+  (sim, trace)
+
+let test_adaptive_window_parity () =
+  let topologies =
+    [
+      ("path", Topology.Static.path 24);
+      ( "cluster",
+        Topology.Static.cluster (Dsim.Prng.of_int 11) ~n:24 ~clusters:4 ~degree:4
+      );
+    ]
+  in
+  List.iter
+    (fun (name, edges) ->
+      let base, base_trace = run_sim_adaptive ~edges () in
+      let base_csv = Trace.to_csv base_trace in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun jobs ->
+              List.iter
+                (fun (pname, partition) ->
+                  let sim, trace =
+                    run_sim_adaptive ~edges ~shards ~jobs ~partition ()
+                  in
+                  let tag =
+                    Printf.sprintf "(%s shards=%d jobs=%d partition=%s)" name
+                      shards jobs pname
+                  in
+                  Alcotest.(check int)
+                    ("events processed " ^ tag)
+                    (Dsim.Engine.events_processed (Gcs.Sim.engine base))
+                    (Dsim.Engine.events_processed (Gcs.Sim.engine sim));
+                  Alcotest.(check string)
+                    ("byte-identical trace " ^ tag)
+                    base_csv (Trace.to_csv trace);
+                  Alcotest.(check bool)
+                    ("windows amortize barriers " ^ tag)
+                    true
+                    (Trace.windows trace > Trace.barriers trace))
+                [ ("contiguous", `Contiguous); ("greedy", `Greedy) ])
+            [ 1; shards ])
+        [ 2; 4; 7 ])
+    topologies
+
 (* A fault schedule turns the parallel gate off at create time; a
    sharded multi-domain run must then take the sequential path (the
    executor never fires) and still replay the campaign byte-identically. *)
@@ -357,6 +439,8 @@ let suite =
     case "sim: sharded fault campaign, byte-identical" test_shard_parity_faulted;
     case "sim: parallel windows, shards x jobs grid, byte-identical"
       test_parallel_dispatch_parity;
+    case "sim: adaptive windows, shards x jobs x topology x partition grid"
+      test_adaptive_window_parity;
     case "sim: faulted campaign falls back sequential under jobs=4"
       test_parallel_dispatch_parity_faulted;
     case "parallel trace passes conformance audit" test_parallel_trace_audits_clean;

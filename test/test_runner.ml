@@ -124,6 +124,8 @@ let test_scoped_run_rounds () =
   Alcotest.(check int) "no live domains before" 0 (Runner.live_domains ());
   let out =
     Runner.scoped ~jobs:4 (fun pool ->
+        Alcotest.(check bool) "pool_size within the request" true
+          (Runner.pool_size pool >= 1 && Runner.pool_size pool <= 4);
         let acc = Array.make 8 0 in
         (* Two rounds back to back: the second reads what the first
            wrote, which is only safe because run is a full barrier. *)
@@ -165,6 +167,8 @@ let test_scoped_respects_budget () =
       Runner.scoped ~jobs:4 (fun pool ->
           Alcotest.(check int) "budget of 1 spawns no workers" 0
             (Runner.live_domains ());
+          Alcotest.(check int) "pool_size reports the granted size" 1
+            (Runner.pool_size pool);
           let hits = Array.make 5 false in
           Runner.run pool (Array.init 5 (fun i () -> hits.(i) <- true));
           Alcotest.(check bool) "every thunk still ran" true
